@@ -1,0 +1,48 @@
+package p4update_test
+
+import (
+	"fmt"
+	"time"
+
+	"p4update"
+	"p4update/internal/controlplane"
+	"p4update/internal/topo"
+)
+
+// runSyntheticOnce runs one forced-strategy update on the synthetic
+// topology with straggler install delays and returns the completion time.
+func runSyntheticOnce(strat string, oldP, newP []topo.NodeID, seed int64) (time.Duration, error) {
+	s := p4update.StrategySL
+	if strat == "DL" {
+		s = p4update.StrategyDL
+	}
+	rngSeed := seed
+	net := p4update.NewNetwork(topo.Synthetic(),
+		p4update.WithSeed(rngSeed),
+		p4update.WithStrategy(s),
+	)
+	// Straggler model: exponential install delays, seeded per run.
+	eng := net.Fabric().Eng
+	net.Fabric().SetInstallDelay(func() time.Duration {
+		return time.Duration(eng.Rand().ExpFloat64() * float64(100*time.Millisecond))
+	})
+	f, err := net.AddFlow(oldP[0], oldP[len(oldP)-1], oldP, 1.0)
+	if err != nil {
+		return 0, err
+	}
+	u, err := net.UpdateFlow(f, newP)
+	if err != nil {
+		return 0, err
+	}
+	net.Run()
+	if !u.Done() {
+		return 0, fmt.Errorf("%s update did not complete", strat)
+	}
+	return u.Completed - u.Sent, nil
+}
+
+// planForBench exposes plan preparation to the benchmark without leaking
+// internal imports into the benchmark file proper.
+func planForBench(g *topo.Topology, oldP, newP []topo.NodeID, version uint32) (*controlplane.Plan, error) {
+	return controlplane.PreparePlan(g, 1, oldP, newP, version, 1000, nil)
+}

@@ -1,0 +1,135 @@
+// Command p4update regenerates the evaluation of the P4Update paper
+// (CoNEXT '21): the inconsistent-update demonstration (Fig. 2), the
+// fast-forward demonstration (Fig. 4), the total-update-time CDFs
+// (Fig. 7a–f) and the control-plane preparation-time ratios (Fig. 8a/b).
+//
+// Usage:
+//
+//	p4update -exp all            # everything, paper-scale runs
+//	p4update -exp fig7 -runs 10  # just Fig. 7 with 10 runs per series
+//	p4update -exp fig7 -cdf      # additionally dump CDF rows for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"p4update/internal/experiments"
+	"p4update/internal/topo"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig8|all")
+		runs  = flag.Int("runs", 30, "runs per series (the paper uses 30)")
+		preps = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
+		seed  = flag.Int64("seed", 1, "base simulation seed")
+		cdf   = flag.Bool("cdf", false, "dump full CDF series for plotting")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	switch *exp {
+	case "fig2":
+		runFig2(*seed)
+	case "fig4":
+		runFig4(*runs, *seed)
+	case "fig7":
+		runFig7(*runs, *seed, *cdf)
+	case "fig8":
+		runFig8(*preps, *seed)
+	case "all":
+		runFig2(*seed)
+		runFig4(*runs, *seed)
+		runFig7(*runs, *seed, *cdf)
+		runFig8(*preps, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("\n(wall-clock %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}
+
+func runFig2(seed int64) {
+	fmt.Println("== Fig. 2: inconsistent updates (config (c) before delayed (b)) ==")
+	for _, kind := range []experiments.SystemKind{experiments.KindP4Update, experiments.KindEZSegway} {
+		r, err := experiments.Fig2(kind, seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r)
+	}
+	fmt.Println()
+}
+
+func runFig4(runs int, seed int64) {
+	r, err := experiments.Fig4(runs, seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(r)
+	fmt.Println()
+}
+
+func runFig7(runs int, seed int64, cdf bool) {
+	type job struct {
+		run  func() (*experiments.Fig7Result, error)
+		name string
+	}
+	jobs := []job{
+		{func() (*experiments.Fig7Result, error) {
+			return experiments.Fig7SingleFlow(topo.Synthetic, "synthetic (Fig. 7a)", runs, seed)
+		}, "fig7a"},
+		{func() (*experiments.Fig7Result, error) {
+			return experiments.Fig7MultiFlow(func() *topo.Topology { return topo.FatTree(4) },
+				"fat-tree K=4 (Fig. 7b)", true, runs, seed)
+		}, "fig7b"},
+		{func() (*experiments.Fig7Result, error) {
+			return experiments.Fig7SingleFlow(topo.B4, "B4 (Fig. 7c)", runs, seed)
+		}, "fig7c"},
+		{func() (*experiments.Fig7Result, error) {
+			return experiments.Fig7MultiFlow(topo.B4, "B4 (Fig. 7d)", false, runs, seed)
+		}, "fig7d"},
+		{func() (*experiments.Fig7Result, error) {
+			return experiments.Fig7SingleFlow(topo.Internet2, "Internet2 (Fig. 7e)", runs, seed)
+		}, "fig7e"},
+		{func() (*experiments.Fig7Result, error) {
+			return experiments.Fig7MultiFlow(topo.Internet2, "Internet2 (Fig. 7f)", false, runs, seed)
+		}, "fig7f"},
+	}
+	for _, j := range jobs {
+		r, err := j.run()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", j.name, err))
+		}
+		fmt.Print(r)
+		if cdf {
+			fmt.Print(r.CDFSeries())
+		}
+		fmt.Println()
+	}
+}
+
+func runFig8(updates int, seed int64) {
+	for _, congestion := range []bool{false, true} {
+		n := updates
+		if congestion && n > 200 {
+			// The dependency-graph recomputation makes paper-scale runs
+			// slow; 200 updates give the same ratio statistics.
+			n = 200
+		}
+		r, err := experiments.Fig8(congestion, n, 30, seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,87 @@
+// Datacenter: automatic single/dual-layer selection (§7.5) on a K=4
+// fat-tree. Cross-pod reroutes in a fat-tree produce only forward
+// segments, so the policy picks the lean single-layer mode — the paper's
+// Fig. 7b observation ("the fat-tree only has forward segments").
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"p4update"
+)
+
+func main() {
+	g := p4update.FatTree(4)
+	rng := rand.New(rand.NewSource(11))
+	net := p4update.NewNetwork(g,
+		p4update.WithSeed(11),
+		p4update.WithCongestionFreedom(),
+		// Per §9.1 the fat-tree control latency is sampled from a normal
+		// distribution (Huang et al.).
+		p4update.WithSampledControlLatency(func() time.Duration {
+			d := time.Duration((4 + 2*rng.NormFloat64()) * float64(time.Millisecond))
+			if d < 500*time.Microsecond {
+				d = 500 * time.Microsecond
+			}
+			return d
+		}),
+	)
+
+	edges := p4update.EdgeSwitches(g)
+	src, dst := edges[0], edges[7] // cross-pod pair
+
+	paths := g.KShortestPaths(src, dst, 4, p4update.ByHops)
+	if len(paths) < 2 {
+		log.Fatal("no alternative paths in the fat-tree")
+	}
+	flow, err := net.AddFlow(src, dst, paths[0], 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow %s -> %s along %s\n",
+		g.Node(src).Name, g.Node(dst).Name, pathNames(g, paths[0]))
+
+	// Reroute onto an equal-cost alternative: forward segments only.
+	u, err := net.UpdateFlow(flow, paths[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reroute to %s\n", pathNames(g, paths[1]))
+	fmt.Printf("  policy picked: %v (forward-only detour -> single layer)\n", u.Plan.Type)
+	net.Run()
+	if !u.Done() {
+		log.Fatal("update did not complete")
+	}
+	fmt.Printf("  converged in %v\n\n", u.Completed-u.Sent)
+
+	// Rerouting back is again a small forward-only detour: the policy
+	// stays with single layer (fat-trees have no backward segments
+	// between equal-cost paths).
+	u2, err := net.UpdateFlow(flow, paths[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reroute back to %s\n", pathNames(g, paths[0]))
+	fmt.Printf("  policy picked: %v (fat-trees have only forward segments)\n", u2.Plan.Type)
+	net.Run()
+	if !u2.Done() {
+		log.Fatal("second update did not complete")
+	}
+	fmt.Printf("  converged in %v\n", u2.Completed-u2.Sent)
+}
+
+func pathNames(g *p4update.Topology, path []p4update.NodeID) string {
+	out := ""
+	for i, n := range path {
+		if i > 0 {
+			out += "→"
+		}
+		out += g.Node(n).Name
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+// Destination routing: the §11 extension. Instead of per-path flows, all
+// traffic toward one destination follows a spanning tree rooted there; a
+// verified single-layer update migrates the whole tree at once — the
+// notification fans out from the root through per-switch clone groups,
+// and every node locally checks that its new parent is one hop closer.
+//
+//	go run ./examples/destination-routing
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"p4update"
+)
+
+func main() {
+	g := p4update.Internet2()
+	net := p4update.NewNetwork(g,
+		p4update.WithSeed(5),
+		p4update.WithInstallDelay(func() time.Duration { return 2 * time.Millisecond }),
+	)
+
+	root, _ := g.NodeByName("Chicago")
+	base := p4update.ShortestPathTree(g, root)
+	f, err := net.AddDestinationTree(root, base, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("destination tree toward %s installed (%d nodes)\n",
+		g.Node(root).Name, g.NumNodes())
+
+	// Steer three west-coast sites off their shortest branches (e.g. for
+	// maintenance on the Seattle—Chicago span).
+	next := p4update.Tree{}
+	for n, p := range base {
+		next[n] = p
+	}
+	seattle, _ := g.NodeByName("Seattle")
+	saltlake, _ := g.NodeByName("SaltLake")
+	denver, _ := g.NodeByName("Denver")
+	kansas, _ := g.NodeByName("KansasCity")
+	next[seattle] = saltlake
+	next[saltlake] = denver
+	next[denver] = kansas
+
+	u, err := net.UpdateDestinationTree(f, next)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Run()
+	if !u.Done() {
+		log.Fatal("tree update did not complete")
+	}
+	fmt.Printf("tree migrated in %v (version %d)\n", u.Completed-u.Sent, u.Version)
+
+	for _, name := range []string{"Seattle", "SaltLake", "Denver", "LosAngeles"} {
+		n, _ := g.NodeByName(name)
+		path, delivered := net.Forwarding(f, n)
+		names := make([]string, len(path))
+		for i, v := range path {
+			names[i] = g.Node(v).Name
+		}
+		fmt.Printf("  %-11s -> %v (delivered=%v)\n", name, names, delivered)
+	}
+}

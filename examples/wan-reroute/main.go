@@ -1,0 +1,94 @@
+// WAN reroute: congestion-aware multi-flow updates on the B4 topology.
+// A flow's move onto the Oklahoma—Atlanta link lacks capacity until
+// another flow vacates it; P4Update parks the move in the data plane
+// (§7.4), the vacating flow's stale reservation is released by rule
+// cleanup (§11), and the parked move resumes — no controller involvement.
+//
+//	go run ./examples/wan-reroute
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"p4update"
+)
+
+func main() {
+	g := p4update.B4()
+	net := p4update.NewNetwork(g,
+		p4update.WithSeed(7),
+		p4update.WithCongestionFreedom(),
+		p4update.WithInstallDelay(func() time.Duration { return time.Millisecond }),
+	)
+
+	name := func(id p4update.NodeID) string { return g.Node(id).Name }
+	byName := func(n string) p4update.NodeID {
+		id, ok := g.NodeByName(n)
+		if !ok {
+			log.Fatalf("no node %s", n)
+		}
+		return id
+	}
+	or, ca, io, ok, at := byName("Oregon"), byName("California"),
+		byName("Iowa"), byName("Oklahoma"), byName("Atlanta")
+	tw, sg, be, vi := byName("Taiwan"), byName("Singapore"),
+		byName("Belgium"), byName("Virginia")
+
+	// f1 currently takes the long way around the planet (500 Mbps); the
+	// direct corridor it wants runs through Oklahoma—Atlanta.
+	f1, err := net.AddFlow(or, at, []p4update.NodeID{or, tw, sg, be, vi, at}, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// f2 occupies Oklahoma—Atlanta with 600 Mbps (the link carries 1000).
+	f2, err := net.AddFlow(ca, at, []p4update.NodeID{ca, ok, at}, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("f1 (%d): %s->%s via the Pacific ring, 500 Mbps\n", f1, name(or), name(at))
+	fmt.Printf("f2 (%d): %s->%s via Oklahoma, 600 Mbps\n", f2, name(ca), name(at))
+	fmt.Println()
+
+	// Both updates launch together. f1 wants Oklahoma—Atlanta (500+600 >
+	// 1000: blocked); f2 moves off it onto Iowa—Atlanta. When f2's old
+	// rule at Oklahoma is cleaned up, the reservation drops and f1's
+	// parked move resumes.
+	u1, err := net.UpdateFlow(f1, []p4update.NodeID{or, ca, ok, at})
+	if err != nil {
+		log.Fatal(err)
+	}
+	u2, err := net.UpdateFlow(f2, []p4update.NodeID{ca, io, at})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	net.Run()
+
+	for _, u := range []*p4update.UpdateStatus{u2, u1} {
+		if !u.Done() {
+			log.Fatalf("flow %d update did not complete", u.Flow)
+		}
+		fmt.Printf("flow %d converged in %v\n", u.Flow, u.Completed-u.Sent)
+	}
+	if u1.Completed <= u2.Completed {
+		log.Fatal("expected f1 to finish after f2 freed the link")
+	}
+	fmt.Println()
+	for _, f := range []p4update.FlowID{f1, f2} {
+		rec, _ := net.Controller().Flow(f)
+		path, delivered := net.Forwarding(f, rec.Src)
+		names := make([]string, len(path))
+		for i, n := range path {
+			names[i] = name(n)
+		}
+		fmt.Printf("flow %d now: %v (delivered=%v)\n", f, names, delivered)
+	}
+	st := net.Stats()
+	fmt.Printf("\nscheduler work: %d parked-message resubmissions, %d stale rules cleaned\n",
+		st.Resubmissions, st.RulesCleaned)
+	sw := net.Switch(ok)
+	fmt.Printf("Oklahoma->Atlanta reserved: %d kbps of %d\n",
+		sw.ReservedK(g.PortTo(ok, at)), sw.CapacityK(g.PortTo(ok, at)))
+}

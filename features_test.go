@@ -1,0 +1,145 @@
+package p4update_test
+
+import (
+	"testing"
+	"time"
+
+	"p4update"
+)
+
+func TestFacadeFailureRecovery(t *testing.T) {
+	g := p4update.Synthetic()
+	net := p4update.NewNetwork(g,
+		p4update.WithSeed(9),
+		p4update.WithFailureRecovery(400*time.Millisecond, 3),
+	)
+	// Drop the first UNM on the 6->5 link.
+	dropped := false
+	net.Fabric().Drop = func(from, to p4update.NodeID, raw []byte) bool {
+		if !dropped && from == 6 && to == 5 && len(raw) > 0 && raw[0] == 4 /* TypeUNM */ {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	oldP, newP := p4update.SyntheticPaths()
+	f, _ := net.AddFlow(0, 7, oldP, 1.0)
+	u, err := net.UpdateFlow(f, newP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if !dropped {
+		t.Fatal("drop not exercised")
+	}
+	if !u.Done() {
+		t.Fatal("update did not recover")
+	}
+	if u.Retriggers == 0 {
+		t.Error("no re-trigger recorded")
+	}
+}
+
+func TestFacadeTwoPhaseCommit(t *testing.T) {
+	g := p4update.Synthetic()
+	net := p4update.NewNetwork(g,
+		p4update.WithSeed(10),
+		p4update.WithTwoPhaseCommit(),
+		p4update.WithStrategy(p4update.StrategySL),
+		p4update.WithInstallDelay(func() time.Duration { return 30 * time.Millisecond }),
+	)
+	oldP, newP := p4update.SyntheticPaths()
+	f, _ := net.AddFlow(0, 7, oldP, 1.0)
+
+	// Observe packet paths via per-switch taps.
+	visited := map[uint32][]p4update.NodeID{}
+	for _, id := range g.Nodes() {
+		sw := net.Switch(id)
+		sw.DataTap = func(s *p4update.Switch, d *p4update.DataPacket, _ p4update.PortID) {
+			if !d.Probe {
+				visited[d.Seq] = append(visited[d.Seq], s.ID)
+			}
+		}
+	}
+	seq := uint32(0)
+	var inject func()
+	inject = func() {
+		seq++
+		_ = net.SendPacket(f, seq)
+		if net.Now() < 600*time.Millisecond {
+			net.Schedule(5*time.Millisecond, inject)
+		}
+	}
+	net.Schedule(0, inject)
+	net.Schedule(40*time.Millisecond, func() {
+		if _, err := net.UpdateFlow(f, newP); err != nil {
+			t.Error(err)
+		}
+	})
+	net.Run()
+
+	eq := func(a, b []p4update.NodeID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for s, path := range visited {
+		if !eq(path, oldP) && !eq(path, newP) {
+			t.Fatalf("packet %d took a mixed path under 2PC: %v", s, path)
+		}
+	}
+	if u, ok := net.Status(f, 2); !ok || !u.Done() {
+		t.Fatal("update did not complete")
+	}
+}
+
+func TestFacadeDestinationTree(t *testing.T) {
+	g := p4update.B4()
+	net := p4update.NewNetwork(g, p4update.WithSeed(11))
+	root, _ := g.NodeByName("Virginia")
+	base := p4update.ShortestPathTree(g, root)
+	f, err := net.AddDestinationTree(root, base, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node reaches the root.
+	for _, n := range g.Nodes() {
+		if _, delivered := net.Forwarding(f, n); !delivered {
+			t.Fatalf("node %d cannot reach the destination", n)
+		}
+	}
+	// Baselines refuse destination trees.
+	ez := p4update.NewNetwork(p4update.B4(), p4update.WithStrategy(p4update.StrategyEZSegway))
+	if _, err := ez.UpdateDestinationTree(1, nil); err == nil {
+		t.Error("ez-Segway strategy accepted a tree update")
+	}
+}
+
+func TestFacadeChainedDualLayer(t *testing.T) {
+	g := p4update.Synthetic()
+	net := p4update.NewNetwork(g,
+		p4update.WithSeed(12),
+		p4update.WithStrategy(p4update.StrategyDL),
+		p4update.WithChainedDualLayer(),
+	)
+	oldP, newP := p4update.SyntheticPaths()
+	f, _ := net.AddFlow(0, 7, oldP, 1.0)
+	if _, err := net.UpdateFlow(f, newP); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if _, err := net.UpdateFlow(f, oldP); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	u, ok := net.Status(f, 3)
+	if !ok || !u.Done() {
+		t.Fatal("chained DL update did not complete via the facade")
+	}
+}

@@ -1,0 +1,3 @@
+module p4update
+
+go 1.22

@@ -1,0 +1,322 @@
+package controlplane
+
+import (
+	"fmt"
+	"time"
+
+	"p4update/internal/dataplane"
+	"p4update/internal/packet"
+	"p4update/internal/sim"
+	"p4update/internal/topo"
+)
+
+// FlowRecord is one Flow-DB entry.
+type FlowRecord struct {
+	ID       packet.FlowID
+	Src, Dst topo.NodeID
+	Path     []topo.NodeID
+	Version  uint32
+	SizeK    uint32
+}
+
+// UpdateStatus tracks one triggered update for the evaluation.
+type UpdateStatus struct {
+	Flow    packet.FlowID
+	Version uint32
+	// Plan is the P4Update preparation result (nil for baselines).
+	Plan *Plan
+	// NewPath is the path whose establishment completes the update.
+	NewPath []topo.NodeID
+	// OldPath is the controller's view of the pre-update path; nodes on
+	// it that left the path are cleaned up after completion (§11).
+	OldPath []topo.NodeID
+	// Sent is the virtual time the UIMs left the controller.
+	Sent time.Duration
+	// AllApplied is the virtual time the last new-path node committed
+	// (zero until then).
+	AllApplied time.Duration
+	// Completed is the virtual time the controller received the probe
+	// confirmation that the whole new path is established (zero until
+	// then); the paper measures update time as Completed - Sent.
+	Completed time.Duration
+	// IngressReported is when the ingress's StatusUpdated UFM arrived.
+	IngressReported time.Duration
+	// Alarms collects verification alarms raised for this version.
+	Alarms []packet.UFM
+	// Retriggers counts §11 failure-recovery re-transmissions.
+	Retriggers int
+
+	pending map[topo.NodeID]bool
+}
+
+// Done reports whether the probe confirmed the update.
+func (u *UpdateStatus) Done() bool { return u.Completed > 0 }
+
+// Controller is the logically centralized control plane.
+type Controller struct {
+	Eng  *sim.Engine
+	Net  *dataplane.Network
+	Topo *topo.Topology
+
+	// Node is the switch co-located with the controller (for WAN
+	// topologies the centroid, per §9.1).
+	Node topo.NodeID
+
+	flows   map[packet.FlowID]*FlowRecord
+	trees   map[packet.FlowID]*TreeRecord
+	updates map[updateKey]*UpdateStatus
+
+	// OnNewFlow, when set, is invoked for Flow Report Messages of
+	// unknown flows.
+	OnNewFlow func(f packet.FlowID)
+	// OnUFM, when set, observes every feedback message (the Central
+	// baseline drives its rounds from per-node acknowledgements).
+	OnUFM func(u packet.UFM)
+	// OnAlarm, when set, observes verification alarms.
+	OnAlarm func(u packet.UFM)
+	// OnComplete, when set, observes probe-confirmed update completions.
+	OnComplete func(u *UpdateStatus)
+	// MaxRetriggers bounds §11 failure recovery: how many times a stalled
+	// update's indications are re-sent (0 disables recovery).
+	MaxRetriggers int
+}
+
+type updateKey struct {
+	flow    packet.FlowID
+	version uint32
+}
+
+// NewController attaches a controller to the network and registers the
+// controller-bound receive path and the apply observer.
+func NewController(net *dataplane.Network, node topo.NodeID) *Controller {
+	c := &Controller{
+		Eng:     net.Eng,
+		Net:     net,
+		Topo:    net.Topo,
+		Node:    node,
+		flows:   make(map[packet.FlowID]*FlowRecord),
+		updates: make(map[updateKey]*UpdateStatus),
+	}
+	net.ControllerRx = c.receive
+	net.OnApply = c.onApply
+	return c
+}
+
+// Flow returns the Flow-DB record for f.
+func (c *Controller) Flow(f packet.FlowID) (*FlowRecord, bool) {
+	r, ok := c.flows[f]
+	return r, ok
+}
+
+// RegisterFlow records a flow in the Flow DB and seeds its rules in the
+// data plane (version 1 initial deployment).
+func (c *Controller) RegisterFlow(src, dst topo.NodeID, path []topo.NodeID, sizeK uint32) (packet.FlowID, error) {
+	if err := c.Topo.ValidatePath(path); err != nil {
+		return 0, fmt.Errorf("controlplane: RegisterFlow: %w", err)
+	}
+	if path[0] != src || path[len(path)-1] != dst {
+		return 0, fmt.Errorf("controlplane: path endpoints do not match flow")
+	}
+	f := packet.HashFlow(uint16(src), uint16(dst))
+	c.flows[f] = &FlowRecord{ID: f, Src: src, Dst: dst, Path: path, Version: 1, SizeK: sizeK}
+	c.Net.InstallPath(f, path, 1, sizeK)
+	return f, nil
+}
+
+// Status returns the tracking record of (flow, version).
+func (c *Controller) Status(f packet.FlowID, version uint32) (*UpdateStatus, bool) {
+	u, ok := c.updates[updateKey{f, version}]
+	return u, ok
+}
+
+// Updates returns all tracked updates.
+func (c *Controller) Updates() []*UpdateStatus {
+	out := make([]*UpdateStatus, 0, len(c.updates))
+	for _, u := range c.updates {
+		out = append(out, u)
+	}
+	return out
+}
+
+// TriggerUpdate prepares and pushes a route update of flow f to newPath.
+// It returns the tracked status. force pins the update type (nil = §7.5
+// auto selection).
+func (c *Controller) TriggerUpdate(f packet.FlowID, newPath []topo.NodeID, force *packet.UpdateType) (*UpdateStatus, error) {
+	rec, ok := c.flows[f]
+	if !ok {
+		return nil, fmt.Errorf("controlplane: unknown flow %d", f)
+	}
+	version := rec.Version + 1
+	plan, err := PreparePlan(c.Topo, f, rec.Path, newPath, version, rec.SizeK, force)
+	if err != nil {
+		return nil, err
+	}
+	return c.Push(plan, rec)
+}
+
+// Push sends a prepared plan's UIMs and tracks completion. The Flow-DB
+// record is updated optimistically (the controller's view of the intended
+// state); completion is confirmed by UFMs and the probe traversal.
+func (c *Controller) Push(plan *Plan, rec *FlowRecord) (*UpdateStatus, error) {
+	msgs := make([]packet.Message, len(plan.UIMs))
+	for i, m := range plan.UIMs {
+		msgs[i] = m
+	}
+	u := c.PushMessages(plan.Flow, plan.Version, plan.OldPath, plan.NewPath, nil, plan.Targets, msgs, rec)
+	u.Plan = plan
+	return u, nil
+}
+
+// PushMessages is the protocol-agnostic trigger behind Push: it sends one
+// prepared message per target switch and tracks completion of the update.
+// pendingNodes is the set whose version-tagged commits complete the
+// update (nil = every new-path node); completion is measured by the apply
+// observer plus the probe traversal (§9.1 semantics), identical for every
+// evaluated system.
+func (c *Controller) PushMessages(flow packet.FlowID, version uint32, oldPath, newPath, pendingNodes []topo.NodeID,
+	targets []topo.NodeID, msgs []packet.Message, rec *FlowRecord) *UpdateStatus {
+
+	if pendingNodes == nil {
+		pendingNodes = newPath
+	}
+	u := &UpdateStatus{
+		Flow:    flow,
+		Version: version,
+		Sent:    c.Eng.Now(),
+		pending: make(map[topo.NodeID]bool, len(pendingNodes)),
+	}
+	u.OldPath = oldPath
+	u.NewPath = newPath
+	for _, n := range pendingNodes {
+		u.pending[n] = true
+	}
+	c.updates[updateKey{flow, version}] = u
+	for i, m := range msgs {
+		c.Net.SendToSwitch(targets[i], m, 0)
+	}
+	if rec != nil {
+		rec.Path = newPath
+		rec.Version = version
+	}
+	return u
+}
+
+// TrackOnly registers completion tracking for (flow, version, newPath)
+// without sending anything — for baselines that send messages through
+// their own scheduling loop (Central rounds).
+func (c *Controller) TrackOnly(flow packet.FlowID, version uint32, oldPath, newPath, pendingNodes []topo.NodeID, rec *FlowRecord) *UpdateStatus {
+	return c.PushMessages(flow, version, oldPath, newPath, pendingNodes, nil, nil, rec)
+}
+
+// onApply observes rule commits; when the whole new path runs the target
+// version, it launches the verification probe from the ingress (§9.1:
+// "which we record with a packet traversal").
+func (c *Controller) onApply(node topo.NodeID, f packet.FlowID, version uint32) {
+	u, ok := c.updates[updateKey{f, version}]
+	if !ok || !u.pending[node] {
+		return
+	}
+	delete(u.pending, node)
+	if len(u.pending) > 0 || u.AllApplied > 0 {
+		return
+	}
+	u.AllApplied = c.Eng.Now()
+	ingress := u.NewPath[0]
+	probe := &packet.Data{
+		Flow: f, TTL: 64, Probe: true, ProbeVersion: version,
+	}
+	c.Net.Switch(ingress).InjectData(probe)
+}
+
+// receive is the controller's message sink.
+func (c *Controller) receive(from topo.NodeID, raw []byte) {
+	m, err := packet.Decode(raw)
+	if err != nil {
+		return
+	}
+	switch m := m.(type) {
+	case *packet.FRM:
+		if _, known := c.flows[m.Flow]; !known && c.OnNewFlow != nil {
+			c.OnNewFlow(m.Flow)
+		}
+	case *packet.UFM:
+		c.handleUFM(m)
+	}
+}
+
+func (c *Controller) handleUFM(m *packet.UFM) {
+	if c.OnUFM != nil {
+		c.OnUFM(*m)
+	}
+	u, ok := c.updates[updateKey{m.Flow, m.Version}]
+	switch m.Status {
+	case packet.StatusUpdated:
+		if ok && u.IngressReported == 0 {
+			u.IngressReported = c.Eng.Now()
+		}
+	case packet.StatusProbeOK:
+		if ok && u.Completed == 0 {
+			u.Completed = c.Eng.Now()
+			c.cleanupStaleRules(u)
+			if c.OnComplete != nil {
+				c.OnComplete(u)
+			}
+		}
+	case packet.StatusAlarm:
+		if ok {
+			u.Alarms = append(u.Alarms, *m)
+		}
+		if c.OnAlarm != nil {
+			c.OnAlarm(*m)
+		}
+	case packet.StatusStalled:
+		// §11 failure recovery: a switch holds the indication but the
+		// notification chain never arrived — re-send the plan's UIMs so
+		// the coordination restarts from the egress.
+		if ok && !u.Done() && u.Plan != nil && u.Retriggers < c.MaxRetriggers {
+			u.Retriggers++
+			for i, uim := range u.Plan.UIMs {
+				c.Net.SendToSwitch(u.Plan.Targets[i], uim, 0)
+			}
+		}
+	}
+}
+
+// cleanupStaleRules implements the §11 rule cleanup: once an update is
+// confirmed, the controller removes the flow's rules (and thereby their
+// capacity reservations) from old-path nodes that left the path.
+func (c *Controller) cleanupStaleRules(u *UpdateStatus) {
+	if len(u.OldPath) == 0 {
+		return
+	}
+	onNew := make(map[topo.NodeID]bool, len(u.NewPath))
+	for _, n := range u.NewPath {
+		onNew[n] = true
+	}
+	for _, n := range u.OldPath {
+		if !onNew[n] {
+			c.Net.SendToSwitch(n, &packet.CLN{Flow: u.Flow, Version: u.Version}, 0)
+		}
+	}
+}
+
+// UseCentroidControl places the controller at the topology centroid and
+// derives per-switch control latencies from shortest-path propagation
+// (§9.1, WAN topologies).
+func UseCentroidControl(net *dataplane.Network) topo.NodeID {
+	node := net.Topo.Centroid()
+	lat := net.Topo.ControlLatencies(node)
+	net.ControlLatency = func(n topo.NodeID) time.Duration { return lat[n] }
+	return node
+}
+
+// UseSampledControl assigns each switch a control latency drawn once from
+// sample (the fat-tree model of §9.1, normal-distribution latencies per
+// Huang et al.).
+func UseSampledControl(net *dataplane.Network, sample func() time.Duration) {
+	lat := make([]time.Duration, net.Topo.NumNodes())
+	for i := range lat {
+		lat[i] = sample()
+	}
+	net.ControlLatency = func(n topo.NodeID) time.Duration { return lat[n] }
+}

@@ -1,0 +1,170 @@
+package controlplane
+
+import (
+	"testing"
+	"time"
+
+	"p4update/internal/dataplane"
+	"p4update/internal/packet"
+	"p4update/internal/sim"
+	"p4update/internal/topo"
+)
+
+// echoHandler applies any UIM immediately (a minimal protocol for
+// exercising the controller's tracking machinery in isolation).
+type echoHandler struct{}
+
+func (echoHandler) HandleUIM(sw *dataplane.Switch, m *packet.UIM) {
+	st := sw.State(m.Flow)
+	port := dataplane.PortLocal
+	if m.EgressPort != packet.NoPort {
+		port = topo.PortID(int32(m.EgressPort))
+	}
+	sw.Apply(true, func() {
+		sw.CommitState(m.Flow, dataplane.Commit{
+			Port: port, Version: m.Version, Distance: m.NewDistance,
+			OldVersion: st.NewVersion, OldDistance: st.NewDistance,
+			SizeK: m.FlowSizeK,
+		})
+	})
+}
+
+func (echoHandler) HandleUNM(*dataplane.Switch, *packet.UNM, topo.PortID) {}
+
+func bed(t *testing.T) (*sim.Engine, *dataplane.Network, *Controller) {
+	t.Helper()
+	g := topo.Synthetic()
+	eng := sim.New(1)
+	eng.MaxEvents = 500_000
+	net := dataplane.NewNetwork(eng, g)
+	net.SetHandler(echoHandler{})
+	node := UseCentroidControl(net)
+	return eng, net, NewController(net, node)
+}
+
+func TestRegisterFlowValidation(t *testing.T) {
+	_, _, ctl := bed(t)
+	if _, err := ctl.RegisterFlow(0, 7, []topo.NodeID{0, 4, 2, 7}, 100); err != nil {
+		t.Fatalf("valid flow rejected: %v", err)
+	}
+	if _, err := ctl.RegisterFlow(0, 7, []topo.NodeID{1, 4, 2, 7}, 100); err == nil {
+		t.Error("path not starting at src accepted")
+	}
+	if _, err := ctl.RegisterFlow(0, 7, []topo.NodeID{0, 7}, 100); err == nil {
+		t.Error("invalid path accepted")
+	}
+}
+
+func TestUnknownFlowUpdateRejected(t *testing.T) {
+	_, _, ctl := bed(t)
+	if _, err := ctl.TriggerUpdate(12345, []topo.NodeID{0, 4, 2, 7}, nil); err == nil {
+		t.Error("unknown flow accepted")
+	}
+}
+
+func TestCompletionProbeAndCleanup(t *testing.T) {
+	eng, net, ctl := bed(t)
+	f, err := ctl.RegisterFlow(0, 7, []topo.NodeID{0, 4, 2, 7}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var completed *UpdateStatus
+	ctl.OnComplete = func(u *UpdateStatus) { completed = u }
+	u, err := ctl.TriggerUpdate(f, []topo.NodeID{0, 1, 2, 3, 4, 5, 6, 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if completed != u || !u.Done() {
+		t.Fatal("completion callback not fired")
+	}
+	if u.AllApplied == 0 || u.Completed < u.AllApplied {
+		t.Errorf("timestamps inconsistent: applied=%v completed=%v", u.AllApplied, u.Completed)
+	}
+	// §11 cleanup: no old-path-only nodes here (old ⊂ new), so nothing
+	// to clean — verify by checking rules still exist everywhere.
+	for _, n := range u.NewPath {
+		if st, ok := net.Switch(n).PeekState(f); !ok || !st.HasRule {
+			t.Errorf("node %d lost its rule", n)
+		}
+	}
+	// Now move to a path abandoning v1, v3, v5, v6: they get cleaned.
+	u2, err := ctl.TriggerUpdate(f, []topo.NodeID{0, 4, 2, 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !u2.Done() {
+		t.Fatal("second update incomplete")
+	}
+	for _, n := range []topo.NodeID{1, 3, 5, 6} {
+		if st, ok := net.Switch(n).PeekState(f); ok && st.HasRule {
+			t.Errorf("abandoned node %d kept its rule", n)
+		}
+	}
+	rec, _ := ctl.Flow(f)
+	if rec.Version != 3 || len(rec.Path) != 4 {
+		t.Errorf("flow DB not updated: %+v", rec)
+	}
+}
+
+func TestFRMTriggersOnNewFlow(t *testing.T) {
+	eng, net, ctl := bed(t)
+	var reported packet.FlowID
+	ctl.OnNewFlow = func(f packet.FlowID) { reported = f }
+	net.Switch(0).FRMEnabled = true
+	net.Switch(0).InjectData(&packet.Data{Flow: 777, Seq: 1, TTL: 4})
+	eng.Run()
+	if reported != 777 {
+		t.Errorf("OnNewFlow got %d, want 777", reported)
+	}
+}
+
+func TestAlarmRecording(t *testing.T) {
+	eng, net, ctl := bed(t)
+	f, _ := ctl.RegisterFlow(0, 7, []topo.NodeID{0, 4, 2, 7}, 100)
+	u, _ := ctl.TriggerUpdate(f, []topo.NodeID{0, 1, 2, 7}, nil)
+	var alarms int
+	ctl.OnAlarm = func(packet.UFM) { alarms++ }
+	// A switch raises an alarm for this update's version.
+	net.Switch(2).Alarm(f, u.Version, packet.ReasonDistance)
+	eng.Run()
+	if alarms != 1 || len(u.Alarms) != 1 {
+		t.Errorf("alarms: hook=%d recorded=%d, want 1/1", alarms, len(u.Alarms))
+	}
+	if u.Alarms[0].Reason != packet.ReasonDistance {
+		t.Errorf("alarm reason = %v", u.Alarms[0].Reason)
+	}
+}
+
+func TestControlLatencyModels(t *testing.T) {
+	g := topo.Synthetic()
+	eng := sim.New(1)
+	net := dataplane.NewNetwork(eng, g)
+	node := UseCentroidControl(net)
+	if net.ControlLatency(node) != 0 {
+		t.Error("controller-co-located switch should have zero latency")
+	}
+	UseSampledControl(net, func() time.Duration { return 7 * time.Millisecond })
+	for _, n := range g.Nodes() {
+		if net.ControlLatency(n) != 7*time.Millisecond {
+			t.Fatalf("sampled latency wrong for node %d", n)
+		}
+	}
+}
+
+func TestUpdatesListing(t *testing.T) {
+	eng, _, ctl := bed(t)
+	f, _ := ctl.RegisterFlow(0, 7, []topo.NodeID{0, 4, 2, 7}, 100)
+	ctl.TriggerUpdate(f, []topo.NodeID{0, 1, 2, 7}, nil)
+	eng.Run()
+	if got := len(ctl.Updates()); got != 1 {
+		t.Errorf("Updates() = %d entries, want 1", got)
+	}
+	if _, ok := ctl.Status(f, 2); !ok {
+		t.Error("Status lookup failed")
+	}
+	if _, ok := ctl.Status(f, 9); ok {
+		t.Error("phantom status")
+	}
+}

@@ -1,0 +1,212 @@
+// Package controlplane implements the P4Update controller: the Network
+// Information Base, the Flow DB, distance labeling, path segmentation
+// (gateway detection and forward/backward classification), UIM generation
+// and the update trigger, plus completion tracking for the evaluation.
+//
+// The preparation path (PreparePlan and its helpers) is deliberately pure
+// so the control-plane computation-time experiments (the paper's Fig. 8)
+// can time it in isolation.
+package controlplane
+
+import (
+	"fmt"
+
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// Segment is one dual-layer path segment: a maximal slice of the new path
+// between two consecutive gateway nodes (§3.2).
+type Segment struct {
+	// Nodes is the new-path slice from the ingress gateway to the egress
+	// gateway, inclusive.
+	Nodes []topo.NodeID
+	// IngressGW is the gateway closer to the flow ingress, EgressGW the
+	// one closer to the flow egress (w.r.t. the new path).
+	IngressGW, EgressGW topo.NodeID
+	// Forward reports whether the segment decreases the old-path
+	// distance (updateable immediately); backward segments must wait.
+	Forward bool
+}
+
+// Segmentation is the dual-layer decomposition of an update.
+type Segmentation struct {
+	// Gateways are the nodes on both the old and the new path, in
+	// new-path order. The flow ingress and egress are always gateways.
+	Gateways []topo.NodeID
+	Segments []Segment
+	// OldDistance maps every old-path node to its hop distance to the
+	// egress along the old path (the "segment IDs" of §3.2).
+	OldDistance map[topo.NodeID]uint16
+}
+
+// SegmentPaths computes the dual-layer segmentation of an update from
+// oldPath to newPath. Both paths must share ingress and egress.
+func SegmentPaths(oldPath, newPath []topo.NodeID) (Segmentation, error) {
+	var s Segmentation
+	if len(oldPath) < 1 || len(newPath) < 2 {
+		return s, fmt.Errorf("controlplane: paths too short")
+	}
+	if oldPath[0] != newPath[0] || oldPath[len(oldPath)-1] != newPath[len(newPath)-1] {
+		return s, fmt.Errorf("controlplane: old and new path must share ingress and egress")
+	}
+	s.OldDistance = make(map[topo.NodeID]uint16, len(oldPath))
+	k := len(oldPath) - 1
+	for i, n := range oldPath {
+		s.OldDistance[n] = uint16(k - i)
+	}
+	onOld := make(map[topo.NodeID]bool, len(oldPath))
+	for _, n := range oldPath {
+		onOld[n] = true
+	}
+	for _, n := range newPath {
+		if onOld[n] {
+			s.Gateways = append(s.Gateways, n)
+		}
+	}
+	// Segments between consecutive gateways along the new path.
+	gwIndex := make(map[topo.NodeID]int, len(s.Gateways))
+	for i, n := range newPath {
+		if onOld[n] {
+			gwIndex[n] = i
+		}
+	}
+	for gi := 0; gi+1 < len(s.Gateways); gi++ {
+		in, eg := s.Gateways[gi], s.Gateways[gi+1]
+		seg := Segment{
+			Nodes:     newPath[gwIndex[in] : gwIndex[eg]+1],
+			IngressGW: in,
+			EgressGW:  eg,
+			Forward:   s.OldDistance[eg] < s.OldDistance[in],
+		}
+		s.Segments = append(s.Segments, seg)
+	}
+	return s, nil
+}
+
+// NodesNeedingUpdate counts the new-path nodes whose forwarding rule
+// actually changes: nodes not on the old path, plus nodes whose next hop
+// differs between the paths.
+func NodesNeedingUpdate(oldPath, newPath []topo.NodeID) int {
+	oldNext := make(map[topo.NodeID]topo.NodeID, len(oldPath))
+	onOld := make(map[topo.NodeID]bool, len(oldPath))
+	for i, n := range oldPath {
+		onOld[n] = true
+		if i+1 < len(oldPath) {
+			oldNext[n] = oldPath[i+1]
+		}
+	}
+	count := 0
+	for i, n := range newPath {
+		if i+1 >= len(newPath) {
+			break // the egress keeps local delivery
+		}
+		if !onOld[n] || oldNext[n] != newPath[i+1] {
+			count++
+		}
+	}
+	return count
+}
+
+// slThreshold is the §7.5 deployment rule: single layer when only forward
+// segments exist and at most this many nodes need updating.
+const slThreshold = 5
+
+// ChooseUpdateType implements the single/dual-layer combination policy of
+// §7.5.
+func ChooseUpdateType(seg Segmentation, oldPath, newPath []topo.NodeID) packet.UpdateType {
+	for _, s := range seg.Segments {
+		if !s.Forward {
+			return packet.UpdateDual
+		}
+	}
+	if NodesNeedingUpdate(oldPath, newPath) <= slThreshold {
+		return packet.UpdateSingle
+	}
+	return packet.UpdateDual
+}
+
+// Plan is a fully prepared update: one UIM per new-path node.
+type Plan struct {
+	Flow    packet.FlowID
+	Version uint32
+	Type    packet.UpdateType
+	OldPath []topo.NodeID
+	NewPath []topo.NodeID
+	Seg     Segmentation
+	// UIMs holds the per-node indications in new-path order.
+	UIMs []*packet.UIM
+	// Targets holds the node each UIM is destined for, aligned with UIMs.
+	Targets []topo.NodeID
+}
+
+// PreparePlan performs the control-plane preparation of one flow update:
+// distance labeling, segmentation, update-type selection (unless forced),
+// and UIM generation. This is the computation the paper's Fig. 8 times.
+func PreparePlan(t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
+	version uint32, sizeK uint32, force *packet.UpdateType) (*Plan, error) {
+
+	// Cheap simple-path validation: paths are short, so a quadratic scan
+	// beats building a set; adjacency is verified through the port
+	// lookups below.
+	for i, n := range newPath {
+		if n < 0 || int(n) >= t.NumNodes() {
+			return nil, fmt.Errorf("controlplane: new path: unknown node %d", n)
+		}
+		for j := 0; j < i; j++ {
+			if newPath[j] == n {
+				return nil, fmt.Errorf("controlplane: new path: node %d repeats", n)
+			}
+		}
+	}
+	seg, err := SegmentPaths(oldPath, newPath)
+	if err != nil {
+		return nil, err
+	}
+	ut := ChooseUpdateType(seg, oldPath, newPath)
+	if force != nil {
+		ut = *force
+	}
+	p := &Plan{
+		Flow: flow, Version: version, Type: ut,
+		OldPath: oldPath, NewPath: newPath, Seg: seg,
+	}
+	k := len(newPath) - 1
+	uims := make([]packet.UIM, len(newPath)) // one contiguous allocation
+	p.UIMs = make([]*packet.UIM, len(newPath))
+	p.Targets = newPath
+	gi := 0 // next gateway to match (gateways come in new-path order)
+	for i, n := range newPath {
+		uim := &uims[i]
+		uim.Flow = flow
+		uim.Version = version
+		uim.NewDistance = uint16(k - i)
+		uim.EgressPort = packet.NoPort
+		uim.ChildPort = packet.NoPort
+		uim.FlowSizeK = sizeK
+		uim.UpdateType = ut
+		if i < k {
+			port := t.PortTo(n, newPath[i+1])
+			if port == topo.InvalidPort {
+				return nil, fmt.Errorf("controlplane: new path: %d and %d not adjacent", n, newPath[i+1])
+			}
+			uim.EgressPort = uint16(port)
+		}
+		if i > 0 {
+			uim.ChildPort = uint16(t.PortTo(n, newPath[i-1]))
+		}
+		if i == 0 {
+			uim.Role |= packet.RoleIngress
+		}
+		if i == k {
+			uim.Role |= packet.RoleEgress
+		}
+		if gi < len(seg.Gateways) && seg.Gateways[gi] == n {
+			gi++
+			uim.Role |= packet.RoleGateway
+			uim.OldDistance = seg.OldDistance[n]
+		}
+		p.UIMs[i] = uim
+	}
+	return p, nil
+}

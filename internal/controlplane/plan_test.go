@@ -1,0 +1,183 @@
+package controlplane
+
+import (
+	"testing"
+
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+func TestSegmentPathsFig1(t *testing.T) {
+	oldP, newP := topo.SyntheticPaths()
+	seg, err := SegmentPaths(oldP, newP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGW := []topo.NodeID{0, 2, 4, 7}
+	if len(seg.Gateways) != len(wantGW) {
+		t.Fatalf("gateways = %v", seg.Gateways)
+	}
+	for i := range wantGW {
+		if seg.Gateways[i] != wantGW[i] {
+			t.Fatalf("gateways = %v, want %v", seg.Gateways, wantGW)
+		}
+	}
+	// Old distances are the "segment IDs" of §3.2: v7=0, v2=1, v4=2, v0=3.
+	for n, want := range map[topo.NodeID]uint16{7: 0, 2: 1, 4: 2, 0: 3} {
+		if seg.OldDistance[n] != want {
+			t.Errorf("OldDistance[%d] = %d, want %d", n, seg.OldDistance[n], want)
+		}
+	}
+	if len(seg.Segments) != 3 {
+		t.Fatalf("segments = %+v", seg.Segments)
+	}
+	// {v0,v1,v2} forward, {v2,v3,v4} backward, {v4..v7} forward.
+	if !seg.Segments[0].Forward || seg.Segments[1].Forward || !seg.Segments[2].Forward {
+		t.Errorf("classification: %+v", seg.Segments)
+	}
+	if seg.Segments[1].IngressGW != 2 || seg.Segments[1].EgressGW != 4 {
+		t.Errorf("backward segment gateways: %+v", seg.Segments[1])
+	}
+}
+
+func TestSegmentPathsErrors(t *testing.T) {
+	if _, err := SegmentPaths([]topo.NodeID{0, 1}, []topo.NodeID{0, 2}); err == nil {
+		t.Error("mismatched egress accepted")
+	}
+	if _, err := SegmentPaths([]topo.NodeID{1, 2}, []topo.NodeID{0, 2}); err == nil {
+		t.Error("mismatched ingress accepted")
+	}
+	if _, err := SegmentPaths(nil, []topo.NodeID{0, 1}); err == nil {
+		t.Error("empty old path accepted")
+	}
+}
+
+func TestSegmentPathsIdenticalPaths(t *testing.T) {
+	p := []topo.NodeID{0, 1, 2}
+	seg, err := SegmentPaths(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node is a gateway; every segment is forward and unchanged.
+	if len(seg.Gateways) != 3 {
+		t.Errorf("gateways = %v", seg.Gateways)
+	}
+	for _, s := range seg.Segments {
+		if !s.Forward {
+			t.Errorf("identical paths produced backward segment %+v", s)
+		}
+	}
+}
+
+func TestNodesNeedingUpdate(t *testing.T) {
+	oldP, newP := topo.SyntheticPaths()
+	// v0,v1,...,v6 change (v7 keeps local delivery): 7 nodes.
+	if got := NodesNeedingUpdate(oldP, newP); got != 7 {
+		t.Errorf("changed = %d, want 7", got)
+	}
+	// Identical paths: nothing changes.
+	if got := NodesNeedingUpdate(oldP, oldP); got != 0 {
+		t.Errorf("identical paths changed = %d, want 0", got)
+	}
+	// Small detour: v4 flips plus fresh v5, v6.
+	if got := NodesNeedingUpdate(oldP, []topo.NodeID{0, 4, 5, 6, 7}); got != 3 {
+		t.Errorf("detour changed = %d, want 3", got)
+	}
+}
+
+func TestChooseUpdateType(t *testing.T) {
+	oldP, newP := topo.SyntheticPaths()
+	seg, _ := SegmentPaths(oldP, newP)
+	if got := ChooseUpdateType(seg, oldP, newP); got != packet.UpdateDual {
+		t.Errorf("backward segment should force DL, got %v", got)
+	}
+	detour := []topo.NodeID{0, 4, 5, 6, 7}
+	seg2, _ := SegmentPaths(oldP, detour)
+	if got := ChooseUpdateType(seg2, oldP, detour); got != packet.UpdateSingle {
+		t.Errorf("small forward detour should pick SL, got %v", got)
+	}
+}
+
+func TestPreparePlanLabels(t *testing.T) {
+	g := topo.Synthetic()
+	oldP, newP := topo.SyntheticPaths()
+	plan, err := PreparePlan(g, 42, oldP, newP, 2, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Type != packet.UpdateDual {
+		t.Errorf("plan type = %v, want DL", plan.Type)
+	}
+	if len(plan.UIMs) != len(newP) {
+		t.Fatalf("UIMs = %d, want %d", len(plan.UIMs), len(newP))
+	}
+	k := len(newP) - 1
+	for i, uim := range plan.UIMs {
+		n := plan.Targets[i]
+		if uim.Flow != 42 || uim.Version != 2 {
+			t.Fatalf("node %d: bad identity %+v", n, uim)
+		}
+		if uim.NewDistance != uint16(k-i) {
+			t.Errorf("node %d: distance %d, want %d", n, uim.NewDistance, k-i)
+		}
+		// Egress port points at the next node; child port at the previous.
+		if i < k {
+			nxt, _ := g.NeighborAt(n, topo.PortID(int32(uim.EgressPort)))
+			if nxt != newP[i+1] {
+				t.Errorf("node %d egress port leads to %d, want %d", n, nxt, newP[i+1])
+			}
+		} else if uim.EgressPort != packet.NoPort {
+			t.Error("egress node must deliver locally")
+		}
+		if i > 0 {
+			child, _ := g.NeighborAt(n, topo.PortID(int32(uim.ChildPort)))
+			if child != newP[i-1] {
+				t.Errorf("node %d child port leads to %d, want %d", n, child, newP[i-1])
+			}
+		} else if uim.ChildPort != packet.NoPort {
+			t.Error("ingress node has no child")
+		}
+	}
+	// Role flags.
+	if !plan.UIMs[0].Role.Has(packet.RoleIngress) || !plan.UIMs[k].Role.Has(packet.RoleEgress) {
+		t.Error("ingress/egress roles missing")
+	}
+	gwWantOld := map[topo.NodeID]uint16{0: 3, 2: 1, 4: 2, 7: 0}
+	for i, uim := range plan.UIMs {
+		n := plan.Targets[i]
+		if want, isGW := gwWantOld[n]; isGW {
+			if !uim.Role.Has(packet.RoleGateway) || uim.OldDistance != want {
+				t.Errorf("gateway %d: role=%v oldDist=%d want %d", n, uim.Role, uim.OldDistance, want)
+			}
+		} else if uim.Role.Has(packet.RoleGateway) {
+			t.Errorf("node %d wrongly marked gateway", n)
+		}
+	}
+}
+
+func TestPreparePlanRejectsBadPaths(t *testing.T) {
+	g := topo.Synthetic()
+	oldP, _ := topo.SyntheticPaths()
+	if _, err := PreparePlan(g, 1, oldP, []topo.NodeID{0, 1, 0, 7}, 2, 1000, nil); err == nil {
+		t.Error("repeated node accepted")
+	}
+	if _, err := PreparePlan(g, 1, oldP, []topo.NodeID{0, 7}, 2, 1000, nil); err == nil {
+		t.Error("non-adjacent hop accepted")
+	}
+	if _, err := PreparePlan(g, 1, oldP, []topo.NodeID{0, 99}, 2, 1000, nil); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestPreparePlanForcedType(t *testing.T) {
+	g := topo.Synthetic()
+	oldP, newP := topo.SyntheticPaths()
+	sl := packet.UpdateSingle
+	plan, err := PreparePlan(g, 1, oldP, newP, 2, 1000, &sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Type != packet.UpdateSingle {
+		t.Errorf("forced type ignored: %v", plan.Type)
+	}
+}

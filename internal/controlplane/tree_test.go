@@ -1,0 +1,82 @@
+package controlplane
+
+import (
+	"testing"
+
+	"p4update/internal/topo"
+)
+
+func TestTreeDepths(t *testing.T) {
+	g := topo.Synthetic()
+	tree := ShortestPathTree(g, 7)
+	depth, err := TreeDepths(g, 7, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth[7] != 0 {
+		t.Errorf("root depth = %d", depth[7])
+	}
+	if len(depth) != g.NumNodes() {
+		t.Errorf("tree covers %d nodes, want %d", len(depth), g.NumNodes())
+	}
+	for child, parent := range tree {
+		if depth[child] != depth[parent]+1 {
+			t.Errorf("depth(%d)=%d, parent %d depth %d", child, depth[child], parent, depth[parent])
+		}
+	}
+}
+
+func TestTreeDepthsRejectsCycle(t *testing.T) {
+	g := topo.Synthetic()
+	// 1->2, 2->1 cycle (both adjacent).
+	if _, err := TreeDepths(g, 7, Tree{1: 2, 2: 1}); err == nil {
+		t.Error("cycle accepted")
+	}
+	// Parentless non-root node.
+	if _, err := TreeDepths(g, 7, Tree{3: 4}); err == nil {
+		t.Error("dangling parent chain accepted")
+	}
+	// Non-adjacent edge.
+	if _, err := TreeDepths(g, 7, Tree{0: 7}); err == nil {
+		t.Error("non-adjacent edge accepted")
+	}
+}
+
+func TestPrepareTreePlanCloneGroups(t *testing.T) {
+	g := topo.Synthetic()
+	tree := ShortestPathTree(g, 7)
+	plan, err := PrepareTreePlan(g, 9, 7, tree, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indications per node = max(1, #children).
+	children := map[topo.NodeID]int{}
+	for _, p := range tree {
+		children[p]++
+	}
+	count := map[topo.NodeID]int{}
+	for _, tgt := range plan.Targets {
+		count[tgt]++
+	}
+	for _, n := range plan.Nodes {
+		want := children[n]
+		if want == 0 {
+			want = 1
+		}
+		if count[n] != want {
+			t.Errorf("node %d: %d indications, want %d", n, count[n], want)
+		}
+	}
+	// All of a node's indications share identical verification labels.
+	seen := map[topo.NodeID]*struct{ d uint16 }{}
+	for i, uim := range plan.UIMs {
+		n := plan.Targets[i]
+		if prev, ok := seen[n]; ok {
+			if prev.d != uim.NewDistance {
+				t.Errorf("node %d: inconsistent labels across indications", n)
+			}
+		} else {
+			seen[n] = &struct{ d uint16 }{uim.NewDistance}
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"time"
+
+	"p4update/internal/dataplane"
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// Protocol is the P4Update data-plane handler: it wires the verification
+// procedures into the switch pipeline and implements the UNM coordination
+// of §7.2/§B plus the congestion extension of §7.4/§A.2.
+type Protocol struct {
+	// Congestion enables the per-link capacity gate and the dynamic
+	// inter-flow priority scheduler.
+	Congestion bool
+	// AllowChainedDL enables the Appendix-C extension letting dual-layer
+	// updates follow dual-layer updates.
+	AllowChainedDL bool
+	// WatchdogTimeout, when nonzero, makes switches monitor the arrival
+	// of the update for each indication they hold; if the configured
+	// version has not been applied when the timer fires, the switch
+	// assumes the notification was lost in transit and reports
+	// StatusStalled so the controller can re-trigger (§11 "Failures in
+	// the Update Process").
+	WatchdogTimeout time.Duration
+}
+
+var _ dataplane.Handler = (*Protocol)(nil)
+
+// portFromWire converts a UIM wire port to a topo.PortID.
+func portFromWire(p uint16) topo.PortID {
+	if p == packet.NoPort {
+		return dataplane.PortLocal
+	}
+	return topo.PortID(int32(p))
+}
+
+// HandleUIM processes an Update Indication Message: it stores the highest
+// indication, verifies the flow-size bound (§A.2), applies immediately at
+// the flow egress, performs the dual-layer early emission at segment
+// gateways, and wakes notifications parked on the indication.
+func (p *Protocol) HandleUIM(sw *dataplane.Switch, m *packet.UIM) {
+	st := sw.State(m.Flow)
+	if st.UIM != nil && m.Version < st.UIM.Version {
+		return // stale indication
+	}
+	if st.UIM != nil && m.Version == st.UIM.Version {
+		// Same version again: either a §11 destination-tree indication
+		// adding another child to the clone group, or a failure-recovery
+		// retransmission. Nodes that already applied re-emit so the
+		// notification chain resumes past a loss; dual-layer gateways
+		// repeat their early proposal.
+		p.addChild(st, m)
+		switch {
+		case st.HasRule && st.NewVersion == m.Version:
+			p.emit(sw, m.Flow, st, st.UIM, packet.LayerIntra)
+		case m.UpdateType == packet.UpdateDual && m.Role.Has(packet.RoleGateway):
+			p.emit(sw, m.Flow, st, st.UIM, packet.LayerInter)
+		}
+		sw.WakeUIMWaiters(m.Flow)
+		return
+	}
+	// Flow-size verification: a flow's size bound is immutable (§A.2);
+	// a mismatching indication is discarded and reported.
+	if p.Congestion && st.HasRule && st.FlowSizeK != 0 &&
+		m.FlowSizeK != st.FlowSizeK {
+		sw.Alarm(m.Flow, m.Version, packet.ReasonFlowSize)
+		return
+	}
+	st.UIM = m
+	st.ChildPorts = st.ChildPorts[:0]
+	p.addChild(st, m)
+	if m.Version > st.IndicatedVersion {
+		st.IndicatedVersion = m.Version
+	}
+
+	switch {
+	case m.Role.Has(packet.RoleEgress):
+		// §7.2: the egress applies directly once the indication is well
+		// formed (new distance 0, newer version).
+		if m.NewDistance != 0 {
+			sw.Alarm(m.Flow, m.Version, packet.ReasonDistance)
+			return
+		}
+		p.stageApply(sw, m.Flow, st, m, Verdict{
+			Decision:  DecisionApply,
+			OldVer:    st.NewVersion,
+			Inherited: 0, // the egress anchors segment ID 0
+			Counter:   0,
+		})
+	case m.UpdateType == packet.UpdateDual && m.Role.Has(packet.RoleGateway):
+		// Dual-layer early emission: every segment egress-gateway
+		// proposes its current segment ID upstream as soon as it knows
+		// the new configuration, before updating itself. Forward
+		// segments therefore start in parallel immediately.
+		p.emit(sw, m.Flow, st, m, packet.LayerInter)
+	}
+	sw.WakeUIMWaiters(m.Flow)
+	if p.WatchdogTimeout > 0 {
+		version := m.Version
+		flow := m.Flow
+		sw.Network().Eng.Schedule(p.WatchdogTimeout, func() {
+			cur, ok := sw.PeekState(flow)
+			if !ok {
+				return
+			}
+			if cur.UIM != nil && cur.UIM.Version == version &&
+				(!cur.HasRule || cur.NewVersion < version) && !cur.Applying {
+				sw.SendUFM(&packet.UFM{
+					Flow: flow, Version: version, Status: packet.StatusStalled,
+				})
+			}
+		})
+	}
+}
+
+// HandleUNM processes an Update Notification Message per Alg. 1/Alg. 2.
+func (p *Protocol) HandleUNM(sw *dataplane.Switch, m *packet.UNM, inPort topo.PortID) {
+	st := sw.State(m.Flow)
+
+	var v Verdict
+	if m.UpdateType != packet.UpdateDual ||
+		(st.UIM != nil && m.Vn == st.UIM.Version && st.UIM.UpdateType != packet.UpdateDual) {
+		// Alg. 2 lines 2-3: fall back to single-layer verification when
+		// either side is not dual-layer.
+		v = VerifySL(st, m)
+	} else {
+		v = VerifyDL(st, m, p.AllowChainedDL)
+	}
+
+	switch v.Decision {
+	case DecisionWaitUIM:
+		sw.ParkOnUIM(m.Flow, func() { p.HandleUNM(sw, m, inPort) })
+	case DecisionReject:
+		sw.Alarm(m.Flow, m.Vn, v.Reason)
+	case DecisionWaitDependency, DecisionDuplicate:
+		// Drop. For WaitDependency the downstream gateway re-emits after
+		// its own update, which re-triggers verification here.
+	case DecisionInherit:
+		st.OldDistance = v.Inherited
+		st.Counter = v.Counter
+		p.emit(sw, m.Flow, st, st.UIM, m.Layer)
+	case DecisionApply:
+		uim := st.UIM
+		if st.Applying && st.ApplyingVersion >= uim.Version {
+			// An install for this (or a newer) version is in flight. The
+			// notification may still carry a smaller inherited distance,
+			// so re-verify once the install commits (it will then take
+			// the branch-3 inheritance path).
+			sw.ParkOnUIM(m.Flow, func() { p.HandleUNM(sw, m, inPort) })
+			return
+		}
+		if p.Congestion && !p.congestionGate(sw, m, inPort, st, uim) {
+			return // parked on capacity or priority
+		}
+		p.stageApply(sw, m.Flow, st, uim, v)
+	}
+}
+
+// stageApply stages the rule change (egress_port_updated) and commits it
+// after the switch's install delay, then runs the post-apply coordination.
+func (p *Protocol) stageApply(sw *dataplane.Switch, f packet.FlowID, st *dataplane.FlowState, uim *packet.UIM, v Verdict) {
+	if st.Applying && st.ApplyingVersion >= uim.Version {
+		return // an equal-or-newer install is already in flight
+	}
+	st.Applying = true
+	st.ApplyingVersion = uim.Version
+	st.EgressPortUpdated = portFromWire(uim.EgressPort)
+	portChanged := !st.HasRule || st.EgressPort != st.EgressPortUpdated
+	sw.Apply(portChanged, func() {
+		if sw.CommitRule(f, uim, v.OldVer, v.Inherited, v.Counter) {
+			p.afterApply(sw, f, sw.State(f), uim)
+		} else if st.ApplyingVersion == uim.Version {
+			st.Applying = false
+		}
+	})
+}
+
+// afterApply notifies the child (upstream neighbor on the new path) and,
+// at the flow ingress, reports completion to the controller.
+func (p *Protocol) afterApply(sw *dataplane.Switch, f packet.FlowID, st *dataplane.FlowState, uim *packet.UIM) {
+	p.emit(sw, f, st, uim, packet.LayerIntra)
+	// Re-examine notifications that arrived while the install was in
+	// flight (they may carry smaller inherited distances).
+	sw.WakeUIMWaiters(f)
+	if uim.Role.Has(packet.RoleIngress) {
+		sw.SendUFM(&packet.UFM{
+			Flow: f, Version: uim.Version, Status: packet.StatusUpdated,
+		})
+	}
+}
+
+// addChild records the indication's child port in the version's clone
+// group (destination trees deliver one indication per child).
+func (p *Protocol) addChild(st *dataplane.FlowState, m *packet.UIM) {
+	port := portFromWire(m.ChildPort)
+	if port == dataplane.PortLocal {
+		return
+	}
+	for _, c := range st.ChildPorts {
+		if c == port {
+			return
+		}
+	}
+	st.ChildPorts = append(st.ChildPorts, port)
+}
+
+// emit clones a UNM toward the node's children on the new path (the
+// clone group has one port for path flows, one per child for destination
+// trees). The labels
+// are positional (from the indication); the carried old distance is the
+// node's effective segment ID: the inherited old distance once the node
+// runs this version, its current applied distance before that (the early
+// proposal of the dual-layer intuition in §3.2).
+func (p *Protocol) emit(sw *dataplane.Switch, f packet.FlowID, st *dataplane.FlowState, uim *packet.UIM, layer packet.Layer) {
+	if uim == nil || len(st.ChildPorts) == 0 {
+		return // the ingress / a tree leaf has no children
+	}
+	do := st.CurrentDistance()
+	vo := uim.Version - 1
+	if st.HasRule && st.NewVersion == uim.Version {
+		do = st.OldDistance
+		if uim.UpdateType != packet.UpdateDual {
+			vo = st.OldVersion
+		}
+	}
+	for _, child := range st.ChildPorts {
+		sw.SendUNM(child, &packet.UNM{
+			Flow:       f,
+			Layer:      layer,
+			UpdateType: uim.UpdateType,
+			Vn:         uim.Version,
+			Dn:         uim.NewDistance,
+			Vo:         vo,
+			Do:         do,
+			Counter:    st.Counter,
+		})
+	}
+}
+
+// congestionGate implements the local capacity check of §A.2 and the
+// dynamic priority scheduler of §7.4. It returns true when the move may
+// proceed; otherwise the notification is parked and false returned.
+func (p *Protocol) congestionGate(sw *dataplane.Switch, m *packet.UNM, inPort topo.PortID, st *dataplane.FlowState, uim *packet.UIM) bool {
+	newPort := portFromWire(uim.EgressPort)
+	if newPort == dataplane.PortLocal {
+		return true // egress needs no outgoing capacity
+	}
+	if st.HasRule && st.EgressPort == newPort && st.FlowSizeK >= uim.FlowSizeK {
+		return true // capacity already allocated on the same link
+	}
+	// Dynamic priority (§7.4): if another flow is blocked waiting for the
+	// capacity this flow currently occupies, this flow's move is what
+	// frees it — it becomes high priority.
+	if st.HasRule && sw.HasCapacityWaiters(st.EgressPort) {
+		st.Priority = dataplane.PriorityHigh
+	}
+	if sw.RemainingK(newPort) < uint64(uim.FlowSizeK) {
+		// Insufficient capacity: every flow that wants to move away from
+		// this link becomes high priority so it can free the capacity.
+		sw.RaisePriorityOfMoversFrom(newPort)
+		if st.Priority == dataplane.PriorityHigh {
+			sw.MarkHighWaiting(newPort, m.Flow)
+		}
+		sw.ParkOnCapacity(newPort, func() { p.HandleUNM(sw, m, inPort) })
+		return false
+	}
+	// Capacity suffices, but a low-priority flow must let waiting
+	// high-priority flows onto the link first.
+	if st.Priority == dataplane.PriorityLow && sw.HighWaitingOn(newPort, m.Flow) {
+		sw.ParkOnCapacity(newPort, func() { p.HandleUNM(sw, m, inPort) })
+		return false
+	}
+	// Book the capacity now so concurrent gate decisions during the
+	// install delay cannot oversubscribe the link.
+	sw.StageReservation(m.Flow, newPort, uim.FlowSizeK, uim.Version)
+	return true
+}

@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"p4update/internal/core"
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// dropFirstUNM drops the first notification crossing from->to.
+func dropFirstUNM(tb *testbed, from, to topo.NodeID) *bool {
+	dropped := new(bool)
+	tb.net.Drop = func(f, t topo.NodeID, raw []byte) bool {
+		if *dropped || f != from || t != to {
+			return false
+		}
+		if m, err := packet.Decode(raw); err == nil {
+			if _, isUNM := m.(*packet.UNM); isUNM {
+				*dropped = true
+				return true
+			}
+		}
+		return false
+	}
+	return dropped
+}
+
+func TestRecoveryFromLostUNM(t *testing.T) {
+	// §11 "Failures in the Update Process": a lost notification stalls
+	// the chain; watchdogs report it and the controller re-triggers.
+	g := topo.Synthetic()
+	tb := newTestbed(g, 21, &core.Protocol{WatchdogTimeout: 500 * time.Millisecond})
+	tb.ctl.MaxRetriggers = 3
+	oldP, newP := topo.SyntheticPaths()
+	f, _ := tb.ctl.RegisterFlow(0, 7, oldP, 1000)
+	dropped := dropFirstUNM(tb, 5, 4)
+	u, err := tb.ctl.TriggerUpdate(f, newP, forceType(packet.UpdateSingle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepAndCheck(t, tb, f, 0) // the invariant must hold during recovery too
+	if !*dropped {
+		t.Fatal("drop not exercised")
+	}
+	if !u.Done() {
+		t.Fatal("update did not recover from the lost UNM")
+	}
+	if u.Retriggers == 0 {
+		t.Error("completion without any re-trigger — watchdog never fired?")
+	}
+	got, delivered := tb.net.TracePath(f, 0, 20)
+	if !delivered || len(got) != len(newP) {
+		t.Fatalf("final path %v, want %v", got, newP)
+	}
+}
+
+func TestRecoveryDualLayer(t *testing.T) {
+	g := topo.Synthetic()
+	tb := newTestbed(g, 22, &core.Protocol{WatchdogTimeout: 500 * time.Millisecond})
+	tb.ctl.MaxRetriggers = 3
+	oldP, newP := topo.SyntheticPaths()
+	f, _ := tb.ctl.RegisterFlow(0, 7, oldP, 1000)
+	dropped := dropFirstUNM(tb, 6, 5)
+	u, err := tb.ctl.TriggerUpdate(f, newP, forceType(packet.UpdateDual))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepAndCheck(t, tb, f, 0)
+	if !*dropped {
+		t.Fatal("drop not exercised")
+	}
+	if !u.Done() {
+		t.Fatal("dual-layer update did not recover")
+	}
+}
+
+func TestRecoveryBounded(t *testing.T) {
+	// With every UNM into v4 dropped forever, recovery retries its
+	// bounded number of times and then gives up; consistency holds.
+	g := topo.Synthetic()
+	tb := newTestbed(g, 23, &core.Protocol{WatchdogTimeout: 200 * time.Millisecond})
+	tb.ctl.MaxRetriggers = 2
+	oldP, newP := topo.SyntheticPaths()
+	f, _ := tb.ctl.RegisterFlow(0, 7, oldP, 1000)
+	tb.net.Drop = func(from, to topo.NodeID, raw []byte) bool {
+		if to != 4 {
+			return false
+		}
+		m, err := packet.Decode(raw)
+		if err != nil {
+			return false
+		}
+		_, isUNM := m.(*packet.UNM)
+		return isUNM
+	}
+	u, err := tb.ctl.TriggerUpdate(f, newP, forceType(packet.UpdateSingle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepAndCheck(t, tb, f, 0)
+	if u.Done() {
+		t.Fatal("update completed despite a permanently broken link")
+	}
+	if u.Retriggers != 2 {
+		t.Errorf("retriggers = %d, want exactly MaxRetriggers", u.Retriggers)
+	}
+}
+
+func TestWatchdogQuietOnSuccess(t *testing.T) {
+	// A healthy update must not produce stalled reports.
+	g := topo.Synthetic()
+	tb := newTestbed(g, 24, &core.Protocol{WatchdogTimeout: 300 * time.Millisecond})
+	tb.ctl.MaxRetriggers = 3
+	oldP, newP := topo.SyntheticPaths()
+	f, _ := tb.ctl.RegisterFlow(0, 7, oldP, 1000)
+	u, err := tb.ctl.TriggerUpdate(f, newP, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Run()
+	if !u.Done() {
+		t.Fatal("update did not complete")
+	}
+	if u.Retriggers != 0 {
+		t.Errorf("healthy update re-triggered %d times", u.Retriggers)
+	}
+}

@@ -1,0 +1,197 @@
+// Package core implements the paper's primary contribution: the locally
+// verifiable consistent-update protocol P4Update. It contains
+//
+//   - the pure verification procedures of Alg. 1 (single-layer) and
+//     Alg. 2 (dual-layer, with old-distance inheritance and the hop
+//     counter for symmetry breaking),
+//   - the coordination rules generating and relaying Update Notification
+//     Messages (§7.2 and Appendix B), and
+//   - the congestion-freedom extension with the dynamic, data-plane-local
+//     inter-flow priority scheduler (§7.4, Appendix A.2).
+//
+// The protocol plugs into the switch substrate through
+// dataplane.Handler; verification itself is side-effect free and unit
+// tested branch by branch.
+package core
+
+import (
+	"p4update/internal/dataplane"
+	"p4update/internal/packet"
+)
+
+// Decision is the outcome class of a verification step.
+type Decision int
+
+// Decisions.
+const (
+	// DecisionApply: verification succeeded (VS=1); stage and commit the
+	// new forwarding rule.
+	DecisionApply Decision = iota
+	// DecisionInherit: Alg. 2 branch 3 — the node is already on this
+	// version but inherits a smaller old distance (or equal distance
+	// with smaller counter) and passes it upstream.
+	DecisionInherit
+	// DecisionWaitUIM: the notification refers to a version for which no
+	// UIM has arrived yet; park it (Alg. 1 line 10 / Alg. 2 line 5).
+	DecisionWaitUIM
+	// DecisionWaitDependency: the dual-layer gateway gate Dn(v) > Do(UNM)
+	// failed — the backward-segment dependency is unresolved; the node
+	// drops the proposal and awaits the re-emission that follows the
+	// downstream gateway's own update.
+	DecisionWaitDependency
+	// DecisionDuplicate: the notification carries no new information.
+	DecisionDuplicate
+	// DecisionReject: the update is inconsistent; drop the UNM and raise
+	// an alarm to the controller.
+	DecisionReject
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case DecisionApply:
+		return "apply"
+	case DecisionInherit:
+		return "inherit"
+	case DecisionWaitUIM:
+		return "wait-uim"
+	case DecisionWaitDependency:
+		return "wait-dependency"
+	case DecisionDuplicate:
+		return "duplicate"
+	case DecisionReject:
+		return "reject"
+	default:
+		return "unknown"
+	}
+}
+
+// Verdict is the full outcome of a verification step. For DecisionApply it
+// carries the register values the commit must write; for DecisionInherit
+// the inherited old distance and counter; for DecisionReject the alarm
+// reason.
+type Verdict struct {
+	Decision  Decision
+	Reason    packet.AlarmReason
+	OldVer    uint32 // old_version to record on apply
+	Inherited uint16 // old_distance (segment ID) to record
+	Counter   uint16 // counter to record
+}
+
+// appliedVersion returns the node's applied configuration version (0 for
+// a fresh node without a rule).
+func appliedVersion(st *dataplane.FlowState) uint32 {
+	if !st.HasRule {
+		return 0
+	}
+	return st.NewVersion
+}
+
+// distanceMatches checks Dn(UIM) = Dn(UNM) + 1 in wide arithmetic so the
+// fresh-distance sentinel cannot wrap around.
+func distanceMatches(uimDn, unmDn uint16) bool {
+	return uint32(uimDn) == uint32(unmDn)+1
+}
+
+// VerifySL is Alg. 1: single-layer verification at a node with register
+// state st for the notification m. st.UIM is the highest indication
+// received (nil if none).
+func VerifySL(st *dataplane.FlowState, m *packet.UNM) Verdict {
+	uim := st.UIM
+	// Line 9-10: the notification is ahead of our indication; wait.
+	if uim == nil || m.Vn > uim.Version {
+		return Verdict{Decision: DecisionWaitUIM}
+	}
+	// Line 11-12: the notification is outdated; drop and inform.
+	if m.Vn < uim.Version {
+		return Verdict{Decision: DecisionReject, Reason: packet.ReasonOutdated}
+	}
+	// Versions match (line 4). Discard echoes for configs we already run.
+	if appliedVersion(st) >= m.Vn {
+		return Verdict{Decision: DecisionDuplicate}
+	}
+	// Line 5: the parent's new distance must be exactly one smaller.
+	if !distanceMatches(uim.NewDistance, m.Dn) {
+		return Verdict{Decision: DecisionReject, Reason: packet.ReasonDistance}
+	}
+	// Line 6: verification successful. A single-layer update archives the
+	// previous configuration into the old_* registers.
+	return Verdict{
+		Decision:  DecisionApply,
+		OldVer:    appliedVersion(st),
+		Inherited: st.CurrentDistance(),
+		Counter:   0,
+	}
+}
+
+// VerifyDL is Alg. 2: dual-layer verification. allowChainedDL enables the
+// Appendix-C extension permitting dual-layer updates to follow dual-layer
+// updates (the base algorithm requires the previous update at a gateway to
+// be single-layer).
+func VerifyDL(st *dataplane.FlowState, m *packet.UNM, allowChainedDL bool) Verdict {
+	uim := st.UIM
+	// Lines 4-5: wait until the matching UIM arrives.
+	if uim == nil || m.Vn > uim.Version {
+		return Verdict{Decision: DecisionWaitUIM}
+	}
+	// Lines 6-7: outdated update; drop and inform.
+	if m.Vn < uim.Version {
+		return Verdict{Decision: DecisionReject, Reason: packet.ReasonOutdated}
+	}
+	applied := appliedVersion(st)
+
+	switch {
+	case !st.HasRule || applied+1 < m.Vn:
+		// Lines 9-16: node inside a segment — fresh or lagging by more
+		// than one version. It inherits the parent's old distance.
+		if !distanceMatches(uim.NewDistance, m.Dn) {
+			return Verdict{Decision: DecisionReject, Reason: packet.ReasonDistance}
+		}
+		return Verdict{
+			Decision:  DecisionApply,
+			OldVer:    m.Vn - 1, // line 13
+			Inherited: m.Do,     // line 14
+			Counter:   m.Counter + 1,
+		}
+
+	case applied+1 == m.Vn && m.Vn == m.Vo+1:
+		// Lines 17-23: gateway node (end/start of a segment).
+		if !distanceMatches(uim.NewDistance, m.Dn) {
+			return Verdict{Decision: DecisionReject, Reason: packet.ReasonDistance}
+		}
+		if st.LastType == packet.UpdateDual && !allowChainedDL {
+			// Base algorithm: a dual-layer update must follow a
+			// single-layer one; drop and await a later configuration.
+			return Verdict{Decision: DecisionWaitDependency}
+		}
+		// Line 19: the proposed segment ID must be strictly smaller than
+		// the node's current distance, else the move could close a loop.
+		if st.CurrentDistance() > m.Do {
+			return Verdict{
+				Decision:  DecisionApply,
+				OldVer:    m.Vo, // line 21
+				Inherited: m.Do,
+				Counter:   m.Counter + 1,
+			}
+		}
+		return Verdict{Decision: DecisionWaitDependency}
+
+	case applied == m.Vn && st.OldVersion == m.Vo:
+		// Lines 24-28: already updated; pass smaller old distances
+		// upstream (iterative inheritance), counter breaks ties.
+		if st.NewDistance == uim.NewDistance && distanceMatches(uim.NewDistance, m.Dn) {
+			if st.OldDistance > m.Do ||
+				(st.OldDistance == m.Do && st.Counter > m.Counter) {
+				return Verdict{
+					Decision:  DecisionInherit,
+					Inherited: m.Do,
+					Counter:   m.Counter + 1,
+				}
+			}
+		}
+		return Verdict{Decision: DecisionDuplicate}
+
+	default:
+		return Verdict{Decision: DecisionDuplicate}
+	}
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"p4update/internal/dataplane"
+	"p4update/internal/packet"
+)
+
+// stateWith builds a FlowState resembling a node that applied version v at
+// distance d (old registers oldV/oldD) and holds the given UIM.
+func stateWith(v uint32, d uint16, oldV uint32, oldD uint16, uim *packet.UIM) *dataplane.FlowState {
+	st := &dataplane.FlowState{
+		NewVersion:  v,
+		NewDistance: d,
+		OldVersion:  oldV,
+		OldDistance: oldD,
+		HasRule:     true,
+		UIM:         uim,
+	}
+	return st
+}
+
+func uimSL(version uint32, dn uint16) *packet.UIM {
+	return &packet.UIM{Version: version, NewDistance: dn, UpdateType: packet.UpdateSingle}
+}
+
+func uimDL(version uint32, dn uint16) *packet.UIM {
+	return &packet.UIM{Version: version, NewDistance: dn, UpdateType: packet.UpdateDual}
+}
+
+// --- Alg. 1 (single layer) -------------------------------------------------
+
+func TestSLConsistent(t *testing.T) {
+	// Fig. 6a: node with Dn(UIM)=2 receives UNM with Dn=1, same version.
+	st := stateWith(1, 3, 0, 3, uimSL(2, 2))
+	v := VerifySL(st, &packet.UNM{Vn: 2, Dn: 1})
+	if v.Decision != DecisionApply {
+		t.Fatalf("decision = %v, want apply", v.Decision)
+	}
+	if v.OldVer != 1 || v.Inherited != 3 {
+		t.Errorf("apply archives old config: oldVer=%d inherited=%d", v.OldVer, v.Inherited)
+	}
+	if v.Counter != 0 {
+		t.Errorf("SL counter = %d, want 0", v.Counter)
+	}
+}
+
+func TestSLDistanceError(t *testing.T) {
+	// Fig. 6b: parent claims the same distance -> potential loop.
+	st := stateWith(1, 3, 0, 3, uimSL(2, 2))
+	v := VerifySL(st, &packet.UNM{Vn: 2, Dn: 2})
+	if v.Decision != DecisionReject || v.Reason != packet.ReasonDistance {
+		t.Fatalf("got %v/%v, want reject/distance", v.Decision, v.Reason)
+	}
+	// Parent further away than myself is equally inconsistent.
+	v = VerifySL(st, &packet.UNM{Vn: 2, Dn: 3})
+	if v.Decision != DecisionReject {
+		t.Fatalf("got %v, want reject", v.Decision)
+	}
+}
+
+func TestSLVersionOutdated(t *testing.T) {
+	// Fig. 6c: notification older than the stored indication.
+	st := stateWith(1, 3, 0, 3, uimSL(3, 2))
+	v := VerifySL(st, &packet.UNM{Vn: 2, Dn: 1})
+	if v.Decision != DecisionReject || v.Reason != packet.ReasonOutdated {
+		t.Fatalf("got %v/%v, want reject/outdated", v.Decision, v.Reason)
+	}
+}
+
+func TestSLWaitForUIM(t *testing.T) {
+	// Notification for a future version: wait (Alg. 1 line 10).
+	st := stateWith(1, 3, 0, 3, uimSL(2, 2))
+	v := VerifySL(st, &packet.UNM{Vn: 5, Dn: 1})
+	if v.Decision != DecisionWaitUIM {
+		t.Fatalf("got %v, want wait-uim", v.Decision)
+	}
+	// No UIM at all: also wait.
+	st.UIM = nil
+	v = VerifySL(st, &packet.UNM{Vn: 2, Dn: 1})
+	if v.Decision != DecisionWaitUIM {
+		t.Fatalf("no UIM: got %v, want wait-uim", v.Decision)
+	}
+}
+
+func TestSLDuplicate(t *testing.T) {
+	// Node already runs the notified version.
+	st := stateWith(2, 2, 1, 3, uimSL(2, 2))
+	v := VerifySL(st, &packet.UNM{Vn: 2, Dn: 1})
+	if v.Decision != DecisionDuplicate {
+		t.Fatalf("got %v, want duplicate", v.Decision)
+	}
+}
+
+func TestSLFastForwardSkipsVersions(t *testing.T) {
+	// §4.2: a node at version 1 can jump directly to version 5 — only
+	// equality with the freshest UIM matters, not contiguity.
+	st := stateWith(1, 3, 0, 3, uimSL(5, 2))
+	v := VerifySL(st, &packet.UNM{Vn: 5, Dn: 1})
+	if v.Decision != DecisionApply {
+		t.Fatalf("fast-forward: got %v, want apply", v.Decision)
+	}
+	if v.OldVer != 1 {
+		t.Errorf("fast-forward archives applied version 1, got %d", v.OldVer)
+	}
+}
+
+func TestSLFreshNode(t *testing.T) {
+	st := &dataplane.FlowState{
+		NewDistance: dataplane.FreshDistance,
+		OldDistance: dataplane.FreshDistance,
+		UIM:         uimSL(1, 4),
+	}
+	v := VerifySL(st, &packet.UNM{Vn: 1, Dn: 3})
+	if v.Decision != DecisionApply {
+		t.Fatalf("fresh node install: got %v, want apply", v.Decision)
+	}
+	if v.Inherited != dataplane.FreshDistance {
+		t.Errorf("fresh node inherits FreshDistance, got %d", v.Inherited)
+	}
+}
+
+func TestSLDistanceWrapGuard(t *testing.T) {
+	// A parent claiming distance 0xffff must not wrap to matching 0.
+	st := &dataplane.FlowState{UIM: uimSL(1, 0)}
+	v := VerifySL(st, &packet.UNM{Vn: 1, Dn: 0xffff})
+	if v.Decision == DecisionApply {
+		t.Fatal("distance 0xffff+1 wrapped around to 0")
+	}
+}
+
+// --- Alg. 2 (dual layer) ---------------------------------------------------
+
+func TestDLInteriorFreshInheritsDo(t *testing.T) {
+	// Fresh node inside a segment: applies, inherits parent's Do,
+	// increments the counter (Alg. 2 lines 9-16).
+	st := &dataplane.FlowState{
+		NewDistance: dataplane.FreshDistance,
+		OldDistance: dataplane.FreshDistance,
+		UIM:         uimDL(2, 6),
+	}
+	v := VerifyDL(st, &packet.UNM{Vn: 2, Vo: 1, Dn: 5, Do: 1, Counter: 2, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionApply {
+		t.Fatalf("got %v, want apply", v.Decision)
+	}
+	if v.Inherited != 1 || v.Counter != 3 || v.OldVer != 1 {
+		t.Errorf("inherit: do=%d c=%d oldV=%d, want 1,3,1", v.Inherited, v.Counter, v.OldVer)
+	}
+}
+
+func TestDLInteriorLaggingVersion(t *testing.T) {
+	// Node two versions behind counts as inside-segment.
+	st := stateWith(1, 4, 0, 4, uimDL(4, 6))
+	v := VerifyDL(st, &packet.UNM{Vn: 4, Vo: 3, Dn: 5, Do: 0, Counter: 0, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionApply {
+		t.Fatalf("got %v, want apply", v.Decision)
+	}
+	if v.OldVer != 3 {
+		t.Errorf("oldVer = %d, want Vn-1 = 3", v.OldVer)
+	}
+}
+
+func TestDLInteriorDistanceMismatch(t *testing.T) {
+	st := &dataplane.FlowState{UIM: uimDL(2, 6)}
+	v := VerifyDL(st, &packet.UNM{Vn: 2, Vo: 1, Dn: 3, Do: 1, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionReject || v.Reason != packet.ReasonDistance {
+		t.Fatalf("got %v/%v, want reject/distance", v.Decision, v.Reason)
+	}
+}
+
+func TestDLGatewayAcceptsSmallerSegmentID(t *testing.T) {
+	// The §3.2 intuition: v2 (current distance 1) accepts proposal with
+	// segment ID 0 (0 < 1).
+	st := stateWith(1, 1, 0, 1, uimDL(2, 5))
+	v := VerifyDL(st, &packet.UNM{Vn: 2, Vo: 1, Dn: 4, Do: 0, Counter: 4, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionApply {
+		t.Fatalf("got %v, want apply", v.Decision)
+	}
+	if v.Inherited != 0 || v.OldVer != 1 || v.Counter != 5 {
+		t.Errorf("gateway apply: do=%d oldV=%d c=%d", v.Inherited, v.OldVer, v.Counter)
+	}
+}
+
+func TestDLGatewayRejectsLargerSegmentID(t *testing.T) {
+	// v2 (current distance 1) rejects proposal with segment ID 2 (2 > 1):
+	// the backward-segment dependency is unresolved.
+	st := stateWith(1, 1, 0, 1, uimDL(2, 5))
+	v := VerifyDL(st, &packet.UNM{Vn: 2, Vo: 1, Dn: 4, Do: 2, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionWaitDependency {
+		t.Fatalf("got %v, want wait-dependency", v.Decision)
+	}
+	// Equal segment ID is equally unsafe.
+	v = VerifyDL(st, &packet.UNM{Vn: 2, Vo: 1, Dn: 4, Do: 1, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionWaitDependency {
+		t.Fatalf("equal Do: got %v, want wait-dependency", v.Decision)
+	}
+}
+
+func TestDLGatewayRequiresPreviousSingleLayer(t *testing.T) {
+	st := stateWith(1, 1, 0, 1, uimDL(2, 5))
+	st.LastType = packet.UpdateDual
+	m := &packet.UNM{Vn: 2, Vo: 1, Dn: 4, Do: 0, UpdateType: packet.UpdateDual}
+	if v := VerifyDL(st, m, false); v.Decision != DecisionWaitDependency {
+		t.Fatalf("chained DL without extension: got %v, want wait-dependency", v.Decision)
+	}
+	// The Appendix-C extension lifts the restriction.
+	if v := VerifyDL(st, m, true); v.Decision != DecisionApply {
+		t.Fatalf("chained DL with extension: got %v, want apply", v.Decision)
+	}
+}
+
+func TestDLBranch3InheritsSmallerDo(t *testing.T) {
+	// Already-updated node passes a strictly smaller Do upstream.
+	uim := uimDL(2, 6)
+	st := stateWith(2, 6, 1, 2, uim)
+	st.Counter = 3
+	v := VerifyDL(st, &packet.UNM{Vn: 2, Vo: 1, Dn: 5, Do: 0, Counter: 5, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionInherit {
+		t.Fatalf("got %v, want inherit", v.Decision)
+	}
+	if v.Inherited != 0 || v.Counter != 6 {
+		t.Errorf("inherit: do=%d c=%d, want 0,6", v.Inherited, v.Counter)
+	}
+}
+
+func TestDLBranch3CounterBreaksTies(t *testing.T) {
+	uim := uimDL(2, 6)
+	st := stateWith(2, 6, 1, 2, uim)
+	st.Counter = 9
+	// Equal Do, smaller counter: inherit (symmetry breaking).
+	v := VerifyDL(st, &packet.UNM{Vn: 2, Vo: 1, Dn: 5, Do: 2, Counter: 4, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionInherit {
+		t.Fatalf("got %v, want inherit", v.Decision)
+	}
+	// Equal Do, equal-or-larger counter: nothing new.
+	v = VerifyDL(st, &packet.UNM{Vn: 2, Vo: 1, Dn: 5, Do: 2, Counter: 9, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionDuplicate {
+		t.Fatalf("got %v, want duplicate", v.Decision)
+	}
+	// Larger Do: nothing new.
+	v = VerifyDL(st, &packet.UNM{Vn: 2, Vo: 1, Dn: 5, Do: 3, Counter: 0, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionDuplicate {
+		t.Fatalf("got %v, want duplicate", v.Decision)
+	}
+}
+
+func TestDLWaitAndOutdated(t *testing.T) {
+	st := stateWith(1, 1, 0, 1, uimDL(2, 5))
+	if v := VerifyDL(st, &packet.UNM{Vn: 7, Vo: 6, Dn: 4, UpdateType: packet.UpdateDual}, false); v.Decision != DecisionWaitUIM {
+		t.Errorf("future version: got %v, want wait-uim", v.Decision)
+	}
+	if v := VerifyDL(st, &packet.UNM{Vn: 1, Vo: 0, Dn: 4, UpdateType: packet.UpdateDual}, false); v.Decision != DecisionReject {
+		t.Errorf("outdated: got %v, want reject", v.Decision)
+	}
+}
+
+func TestDLGatewayDistanceMismatchRejected(t *testing.T) {
+	st := stateWith(1, 1, 0, 1, uimDL(2, 5))
+	v := VerifyDL(st, &packet.UNM{Vn: 2, Vo: 1, Dn: 2, Do: 0, UpdateType: packet.UpdateDual}, false)
+	if v.Decision != DecisionReject || v.Reason != packet.ReasonDistance {
+		t.Fatalf("got %v/%v, want reject/distance", v.Decision, v.Reason)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for d, want := range map[Decision]string{
+		DecisionApply:          "apply",
+		DecisionInherit:        "inherit",
+		DecisionWaitUIM:        "wait-uim",
+		DecisionWaitDependency: "wait-dependency",
+		DecisionDuplicate:      "duplicate",
+		DecisionReject:         "reject",
+		Decision(42):           "unknown",
+	} {
+		if d.String() != want {
+			t.Errorf("Decision(%d).String() = %q, want %q", d, d.String(), want)
+		}
+	}
+}
+
+func TestVerifyNeverAcceptsDistanceViolations(t *testing.T) {
+	// Property over random register/notification combinations: an Apply
+	// (or Inherit) verdict implies the parent relation Dn(UIM)=Dn(UNM)+1
+	// holds — the invariant behind Theorem 1's loop freedom — and a
+	// dual-layer gateway apply additionally implies the inherited segment
+	// ID strictly shrinks.
+	f := func(hasRule bool, appliedV uint32, d, od uint16, uimV uint32, uimD uint16,
+		unmV uint32, unmD, unmDo, c uint16, lastDual, chained bool) bool {
+
+		st := &dataplane.FlowState{
+			HasRule:     hasRule,
+			NewVersion:  appliedV,
+			NewDistance: d,
+			OldVersion:  appliedV - 1,
+			OldDistance: od,
+		}
+		if lastDual {
+			st.LastType = packet.UpdateDual
+		}
+		if !hasRule {
+			st.NewDistance = dataplane.FreshDistance
+		}
+		st.UIM = &packet.UIM{Version: uimV, NewDistance: uimD, UpdateType: packet.UpdateDual}
+		m := &packet.UNM{Vn: unmV, Vo: unmV - 1, Dn: unmD, Do: unmDo, Counter: c, UpdateType: packet.UpdateDual}
+
+		for _, v := range []Verdict{VerifySL(st, m), VerifyDL(st, m, chained)} {
+			switch v.Decision {
+			case DecisionApply, DecisionInherit:
+				if uint32(uimD) != uint32(unmD)+1 {
+					return false // distance violation accepted
+				}
+				if unmV != uimV {
+					return false // version mismatch accepted
+				}
+			}
+		}
+		// Gateway-specific: an Apply at an exactly-one-behind node with a
+		// rule must have strictly shrunk the segment ID.
+		if hasRule && appliedV+1 == unmV {
+			v := VerifyDL(st, m, chained)
+			if v.Decision == DecisionApply && !(st.CurrentDistance() > m.Do) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package dataplane
+
+import (
+	"fmt"
+	"time"
+
+	"p4update/internal/packet"
+	"p4update/internal/sim"
+	"p4update/internal/topo"
+)
+
+// Network is the fabric connecting the switches of one topology: it
+// serializes messages onto links, applies link latency, and offers
+// failure-injection hooks (drop, corrupt, delay) plus observation hooks
+// for the experiment harnesses.
+type Network struct {
+	Eng  *sim.Engine
+	Topo *topo.Topology
+
+	switches []*Switch
+
+	// ControlLatency returns the control-channel latency between the
+	// controller and the given switch (one direction).
+	ControlLatency func(node topo.NodeID) time.Duration
+
+	// ControllerRx receives controller-bound messages (FRM/UFM).
+	ControllerRx func(from topo.NodeID, raw []byte)
+
+	// Drop, when set, may discard a data-plane frame in flight.
+	Drop func(from, to topo.NodeID, raw []byte) bool
+	// Duplicate, when set, may deliver a data-plane frame twice (tests
+	// protocol idempotence under at-least-once delivery).
+	Duplicate func(from, to topo.NodeID, raw []byte) bool
+	// Mangle, when set, may rewrite a data-plane frame in flight
+	// (bit-flip / corruption injection).
+	Mangle func(from, to topo.NodeID, raw []byte) []byte
+	// ExtraDelay, when set, adds latency to a data-plane frame.
+	ExtraDelay func(from, to topo.NodeID, raw []byte) time.Duration
+
+	// DropControl, when set, may discard a controller<->switch frame.
+	DropControl func(node topo.NodeID, toController bool, raw []byte) bool
+	// ExtraControlDelay, when set, adds latency to a controller<->switch
+	// frame (models stragglers and reordering, §4.1).
+	ExtraControlDelay func(node topo.NodeID, toController bool, raw []byte) time.Duration
+
+	// OnApply observes committed rule changes (measurement only).
+	OnApply func(node topo.NodeID, f packet.FlowID, version uint32)
+	// OnDeliver observes local data-packet delivery at an egress.
+	OnDeliver func(node topo.NodeID, d *packet.Data)
+}
+
+// NewNetwork builds a switch per topology node. Control latency defaults
+// to zero until configured.
+func NewNetwork(eng *sim.Engine, t *topo.Topology) *Network {
+	n := &Network{Eng: eng, Topo: t}
+	n.switches = make([]*Switch, t.NumNodes())
+	for _, id := range t.Nodes() {
+		n.switches[id] = newSwitch(id, n)
+	}
+	return n
+}
+
+// Switch returns the switch at the given node.
+func (n *Network) Switch(id topo.NodeID) *Switch { return n.switches[id] }
+
+// Switches returns all switches indexed by NodeID.
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// SetHandler installs h on every switch.
+func (n *Network) SetHandler(h Handler) {
+	for _, sw := range n.switches {
+		sw.SetHandler(h)
+	}
+}
+
+// SetInstallDelay installs the rule-install delay sampler on every switch.
+func (n *Network) SetInstallDelay(f func() time.Duration) {
+	for _, sw := range n.switches {
+		sw.InstallDelay = f
+	}
+}
+
+// SendPort serializes m and transmits it out the given port of from,
+// delivering it to the neighbor after the link latency.
+func (n *Network) SendPort(from topo.NodeID, port topo.PortID, m packet.Message) {
+	if port == PortLocal || port == topo.InvalidPort {
+		return
+	}
+	link, ok := n.Topo.LinkAt(from, port)
+	if !ok {
+		panic(fmt.Sprintf("dataplane: node %d has no port %d", from, port))
+	}
+	to := link.Other(from)
+	raw := packet.Marshal(m)
+	if n.Drop != nil && n.Drop(from, to, raw) {
+		return
+	}
+	if n.Mangle != nil {
+		raw = n.Mangle(from, to, raw)
+	}
+	delay := link.Latency
+	if n.ExtraDelay != nil {
+		delay += n.ExtraDelay(from, to, raw)
+	}
+	inPort := link.PortAt(to)
+	n.Eng.Schedule(delay, func() {
+		n.switches[to].Receive(raw, inPort)
+	})
+	if n.Duplicate != nil && n.Duplicate(from, to, raw) {
+		n.Eng.Schedule(delay+time.Millisecond, func() {
+			n.switches[to].Receive(raw, inPort)
+		})
+	}
+}
+
+// SendToController serializes m and delivers it to the controller after
+// the node's control-channel latency.
+func (n *Network) SendToController(from topo.NodeID, m packet.Message) {
+	if n.ControllerRx == nil {
+		return
+	}
+	raw := packet.Marshal(m)
+	if n.DropControl != nil && n.DropControl(from, true, raw) {
+		return
+	}
+	var delay time.Duration
+	if n.ControlLatency != nil {
+		delay = n.ControlLatency(from)
+	}
+	if n.ExtraControlDelay != nil {
+		delay += n.ExtraControlDelay(from, true, raw)
+	}
+	n.Eng.Schedule(delay, func() { n.ControllerRx(from, raw) })
+}
+
+// SendToSwitch serializes m at the controller and delivers it to node
+// after the control-channel latency. The extraDelay parameter lets
+// callers model per-message controller-side queuing.
+func (n *Network) SendToSwitch(node topo.NodeID, m packet.Message, extraDelay time.Duration) {
+	raw := packet.Marshal(m)
+	if n.DropControl != nil && n.DropControl(node, false, raw) {
+		return
+	}
+	delay := extraDelay
+	if n.ControlLatency != nil {
+		delay += n.ControlLatency(node)
+	}
+	if n.ExtraControlDelay != nil {
+		delay += n.ExtraControlDelay(node, false, raw)
+	}
+	n.Eng.Schedule(delay, func() {
+		n.switches[node].Receive(raw, topo.InvalidPort)
+	})
+}
+
+// InstallPath seeds forwarding rules for flow f along path with the given
+// version and size, labeling distances by hop count to the egress. It is
+// the experiment-setup counterpart of an initial SL deployment.
+func (n *Network) InstallPath(f packet.FlowID, path []topo.NodeID, version uint32, sizeK uint32) {
+	if err := n.Topo.ValidatePath(path); err != nil {
+		panic(fmt.Sprintf("dataplane: InstallPath: %v", err))
+	}
+	k := len(path) - 1
+	for i, node := range path {
+		port := PortLocal
+		if i < k {
+			port = n.Topo.PortTo(node, path[i+1])
+		}
+		n.switches[node].InstallInitialRule(f, port, version, uint16(k-i), sizeK)
+	}
+}
+
+// TracePath follows the current forwarding state of flow f from node
+// start, returning the nodes visited (including start) until local
+// delivery, a missing rule, or maxHops steps (loop guard).
+func (n *Network) TracePath(f packet.FlowID, start topo.NodeID, maxHops int) (visited []topo.NodeID, delivered bool) {
+	cur := start
+	for hop := 0; hop <= maxHops; hop++ {
+		visited = append(visited, cur)
+		st, ok := n.switches[cur].PeekState(f)
+		if !ok || !st.HasRule {
+			return visited, false
+		}
+		if st.EgressPort == PortLocal {
+			return visited, true
+		}
+		next, ok := n.Topo.NeighborAt(cur, st.EgressPort)
+		if !ok {
+			return visited, false
+		}
+		cur = next
+	}
+	return visited, false
+}

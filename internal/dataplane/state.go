@@ -1,0 +1,136 @@
+// Package dataplane models a P4 software switch at the granularity the
+// P4Update paper depends on: per-flow register arrays (the Update
+// Information Base of Table 1), a match-action forwarding stage, packet
+// clone sessions toward neighbors and the controller, resubmission for
+// data-plane waiting, and per-link capacity accounting.
+//
+// The update protocol itself (verification and coordination) is pluggable
+// through the Handler interface so that P4Update and the evaluation
+// baselines share the same switch substrate.
+package dataplane
+
+import (
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// PortLocal is the sentinel forwarding port meaning "deliver locally":
+// the switch is the flow's egress and hands the packet to the host side.
+const PortLocal topo.PortID = -2
+
+// FreshDistance is the effective distance label of a node that has no
+// forwarding rule for a flow yet. Treating it as +inf makes the dual-layer
+// gateway check Dn(v) > Do(UNM) pass for fresh nodes.
+const FreshDistance uint16 = 0xffff
+
+// FlowPriority is the dynamic inter-flow scheduling priority of §7.4.
+type FlowPriority uint8
+
+// Flow priorities.
+const (
+	PriorityLow  FlowPriority = 0
+	PriorityHigh FlowPriority = 1
+)
+
+// FlowState is the per-flow slice of the Update Information Base. Fields
+// map 1:1 onto the registers of the paper's Table 1:
+//
+//	new_distance        -> NewDistance (distance label of the applied config)
+//	new_version         -> NewVersion  (version of the applied config)
+//	egress_port_updated -> EgressPortUpdated (staged next port, from UIM)
+//	old_distance        -> OldDistance (previous/inherited distance = segment ID)
+//	old_version         -> OldVersion  (previous config version)
+//	egress_port         -> EgressPort  (active forwarding port)
+//	flow_size           -> FlowSizeK   (flow size bound, kbps)
+//	flow_priority       -> Priority    (dynamic inter-flow priority)
+//	t                   -> LastType    (last update type: SL or DL)
+//	counter             -> Counter     (dual-layer hop counter)
+//
+// In the P4 prototype the "indication" labels live in registers written on
+// UIM arrival; we keep the freshest UIM as a staged struct (UIM) with the
+// same effect.
+type FlowState struct {
+	NewDistance       uint16
+	NewVersion        uint32
+	EgressPortUpdated topo.PortID
+	OldDistance       uint16
+	OldVersion        uint32
+	EgressPort        topo.PortID
+	FlowSizeK         uint32
+	Priority          FlowPriority
+	LastType          packet.UpdateType
+	Counter           uint16
+
+	// HasRule reports whether EgressPort holds a valid forwarding rule.
+	HasRule bool
+	// IndicatedVersion is the highest configuration version the control
+	// plane has indicated to this node for the flow (protects in-use
+	// rules from cleanup).
+	IndicatedVersion uint32
+	// PrevEgressPort retains the previous configuration's forwarding
+	// port for two-phase-commit forwarding (§11); PrevValid reports
+	// whether it holds a rule. Note the paper's §10 caveat applies: the
+	// retained rule doubles the per-flow rule space.
+	PrevEgressPort topo.PortID
+	PrevValid      bool
+	// PendingRes tracks capacity staged for in-flight rule installs so
+	// concurrent gate decisions cannot oversubscribe a link.
+	PendingRes []PendingReservation
+	// UIM is the freshest (highest-version) indication received.
+	UIM *packet.UIM
+	// ChildPorts is the clone group for the UIM's version: the ports
+	// toward every child that must be notified after this node applies.
+	// Path flows have one child; destination trees (§11) have one per
+	// tree child. Populated from the indications' ChildPort fields.
+	ChildPorts []topo.PortID
+	// Proto holds protocol-private per-flow state (the baselines use it
+	// for their instruction records).
+	Proto any
+	// Applying is set while a staged rule waits out the install delay,
+	// and holds the version being installed.
+	Applying        bool
+	ApplyingVersion uint32
+}
+
+// CurrentDistance returns the node's effective distance under its applied
+// configuration: NewDistance once a rule exists, FreshDistance otherwise.
+func (st *FlowState) CurrentDistance() uint16 {
+	if !st.HasRule {
+		return FreshDistance
+	}
+	return st.NewDistance
+}
+
+// PendingReservation is capacity booked at verification time for a rule
+// install that has not committed yet.
+type PendingReservation struct {
+	Port    topo.PortID
+	SizeK   uint32
+	Version uint32
+}
+
+// newFlowState returns the fresh-node state (no rule, version 0).
+func newFlowState() *FlowState {
+	return &FlowState{
+		EgressPort:        topo.InvalidPort,
+		EgressPortUpdated: topo.InvalidPort,
+		NewDistance:       FreshDistance,
+		OldDistance:       FreshDistance,
+	}
+}
+
+// Stats counts observable switch events; the experiment harnesses and the
+// failure-injection tests read them.
+type Stats struct {
+	DataForwarded  uint64 // data packets sent out a port
+	DataDelivered  uint64 // data packets delivered locally at the egress
+	BlackholeDrops uint64 // data packets dropped for lack of a rule
+	TTLDrops       uint64 // data packets dropped on TTL expiry
+	DecodeErrors   uint64 // undecodable frames
+	UNMReceived    uint64
+	UIMReceived    uint64
+	AlarmsSent     uint64 // StatusAlarm UFMs emitted
+	Resubmissions  uint64 // parked messages re-injected into the pipeline
+	RulesApplied   uint64 // committed forwarding-rule changes
+	RulesCleaned   uint64 // stale rules removed by cleanup messages
+}

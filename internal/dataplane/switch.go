@@ -1,0 +1,545 @@
+package dataplane
+
+import (
+	"time"
+
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// Handler implements an update protocol on top of the switch substrate.
+// P4Update (internal/core) and the evaluation baselines plug in here.
+type Handler interface {
+	// HandleUIM processes a controller indication (or baseline
+	// instruction encoded as a UIM).
+	HandleUIM(sw *Switch, m *packet.UIM)
+	// HandleUNM processes a data-plane notification arriving on inPort.
+	HandleUNM(sw *Switch, m *packet.UNM, inPort topo.PortID)
+}
+
+// MessageHandler is an optional Handler extension for protocols with
+// additional message types (the evaluation baselines).
+type MessageHandler interface {
+	HandleMessage(sw *Switch, m packet.Message, inPort topo.PortID)
+}
+
+// resubmitLatency models one pass through the BMv2 resubmission path.
+const resubmitLatency = 100 * time.Microsecond
+
+// Switch is one P4 forwarding device.
+type Switch struct {
+	ID  topo.NodeID
+	net *Network
+
+	flows    map[packet.FlowID]*FlowState
+	reserved map[topo.PortID]uint64 // kbps reserved per egress port
+	handler  Handler
+
+	// InstallDelay samples the time a forwarding-rule change takes to
+	// commit (the per-node update slowness of §9.1). Nil means instant.
+	InstallDelay func() time.Duration
+
+	// FRMEnabled makes the switch clone unknown-flow data packets to the
+	// controller as Flow Report Messages.
+	FRMEnabled bool
+
+	// TwoPhase enables §11 two-phase-commit forwarding: the ingress
+	// stamps packets with its committed version; switches forward
+	// lower-tagged packets over their retained previous rule, yielding
+	// per-packet consistency.
+	TwoPhase bool
+
+	// DataTap, when set, observes every data packet entering the switch
+	// (used by the Fig-2 per-packet traces).
+	DataTap func(sw *Switch, d *packet.Data, inPort topo.PortID)
+
+	// capWaiters holds work parked on insufficient capacity or on the
+	// priority gate, keyed by the egress port it waits for.
+	capWaiters map[topo.PortID][]parked
+	// uimWaiters holds work parked until an indication arrives
+	// (Alg. 1 line 10 / Alg. 2 line 5), keyed by flow.
+	uimWaiters map[packet.FlowID][]parked
+	// moveWaiters tracks, per egress port, how many HIGH priority flows
+	// currently wait to move onto that port (§7.4 gate).
+	highWaiting map[topo.PortID]map[packet.FlowID]bool
+
+	Stats Stats
+}
+
+type parked struct {
+	fire func()
+}
+
+// newSwitch wires a switch into its network.
+func newSwitch(id topo.NodeID, net *Network) *Switch {
+	return &Switch{
+		ID:          id,
+		net:         net,
+		flows:       make(map[packet.FlowID]*FlowState),
+		reserved:    make(map[topo.PortID]uint64),
+		capWaiters:  make(map[topo.PortID][]parked),
+		uimWaiters:  make(map[packet.FlowID][]parked),
+		highWaiting: make(map[topo.PortID]map[packet.FlowID]bool),
+	}
+}
+
+// SetHandler installs the update-protocol handler.
+func (sw *Switch) SetHandler(h Handler) { sw.handler = h }
+
+// Network returns the fabric the switch is attached to.
+func (sw *Switch) Network() *Network { return sw.net }
+
+// Now returns the current virtual time.
+func (sw *Switch) Now() time.Duration { return sw.net.Eng.Now() }
+
+// State returns the flow's register slice, allocating fresh-node state on
+// first touch.
+func (sw *Switch) State(f packet.FlowID) *FlowState {
+	st, ok := sw.flows[f]
+	if !ok {
+		st = newFlowState()
+		sw.flows[f] = st
+	}
+	return st
+}
+
+// PeekState returns the flow's register slice without allocating.
+func (sw *Switch) PeekState(f packet.FlowID) (*FlowState, bool) {
+	st, ok := sw.flows[f]
+	return st, ok
+}
+
+// Flows returns the IDs of all flows with state on this switch.
+func (sw *Switch) Flows() []packet.FlowID {
+	out := make([]packet.FlowID, 0, len(sw.flows))
+	for f := range sw.flows {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Receive is the switch's pipeline entry point: it parses the frame and
+// dispatches on message type. inPort is the arrival port, or
+// topo.InvalidPort for frames from the controller or host side.
+func (sw *Switch) Receive(raw []byte, inPort topo.PortID) {
+	m, err := packet.Decode(raw)
+	if err != nil {
+		sw.Stats.DecodeErrors++
+		return
+	}
+	switch m := m.(type) {
+	case *packet.Data:
+		sw.handleData(m, inPort)
+	case *packet.UIM:
+		sw.Stats.UIMReceived++
+		if sw.handler != nil {
+			sw.handler.HandleUIM(sw, m)
+		}
+	case *packet.UNM:
+		sw.Stats.UNMReceived++
+		if sw.handler != nil {
+			sw.handler.HandleUNM(sw, m, inPort)
+		}
+	case *packet.CLN:
+		sw.handleCleanup(m)
+	default:
+		// Baseline protocols define extra message types; hand them to the
+		// handler when it supports them, else drop.
+		if mh, ok := sw.handler.(MessageHandler); ok {
+			mh.HandleMessage(sw, m, inPort)
+			return
+		}
+		sw.Stats.DecodeErrors++
+	}
+}
+
+// handleData runs the forwarding pipeline for a data packet. Probe
+// packets forward exactly like data; the egress reports their arrival to
+// the controller (the measurement traversal of §9.1 — it is injected only
+// once every tracked switch has applied, so no per-hop version check is
+// needed and the same mechanism measures every evaluated system).
+func (sw *Switch) handleData(d *packet.Data, inPort topo.PortID) {
+	if sw.DataTap != nil {
+		sw.DataTap(sw, d, inPort)
+	}
+	st, ok := sw.flows[d.Flow]
+	if !ok || !st.HasRule {
+		if sw.FRMEnabled {
+			sw.net.SendToController(sw.ID, &packet.FRM{Flow: d.Flow})
+		}
+		sw.Stats.BlackholeDrops++
+		return
+	}
+	out := st.EgressPort
+	if sw.TwoPhase {
+		if inPort == topo.InvalidPort && d.Tag == 0 {
+			// Host-side arrival at the ingress: stamp the committed
+			// version (the "tag flip" happens implicitly because the
+			// ingress is updated last in a single-layer update).
+			d.Tag = st.NewVersion
+		}
+		if d.Tag != 0 && d.Tag < st.NewVersion && st.PrevValid {
+			out = st.PrevEgressPort // previous configuration's rule
+		}
+	}
+	if out == PortLocal {
+		sw.Stats.DataDelivered++
+		if d.Probe {
+			sw.net.SendToController(sw.ID, &packet.UFM{
+				Flow: d.Flow, Version: d.ProbeVersion,
+				Status: packet.StatusProbeOK, Node: uint16(sw.ID),
+			})
+		}
+		if sw.net.OnDeliver != nil {
+			sw.net.OnDeliver(sw.ID, d)
+		}
+		return
+	}
+	if d.TTL <= 1 {
+		sw.Stats.TTLDrops++
+		return
+	}
+	fwd := *d
+	fwd.TTL = d.TTL - 1
+	sw.Stats.DataForwarded++
+	sw.net.SendPort(sw.ID, out, &fwd)
+}
+
+// handleCleanup removes the flow's stale rule (§11 "Rule Cleanup"): only
+// rules strictly older than the cleanup version, not locally delivering,
+// and not covered by a pending indication are removed; their capacity is
+// released.
+func (sw *Switch) handleCleanup(m *packet.CLN) {
+	st, ok := sw.flows[m.Flow]
+	if !ok || !st.HasRule {
+		return
+	}
+	if st.EgressPort == PortLocal {
+		return // never remove the egress delivery rule
+	}
+	if st.NewVersion >= m.Version || st.IndicatedVersion >= m.Version {
+		return // rule belongs to this or a newer configuration
+	}
+	sw.Release(st.EgressPort, st.FlowSizeK)
+	st.HasRule = false
+	st.EgressPort = topo.InvalidPort
+	st.EgressPortUpdated = topo.InvalidPort
+	st.NewDistance = FreshDistance
+	st.PrevValid = false
+	sw.Stats.RulesCleaned++
+}
+
+// InjectData delivers a host-originated data packet into the pipeline.
+func (sw *Switch) InjectData(d *packet.Data) { sw.handleData(d, topo.InvalidPort) }
+
+// SendUNM clones a notification out the given port (the clone-session
+// primitive of §8). Sending to an invalid port is a silent no-op so
+// handlers can pass a UIM's ChildPort through unconditionally.
+func (sw *Switch) SendUNM(port topo.PortID, m *packet.UNM) {
+	if port < 0 {
+		return
+	}
+	sw.net.SendPort(sw.ID, port, m)
+}
+
+// SendUFM clones a feedback message to the controller.
+func (sw *Switch) SendUFM(m *packet.UFM) {
+	m.Node = uint16(sw.ID)
+	sw.net.SendToController(sw.ID, m)
+}
+
+// Alarm reports an inconsistent update to the controller (the "drop UNM,
+// inform controller" arms of Alg. 1/Alg. 2).
+func (sw *Switch) Alarm(f packet.FlowID, version uint32, reason packet.AlarmReason) {
+	sw.Stats.AlarmsSent++
+	sw.SendUFM(&packet.UFM{
+		Flow: f, Version: version, Status: packet.StatusAlarm, Reason: reason,
+	})
+}
+
+// ParkOnUIM stores work until a (newer) indication for the flow arrives;
+// the P4 prototype realizes this wait by packet resubmission.
+func (sw *Switch) ParkOnUIM(f packet.FlowID, fire func()) {
+	sw.uimWaiters[f] = append(sw.uimWaiters[f], parked{fire: fire})
+}
+
+// WakeUIMWaiters re-injects work parked on the flow's indication.
+func (sw *Switch) WakeUIMWaiters(f packet.FlowID) {
+	waiters := sw.uimWaiters[f]
+	if len(waiters) == 0 {
+		return
+	}
+	delete(sw.uimWaiters, f)
+	for _, w := range waiters {
+		sw.Stats.Resubmissions++
+		sw.net.Eng.Schedule(resubmitLatency, w.fire)
+	}
+}
+
+// ParkOnCapacity stores work until capacity conditions on port change
+// (release or waiter-set shrink).
+func (sw *Switch) ParkOnCapacity(port topo.PortID, fire func()) {
+	sw.capWaiters[port] = append(sw.capWaiters[port], parked{fire: fire})
+}
+
+// wakeCapacityWaiters re-injects work parked on port.
+func (sw *Switch) wakeCapacityWaiters(port topo.PortID) {
+	waiters := sw.capWaiters[port]
+	if len(waiters) == 0 {
+		return
+	}
+	delete(sw.capWaiters, port)
+	for _, w := range waiters {
+		sw.Stats.Resubmissions++
+		sw.net.Eng.Schedule(resubmitLatency, w.fire)
+	}
+}
+
+// CapacityK returns the capacity of the link at port in kbps
+// (0 for PortLocal, which is uncapacitated).
+func (sw *Switch) CapacityK(port topo.PortID) uint64 {
+	if port < 0 {
+		return 0
+	}
+	l, ok := sw.net.Topo.LinkAt(sw.ID, port)
+	if !ok {
+		return 0
+	}
+	return uint64(l.Capacity * 1000)
+}
+
+// ReservedK returns the kbps currently reserved on port.
+func (sw *Switch) ReservedK(port topo.PortID) uint64 { return sw.reserved[port] }
+
+// RemainingK returns the unreserved kbps on port.
+func (sw *Switch) RemainingK(port topo.PortID) uint64 {
+	c := sw.CapacityK(port)
+	r := sw.reserved[port]
+	if r >= c {
+		return 0
+	}
+	return c - r
+}
+
+// Reserve books sizeK on port (no-op for local delivery).
+func (sw *Switch) Reserve(port topo.PortID, sizeK uint32) {
+	if port < 0 {
+		return
+	}
+	sw.reserved[port] += uint64(sizeK)
+}
+
+// Release frees sizeK on port and wakes capacity waiters.
+func (sw *Switch) Release(port topo.PortID, sizeK uint32) {
+	if port < 0 {
+		return
+	}
+	if sw.reserved[port] <= uint64(sizeK) {
+		delete(sw.reserved, port)
+	} else {
+		sw.reserved[port] -= uint64(sizeK)
+	}
+	sw.wakeCapacityWaiters(port)
+}
+
+// HasCapacityWaiters reports whether any message is parked waiting for
+// capacity on port (input to the dynamic priority rule of §7.4).
+func (sw *Switch) HasCapacityWaiters(port topo.PortID) bool {
+	return len(sw.capWaiters[port]) > 0
+}
+
+// StageReservation books capacity for an in-flight rule install of flow f
+// so later gate decisions see it; CommitRule consumes it.
+func (sw *Switch) StageReservation(f packet.FlowID, port topo.PortID, sizeK uint32, version uint32) {
+	sw.Reserve(port, sizeK)
+	st := sw.State(f)
+	st.PendingRes = append(st.PendingRes, PendingReservation{Port: port, SizeK: sizeK, Version: version})
+}
+
+// MarkHighWaiting records that flow f (high priority) waits to move onto
+// port; the §7.4 gate blocks low-priority flows while the set is nonempty.
+func (sw *Switch) MarkHighWaiting(port topo.PortID, f packet.FlowID) {
+	if sw.highWaiting[port] == nil {
+		sw.highWaiting[port] = make(map[packet.FlowID]bool)
+	}
+	sw.highWaiting[port][f] = true
+}
+
+// ClearHighWaiting removes f from port's high-priority waiter set and
+// wakes parked flows.
+func (sw *Switch) ClearHighWaiting(port topo.PortID, f packet.FlowID) {
+	if set := sw.highWaiting[port]; set != nil && set[f] {
+		delete(set, f)
+		if len(set) == 0 {
+			delete(sw.highWaiting, port)
+		}
+		sw.wakeCapacityWaiters(port)
+	}
+}
+
+// HighWaitingOn reports whether any high-priority flow other than f waits
+// to move onto port.
+func (sw *Switch) HighWaitingOn(port topo.PortID, f packet.FlowID) bool {
+	for g := range sw.highWaiting[port] {
+		if g != f {
+			return true
+		}
+	}
+	return false
+}
+
+// RaisePriorityOfMoversFrom marks every flow that currently occupies port
+// and has a pending move away from it as high priority (§7.4: "all flows
+// that desire to move away from e obtain high priority").
+func (sw *Switch) RaisePriorityOfMoversFrom(port topo.PortID) {
+	for f, st := range sw.flows {
+		if !st.HasRule || st.EgressPort != port {
+			continue
+		}
+		if st.UIM != nil && st.UIM.Version > st.NewVersion {
+			st.Priority = PriorityHigh
+			dest := topo.PortID(int32(st.UIM.EgressPort))
+			if st.UIM.EgressPort == packet.NoPort {
+				dest = PortLocal
+			}
+			sw.MarkHighWaiting(dest, f)
+		}
+	}
+}
+
+// registerWriteDelay models a pure register update (no table change).
+const registerWriteDelay = 50 * time.Microsecond
+
+// Apply stages a forwarding-state change and commits it after the install
+// delay. portChanged selects the cost model: a forwarding-table rewrite
+// pays the (possibly sampled) install delay, while a register-only
+// relabel is a fast data-plane write. The commit closure runs exactly
+// once; it must re-validate against the registers because a higher
+// version may have won the race meanwhile.
+func (sw *Switch) Apply(portChanged bool, commit func()) {
+	d := registerWriteDelay
+	if portChanged && sw.InstallDelay != nil {
+		d = sw.InstallDelay()
+	}
+	sw.net.Eng.Schedule(d, commit)
+}
+
+// CommitRule flips the flow's forwarding to the staged configuration from
+// uim: it moves the capacity reservation, updates the Table-1 registers
+// (old_version/old_distance receive the caller-supplied values — the
+// previous configuration for single-layer, the inherited labels for
+// dual-layer) and bumps Stats. Callers are responsible for verification;
+// CommitRule only refuses to move backwards in version.
+func (sw *Switch) CommitRule(f packet.FlowID, uim *packet.UIM, oldVersion uint32, inherited uint16, counter uint16) bool {
+	newPort := topo.PortID(int32(uim.EgressPort))
+	if uim.EgressPort == packet.NoPort {
+		newPort = PortLocal
+	}
+	return sw.CommitState(f, Commit{
+		Port:        newPort,
+		Version:     uim.Version,
+		Distance:    uim.NewDistance,
+		OldVersion:  oldVersion,
+		OldDistance: inherited,
+		SizeK:       uim.FlowSizeK,
+		Type:        uim.UpdateType,
+		Counter:     counter,
+	})
+}
+
+// Commit describes a forwarding-state transition for CommitState.
+type Commit struct {
+	Port        topo.PortID
+	Version     uint32
+	Distance    uint16
+	OldVersion  uint32
+	OldDistance uint16
+	SizeK       uint32
+	Type        packet.UpdateType
+	Counter     uint16
+}
+
+// CommitState is the protocol-agnostic commit primitive behind CommitRule.
+func (sw *Switch) CommitState(f packet.FlowID, c Commit) bool {
+	st := sw.State(f)
+	if st.HasRule && c.Version <= st.NewVersion {
+		// A newer (or same) version already committed: return any
+		// reservation staged for this superseded install.
+		keep := st.PendingRes[:0]
+		for _, pr := range st.PendingRes {
+			if pr.Version <= st.NewVersion {
+				sw.Release(pr.Port, pr.SizeK)
+			} else {
+				keep = append(keep, pr)
+			}
+		}
+		st.PendingRes = keep
+		return false
+	}
+	oldPort := st.EgressPort
+	oldSize := st.FlowSizeK
+	if st.HasRule {
+		sw.Release(oldPort, oldSize)
+	}
+	// Consume the reservation staged for this install (if any); stale
+	// staged reservations of superseded versions are returned.
+	reservedAlready := false
+	keep := st.PendingRes[:0]
+	for _, pr := range st.PendingRes {
+		switch {
+		case !reservedAlready && pr.Version == c.Version && pr.Port == c.Port && pr.SizeK == c.SizeK:
+			reservedAlready = true
+		case pr.Version <= c.Version:
+			sw.Release(pr.Port, pr.SizeK)
+		default:
+			keep = append(keep, pr)
+		}
+	}
+	st.PendingRes = keep
+	if !reservedAlready {
+		sw.Reserve(c.Port, c.SizeK)
+	}
+
+	if st.HasRule {
+		st.PrevEgressPort = oldPort
+		st.PrevValid = true
+	}
+	st.OldVersion = c.OldVersion
+	st.OldDistance = c.OldDistance
+	st.NewVersion = c.Version
+	st.NewDistance = c.Distance
+	st.EgressPort = c.Port
+	st.EgressPortUpdated = c.Port
+	st.FlowSizeK = c.SizeK
+	st.LastType = c.Type
+	st.Counter = c.Counter
+	st.HasRule = true
+	st.Applying = false
+	st.Priority = PriorityLow
+	sw.ClearHighWaiting(c.Port, f)
+	sw.Stats.RulesApplied++
+	if sw.net.OnApply != nil {
+		sw.net.OnApply(sw.ID, f, c.Version)
+	}
+	return true
+}
+
+// InstallInitialRule seeds a flow rule outside the update protocol (used
+// to set up experiment start states). It reserves capacity and marks the
+// rule as version/distance labelled.
+func (sw *Switch) InstallInitialRule(f packet.FlowID, port topo.PortID, version uint32, distance uint16, sizeK uint32) {
+	st := sw.State(f)
+	if st.HasRule {
+		sw.Release(st.EgressPort, st.FlowSizeK)
+	}
+	st.EgressPort = port
+	st.EgressPortUpdated = port
+	st.NewVersion = version
+	st.NewDistance = distance
+	st.OldVersion = version
+	st.OldDistance = distance
+	st.FlowSizeK = sizeK
+	st.LastType = packet.UpdateSingle
+	st.HasRule = true
+	sw.Reserve(port, sizeK)
+}

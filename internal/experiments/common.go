@@ -1,0 +1,182 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 and §9): the inconsistent-update demonstration (Fig. 2),
+// the fast-forward demonstration (Fig. 4), the total-update-time CDFs on
+// the synthetic, B4, Internet2 and fat-tree topologies (Fig. 7a–f), and
+// the control-plane preparation-time ratios (Fig. 8a/b). Each experiment
+// prints the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"p4update/internal/central"
+	"p4update/internal/controlplane"
+	"p4update/internal/core"
+	"p4update/internal/dataplane"
+	"p4update/internal/ezsegway"
+	"p4update/internal/packet"
+	"p4update/internal/sim"
+	"p4update/internal/topo"
+	"p4update/internal/traffic"
+)
+
+// SystemKind selects the evaluated update system.
+type SystemKind int
+
+// The three systems of the paper's comparison.
+const (
+	KindP4Update SystemKind = iota
+	KindEZSegway
+	KindCentral
+)
+
+// String implements fmt.Stringer.
+func (k SystemKind) String() string {
+	switch k {
+	case KindP4Update:
+		return "P4Update"
+	case KindEZSegway:
+		return "ez-Segway"
+	case KindCentral:
+		return "Central"
+	default:
+		return "unknown"
+	}
+}
+
+// AllSystems lists the systems in the paper's plotting order.
+var AllSystems = []SystemKind{KindP4Update, KindEZSegway, KindCentral}
+
+// BedConfig tunes a testbed instance.
+type BedConfig struct {
+	// Congestion enables capacity enforcement in all systems.
+	Congestion bool
+	// NodeDelayMean, when nonzero, gives every switch an exponential
+	// rule-install delay with this mean (the Dionysus-motivated
+	// straggler model of §9.1's single-flow scenario).
+	NodeDelayMean time.Duration
+	// BaseInstallDelay is the constant rule-install time used when
+	// NodeDelayMean is zero (a BMv2-like table write).
+	BaseInstallDelay time.Duration
+	// FatTreeControl samples per-switch control latencies from a normal
+	// distribution (Huang et al.) instead of centroid propagation.
+	FatTreeControl bool
+	// CtrlProcDelay is the Central coordinator's per-message processing
+	// time.
+	CtrlProcDelay time.Duration
+	// CtrlQueueMean is the mean of the exponential queuing delay each
+	// Central controller message experiences behind the controller's
+	// other work (path setup, monitoring; §9.1 / Liu et al. [52] report
+	// control-plane reaction times up to hundreds of milliseconds).
+	CtrlQueueMean time.Duration
+}
+
+// DefaultBedConfig returns the §9.1 defaults.
+func DefaultBedConfig() BedConfig {
+	return BedConfig{
+		BaseInstallDelay: time.Millisecond,
+		CtrlProcDelay:    500 * time.Microsecond,
+		CtrlQueueMean:    40 * time.Millisecond,
+	}
+}
+
+// Bed is one fully wired system-under-test.
+type Bed struct {
+	Kind SystemKind
+	Eng  *sim.Engine
+	Net  *dataplane.Network
+	Ctl  *controlplane.Controller
+	EZ   *ezsegway.Controller
+	CO   *central.Coordinator
+}
+
+// NewBed builds a testbed of the given kind on topology g.
+func NewBed(kind SystemKind, g *topo.Topology, seed int64, cfg BedConfig) *Bed {
+	eng := sim.New(seed)
+	eng.MaxEvents = 20_000_000
+	net := dataplane.NewNetwork(eng, g)
+
+	switch kind {
+	case KindP4Update:
+		net.SetHandler(&core.Protocol{Congestion: cfg.Congestion})
+	case KindEZSegway:
+		net.SetHandler(&ezsegway.Handler{Congestion: cfg.Congestion})
+	case KindCentral:
+		net.SetHandler(&central.Handler{})
+	}
+
+	var node topo.NodeID
+	if cfg.FatTreeControl {
+		node = g.Centroid()
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		controlplane.UseSampledControl(net, func() time.Duration {
+			// Huang et al. measured switch control-path latencies of a
+			// few milliseconds; clamp the normal sample to stay positive.
+			d := time.Duration((4 + 2*rng.NormFloat64()) * float64(time.Millisecond))
+			if d < 500*time.Microsecond {
+				d = 500 * time.Microsecond
+			}
+			return d
+		})
+	} else {
+		node = controlplane.UseCentroidControl(net)
+	}
+	ctl := controlplane.NewController(net, node)
+
+	b := &Bed{Kind: kind, Eng: eng, Net: net, Ctl: ctl}
+	switch kind {
+	case KindEZSegway:
+		b.EZ = ezsegway.NewController(ctl)
+		b.EZ.Congestion = cfg.Congestion
+	case KindCentral:
+		b.CO = central.NewCoordinator(ctl, cfg.CtrlProcDelay)
+		b.CO.Congestion = cfg.Congestion
+		// The controller also serves path setup and monitoring traffic;
+		// every message queues behind it (§9.1, Jarschel et al.).
+		if cfg.CtrlQueueMean > 0 {
+			qrng := eng.Rand()
+			mean := float64(cfg.CtrlQueueMean)
+			b.CO.QueueDelay = func() time.Duration {
+				return time.Duration(qrng.ExpFloat64() * mean)
+			}
+		}
+	}
+
+	if cfg.NodeDelayMean > 0 {
+		mean := float64(cfg.NodeDelayMean)
+		rng := eng.Rand()
+		net.SetInstallDelay(func() time.Duration {
+			return time.Duration(rng.ExpFloat64() * mean)
+		})
+	} else if cfg.BaseInstallDelay > 0 {
+		d := cfg.BaseInstallDelay
+		net.SetInstallDelay(func() time.Duration { return d })
+	}
+	return b
+}
+
+// Register installs the workload's flows (version 1 state).
+func (b *Bed) Register(flows []traffic.FlowSpec) error {
+	for _, f := range flows {
+		if _, err := b.Ctl.RegisterFlow(f.Src, f.Dst, f.Old, f.SizeK); err != nil {
+			return fmt.Errorf("register %d->%d: %w", f.Src, f.Dst, err)
+		}
+	}
+	return nil
+}
+
+// Trigger starts the flow's update under the bed's system.
+func (b *Bed) Trigger(f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+	switch b.Kind {
+	case KindP4Update:
+		return b.Ctl.TriggerUpdate(f, newPath, nil)
+	case KindEZSegway:
+		return b.EZ.TriggerUpdate(f, newPath)
+	case KindCentral:
+		return b.CO.TriggerUpdate(f, newPath)
+	default:
+		return nil, fmt.Errorf("unknown system kind %d", b.Kind)
+	}
+}

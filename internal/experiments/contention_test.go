@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"p4update/internal/topo"
+	"p4update/internal/traffic"
+)
+
+func TestContentionLevel(t *testing.T) {
+	for _, util := range []float64{0.85, 0.95} {
+		g := topo.B4()
+		cfg := DefaultBedConfig()
+		cfg.Congestion = true
+		b := NewBed(KindP4Update, g, 7, cfg)
+		tc := traffic.DefaultConfig()
+		tc.Utilization = util
+		flows, err := traffic.MultiFlowWorkload(g, newWorkloadRand(7), tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Register(flows)
+		for _, f := range flows {
+			b.Trigger(f.ID(), f.New)
+		}
+		b.Eng.Run()
+		var resub, parked uint64
+		for _, sw := range b.Net.Switches() {
+			resub += sw.Stats.Resubmissions
+		}
+		fmt.Printf("util=%.2f flows=%d resubmissions=%d parked=%d\n", util, len(flows), resub, parked)
+	}
+}

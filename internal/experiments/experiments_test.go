@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p4update/internal/topo"
+)
+
+func TestFig2EZSegwayLoopsAndLoses(t *testing.T) {
+	r, err := Fig2(KindEZSegway, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DupAtV1 == 0 {
+		t.Error("ez-Segway: expected looped (duplicate) packets at v1")
+	}
+	if r.LostAtV4 == 0 {
+		t.Error("ez-Segway: expected TTL losses at v4")
+	}
+	if len(r.V4) == 0 {
+		t.Error("ez-Segway: no packets delivered at all")
+	}
+}
+
+func TestFig2P4UpdateConsistent(t *testing.T) {
+	r, err := Fig2(KindP4Update, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DupAtV1 != 0 {
+		t.Errorf("P4Update: %d duplicate packets at v1, want 0", r.DupAtV1)
+	}
+	if r.LostAtV4 != 0 {
+		t.Errorf("P4Update: %d lost packets at v4, want 0", r.LostAtV4)
+	}
+	if r.Sent == 0 || len(r.V4) != r.Sent {
+		t.Errorf("P4Update: sent=%d delivered=%d, want all delivered once", r.Sent, len(r.V4))
+	}
+}
+
+func TestFig4FastForwardBeatWaiting(t *testing.T) {
+	r, err := Fig4(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P4Update.Mean() >= r.EZSegway.Mean() {
+		t.Errorf("P4Update U3 mean %v not faster than ez-Segway %v",
+			r.P4Update.Mean(), r.EZSegway.Mean())
+	}
+	// The paper reports about 4x; require at least 2x for the shape.
+	if f := float64(r.EZSegway.Mean()) / float64(r.P4Update.Mean()); f < 2 {
+		t.Errorf("fast-forward speed-up %.2fx, want >= 2x", f)
+	}
+	if !strings.Contains(r.String(), "speed-up") {
+		t.Error("summary missing speed-up line")
+	}
+}
+
+func TestFig7SingleFlowSynthetic(t *testing.T) {
+	r, err := Fig7SingleFlow(topo.Synthetic, "synthetic", 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := map[SystemKind]time.Duration{}
+	for _, s := range r.Series {
+		if s.Failed > 0 {
+			t.Fatalf("%v: %d failed runs", s.System, s.Failed)
+		}
+		if s.CDF.N() != 5 {
+			t.Fatalf("%v: %d samples, want 5", s.System, s.CDF.N())
+		}
+		means[s.System] = s.CDF.Mean()
+	}
+	// Ordering of the paper: P4Update < ez-Segway < Central.
+	if !(means[KindP4Update] < means[KindEZSegway]) {
+		t.Errorf("P4Update (%v) not faster than ez-Segway (%v)",
+			means[KindP4Update], means[KindEZSegway])
+	}
+	if !(means[KindEZSegway] < means[KindCentral]) {
+		t.Errorf("ez-Segway (%v) not faster than Central (%v)",
+			means[KindEZSegway], means[KindCentral])
+	}
+}
+
+func TestFig7MultiFlowSynthetic(t *testing.T) {
+	r, err := Fig7MultiFlow(topo.Synthetic, "synthetic", false, 3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		if s.Failed > 0 {
+			t.Fatalf("%v: %d failed runs", s.System, s.Failed)
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "P4Update vs ez-Segway") {
+		t.Error("summary missing improvement line")
+	}
+	if rows := r.CDFSeries(); !strings.Contains(rows, "fraction") {
+		t.Error("CDF series missing header")
+	}
+}
+
+func TestFig8WithoutCongestion(t *testing.T) {
+	r, err := Fig8(false, 50, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 topologies", len(r.Rows))
+	}
+	sizes := [][2]int{{12, 19}, {16, 26}, {25, 56}, {38, 62}}
+	for i, row := range r.Rows {
+		if row.Nodes != sizes[i][0] || row.Edges != sizes[i][1] {
+			t.Errorf("%s: (%d,%d), want (%d,%d)", row.Topo, row.Nodes, row.Edges, sizes[i][0], sizes[i][1])
+		}
+		if row.Ratio <= 0 {
+			t.Errorf("%s: nonpositive ratio %f", row.Topo, row.Ratio)
+		}
+		// Without congestion both preparations are the same order of
+		// magnitude (the paper reports ~0.7).
+		if row.Ratio > 3 {
+			t.Errorf("%s: ratio %f implausibly large", row.Topo, row.Ratio)
+		}
+	}
+}
+
+func TestFig8WithCongestion(t *testing.T) {
+	r, err := Fig8(true, 30, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		// With congestion freedom ez-Segway pays the dependency graph:
+		// P4Update must be dramatically cheaper (paper: 0.02 .. 0.002).
+		if row.Ratio > 0.5 {
+			t.Errorf("%s: congestion ratio %f, want << 1", row.Topo, row.Ratio)
+		}
+	}
+	// Ratios shrink as networks grow (more standing flows): the largest
+	// topology must show a smaller ratio than the smallest.
+	if first, last := r.Rows[0].Ratio, r.Rows[3].Ratio; last >= first {
+		t.Errorf("ratio should shrink with topology size: %f (B4) vs %f (Chinanet)", first, last)
+	}
+}
+
+func TestSystemKindString(t *testing.T) {
+	if KindP4Update.String() != "P4Update" || KindEZSegway.String() != "ez-Segway" ||
+		KindCentral.String() != "Central" || SystemKind(9).String() != "unknown" {
+		t.Error("SystemKind stringer broken")
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"p4update/internal/controlplane"
+	"p4update/internal/dataplane"
+	"p4update/internal/ezsegway"
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// PacketObs is one observed packet reception.
+type PacketObs struct {
+	At  time.Duration
+	Seq uint32
+}
+
+// Fig2Result reproduces the paper's Fig. 2 for one system: packet traces
+// at v1 and at the egress v4 while configuration (c) deploys before the
+// delayed configuration (b).
+type Fig2Result struct {
+	System SystemKind
+	V1     []PacketObs
+	V4     []PacketObs
+	// Window is the gray area of the figure: from deploying (c) until
+	// the missing (b) messages are sent.
+	WindowStart, WindowEnd time.Duration
+	// Sent counts injected packets, DupAtV1 duplicate receptions at v1
+	// (looped packets), LostAtV4 sequence numbers never delivered.
+	Sent     int
+	DupAtV1  int
+	LostAtV4 int
+}
+
+// String summarizes the trace in the terms the paper uses.
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s sent=%d  received@v4=%d  lost@v4=%d  looped(dup)@v1=%d\n",
+		r.System, r.Sent, len(uniqueSeqs(r.V4)), r.LostAtV4, r.DupAtV1)
+	return b.String()
+}
+
+func uniqueSeqs(obs []PacketObs) map[uint32]int {
+	m := map[uint32]int{}
+	for _, o := range obs {
+		m[o.Seq]++
+	}
+	return m
+}
+
+// Fig2 runs the inconsistent-update scenario of §4.1 on the given system
+// (P4Update or ez-Segway): data packets at 125 pps with TTL 64 from v0 to
+// v4; configuration (c) deploys at 200 ms, configuration (b)'s delayed
+// messages arrive at 600 ms.
+func Fig2(kind SystemKind, seed int64) (*Fig2Result, error) {
+	g, _, _, _ := topo.Fig2Scenario()
+	cfg := DefaultBedConfig()
+	b := NewBed(kind, g, seed, cfg)
+
+	pathA := []topo.NodeID{0, 1, 2, 3, 4}
+	pathB := []topo.NodeID{0, 1, 2, 4}
+	pathC := []topo.NodeID{0, 3, 1, 2, 4}
+	f, err := b.Ctl.RegisterFlow(0, 4, pathA, 1000)
+	if err != nil {
+		return nil, err
+	}
+	rec, _ := b.Ctl.Flow(f)
+
+	res := &Fig2Result{
+		System:      kind,
+		WindowStart: 200 * time.Millisecond,
+		WindowEnd:   600 * time.Millisecond,
+	}
+	// Observation taps.
+	b.Net.Switch(1).DataTap = func(sw *dataplane.Switch, d *packet.Data, _ topo.PortID) {
+		res.V1 = append(res.V1, PacketObs{At: sw.Now(), Seq: d.Seq})
+	}
+	b.Net.OnDeliver = func(node topo.NodeID, d *packet.Data) {
+		if node == 4 {
+			res.V4 = append(res.V4, PacketObs{At: b.Eng.Now(), Seq: d.Seq})
+		}
+	}
+
+	// Prepare both configurations the way an oblivious controller would:
+	// (b) against (a), then (c) against the *believed-deployed* (b).
+	var sendB, sendC func()
+	switch kind {
+	case KindEZSegway:
+		planB, err := ezsegway.PreparePlan(g, f, pathA, pathB, 2, rec.SizeK, 0)
+		if err != nil {
+			return nil, err
+		}
+		planC, err := ezsegway.PreparePlan(g, f, pathB, pathC, 3, rec.SizeK, 0)
+		if err != nil {
+			return nil, err
+		}
+		sendC = func() {
+			for i := range planC.Msgs {
+				b.Net.SendToSwitch(planC.Targets[i], planC.Msgs[i], 0)
+			}
+		}
+		sendB = func() {
+			for i := range planB.Msgs {
+				b.Net.SendToSwitch(planB.Targets[i], planB.Msgs[i], 0)
+			}
+		}
+	case KindP4Update:
+		sl := packet.UpdateSingle
+		planB, err := controlplane.PreparePlan(g, f, pathA, pathB, 2, rec.SizeK, &sl)
+		if err != nil {
+			return nil, err
+		}
+		planC, err := controlplane.PreparePlan(g, f, pathB, pathC, 3, rec.SizeK, &sl)
+		if err != nil {
+			return nil, err
+		}
+		sendC = func() {
+			for i := range planC.UIMs {
+				b.Net.SendToSwitch(planC.Targets[i], planC.UIMs[i], 0)
+			}
+		}
+		sendB = func() {
+			for i := range planB.UIMs {
+				b.Net.SendToSwitch(planB.Targets[i], planB.UIMs[i], 0)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("fig2 compares P4Update and ez-Segway only")
+	}
+
+	b.Eng.Schedule(res.WindowStart, sendC)
+	b.Eng.Schedule(res.WindowEnd, sendB)
+
+	// 125 pps source at v0 for 1.2 s.
+	const pps = 125
+	interval := time.Second / pps
+	seq := uint32(0)
+	var inject func()
+	inject = func() {
+		seq++
+		res.Sent++
+		b.Net.Switch(0).InjectData(&packet.Data{Flow: f, Seq: seq, TTL: 64})
+		if b.Eng.Now() < 1200*time.Millisecond {
+			b.Eng.Schedule(interval, inject)
+		}
+	}
+	b.Eng.Schedule(100*time.Millisecond, inject)
+
+	b.Eng.Run()
+
+	for _, n := range uniqueSeqs(res.V1) {
+		if n > 1 {
+			res.DupAtV1 += n - 1
+		}
+	}
+	got := uniqueSeqs(res.V4)
+	for s := uint32(1); s <= seq; s++ {
+		if got[s] == 0 {
+			res.LostAtV4++
+		}
+	}
+	return res, nil
+}

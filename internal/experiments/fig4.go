@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"p4update/internal/controlplane"
+	"p4update/internal/metrics"
+	"p4update/internal/topo"
+	"p4update/internal/traffic"
+)
+
+// fig4Topology is the six-node network of §4.2. Paths:
+//
+//	V1 (initial): 0,1,2,3,4,5
+//	V2 (complex): 0,2,1,4,3,5 — rule changes at every hop, with the two
+//	              backward segments {2,1} and {4,3}
+//	V3 (simple):  0,4,5
+func fig4Topology() (g *topo.Topology, v1, v2, v3 []topo.NodeID) {
+	g = topo.New("fig4")
+	for i := 0; i < 6; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), 0, 0)
+	}
+	const lat = 20 * time.Millisecond
+	for _, e := range [][2]topo.NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 2}, {1, 4}, {3, 5}, {0, 4},
+	} {
+		g.AddLink(e[0], e[1], lat, topo.DefaultWANCapacity)
+	}
+	return g,
+		[]topo.NodeID{0, 1, 2, 3, 4, 5},
+		[]topo.NodeID{0, 2, 1, 4, 3, 5},
+		[]topo.NodeID{0, 4, 5}
+}
+
+// Fig4Result reproduces the paper's Fig. 4: the CDF of the completion
+// time of update U3, requested while the complex U2 is still in flight.
+// P4Update fast-forwards; ez-Segway must wait for U2 to finish.
+type Fig4Result struct {
+	P4Update *metrics.CDF
+	EZSegway *metrics.CDF
+}
+
+// String renders the comparison with the speed-up factor (the paper
+// reports ≈4×).
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString("== Fig. 4: two sequential updates (U3 completion) ==\n")
+	fmt.Fprintf(&b, "%-10s %s\n", "P4Update", r.P4Update.Summary())
+	fmt.Fprintf(&b, "%-10s %s\n", "ez-Segway", r.EZSegway.Summary())
+	if m := r.P4Update.Mean(); m > 0 {
+		fmt.Fprintf(&b, "speed-up (mean): %.1fx\n",
+			float64(r.EZSegway.Mean())/float64(m))
+	}
+	return b.String()
+}
+
+// Fig4 runs the fast-forward scenario `runs` times per system.
+func Fig4(runs int, seed int64) (*Fig4Result, error) {
+	run := func(kind SystemKind, s int64) (time.Duration, error) {
+		g, v1, v2, v3 := fig4Topology()
+		cfg := DefaultBedConfig()
+		cfg.NodeDelayMean = 100 * time.Millisecond
+		b := NewBed(kind, g, s, cfg)
+		if err := b.Register([]traffic.FlowSpec{{Src: 0, Dst: 5, Old: v1, SizeK: 1000}}); err != nil {
+			return 0, err
+		}
+		f := traffic.FlowSpec{Src: 0, Dst: 5}.ID()
+		if _, err := b.Trigger(f, v2); err != nil {
+			return 0, err
+		}
+		// The controller realizes U3 is preferable 10 ms later, while U2
+		// is still deploying.
+		var requestAt time.Duration
+		var u3 *controlplane.UpdateStatus
+		b.Eng.Schedule(10*time.Millisecond, func() {
+			requestAt = b.Eng.Now()
+			u, err := b.Trigger(f, v3)
+			if err != nil {
+				return
+			}
+			u3 = u // nil for ez-Segway until U2 completes (queued)
+		})
+		b.Eng.Run()
+		if u3 == nil {
+			// ez-Segway queued it; fetch the tracked status (version 3).
+			st, ok := b.Ctl.Status(f, 3)
+			if !ok || !st.Done() {
+				return 0, fmt.Errorf("%v: U3 did not complete", kind)
+			}
+			return st.Completed - requestAt, nil
+		}
+		if !u3.Done() {
+			return 0, fmt.Errorf("%v: U3 did not complete", kind)
+		}
+		return u3.Completed - requestAt, nil
+	}
+
+	res := &Fig4Result{}
+	var p4u, ez []time.Duration
+	for i := 0; i < runs; i++ {
+		d, err := run(KindP4Update, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		p4u = append(p4u, d)
+		d, err = run(KindEZSegway, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		ez = append(ez, d)
+	}
+	res.P4Update = metrics.NewCDF(p4u)
+	res.EZSegway = metrics.NewCDF(ez)
+	return res, nil
+}

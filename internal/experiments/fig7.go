@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"p4update/internal/controlplane"
+	"p4update/internal/metrics"
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+	"p4update/internal/traffic"
+)
+
+// Series is one system's empirical update-time distribution.
+type Series struct {
+	System  SystemKind
+	CDF     *metrics.CDF
+	Failed  int // runs that did not complete (should be zero)
+	Samples []time.Duration
+}
+
+// Fig7Result is one subplot of the paper's Fig. 7.
+type Fig7Result struct {
+	Label  string
+	Series []Series
+}
+
+// String renders the subplot in the paper's reporting style: one summary
+// row per system plus the relative improvement of P4Update over both
+// competitors (cf. "fat-tree: −28.6%, B4: −39.1%, Internet2: −31.4%").
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fig. 7: %s ==\n", r.Label)
+	var p4u, ez time.Duration
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%-10s %s", s.System, s.CDF.Summary())
+		if s.Failed > 0 {
+			fmt.Fprintf(&b, "  FAILED=%d", s.Failed)
+		}
+		b.WriteByte('\n')
+		switch s.System {
+		case KindP4Update:
+			p4u = s.CDF.Mean()
+		case KindEZSegway:
+			ez = s.CDF.Mean()
+		}
+	}
+	if p4u > 0 && ez > 0 {
+		fmt.Fprintf(&b, "P4Update vs ez-Segway (mean): %+.1f%%\n",
+			metrics.Improvement(p4u, ez))
+	}
+	return b.String()
+}
+
+// CDFSeries renders per-system CDF rows for plotting.
+func (r *Fig7Result) CDFSeries() string {
+	var b strings.Builder
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "# %s — %s (ms, fraction)\n", r.Label, s.System)
+		b.WriteString(s.CDF.Rows())
+	}
+	return b.String()
+}
+
+// singleFlowSpec picks the paper's engineered single-flow scenario: the
+// exact Fig-1 paths on the synthetic topology, and a segmented long flow
+// elsewhere.
+func singleFlowSpec(g *topo.Topology) (traffic.FlowSpec, error) {
+	if g.Name == "synthetic" {
+		oldP, newP := topo.SyntheticPaths()
+		return traffic.FlowSpec{Src: oldP[0], Dst: oldP[len(oldP)-1], Old: oldP, New: newP, SizeK: 1000}, nil
+	}
+	return traffic.SegmentedSingleFlow(g, 1000)
+}
+
+// Fig7SingleFlow runs the single-flow scenario on topology builder mk:
+// one long flow (old = shortest, new = 2nd-shortest between the farthest
+// pair), per-node exp(nodeDelay) rule-install delays, `runs` repetitions.
+func Fig7SingleFlow(mk func() *topo.Topology, label string, runs int, seed int64) (*Fig7Result, error) {
+	res := &Fig7Result{Label: label + " – single flow"}
+	g := mk()
+	spec, err := singleFlowSpec(g) // deterministic; reuse across runs
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range AllSystems {
+		var samples []time.Duration
+		failed := 0
+		for run := 0; run < runs; run++ {
+			cfg := DefaultBedConfig()
+			cfg.NodeDelayMean = 100 * time.Millisecond
+			b := NewBed(kind, g, seed+int64(run), cfg)
+			if err := b.Register([]traffic.FlowSpec{spec}); err != nil {
+				return nil, err
+			}
+			u, err := b.Trigger(spec.ID(), spec.New)
+			if err != nil {
+				return nil, err
+			}
+			b.Eng.Run()
+			if u == nil || !u.Done() {
+				failed++
+				continue
+			}
+			samples = append(samples, u.Completed-u.Sent)
+		}
+		res.Series = append(res.Series, Series{
+			System: kind, CDF: metrics.NewCDF(samples), Failed: failed, Samples: samples,
+		})
+	}
+	return res, nil
+}
+
+// Fig7MultiFlow runs the multiple-flow scenario: every candidate node
+// picks a random destination (old = shortest, new = 2nd-shortest), flow
+// sizes follow the gravity model scaled near capacity, congestion freedom
+// is enforced, and the measurement is the completion time of the last
+// flow. The same per-run workload (same seed) is presented to every
+// system.
+func Fig7MultiFlow(mk func() *topo.Topology, label string, fatTree bool, runs int, seed int64) (*Fig7Result, error) {
+	res := &Fig7Result{Label: label + " – multiple flows"}
+	for _, kind := range AllSystems {
+		var samples []time.Duration
+		failed := 0
+		for run := 0; run < runs; run++ {
+			g := mk()
+			cfg := DefaultBedConfig()
+			cfg.Congestion = true
+			cfg.FatTreeControl = fatTree
+			b := NewBed(kind, g, seed+int64(run), cfg)
+
+			tcfg := traffic.DefaultConfig()
+			if fatTree {
+				tcfg.Candidates = topo.EdgeSwitches(g)
+			}
+			// Workload depends only on the run index so each system sees
+			// the identical scenario.
+			wrng := newWorkloadRand(seed + int64(run))
+			flows, err := traffic.MultiFlowWorkload(g, wrng, tcfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.Register(flows); err != nil {
+				return nil, err
+			}
+			var updates []*controlplane.UpdateStatus
+			ok := true
+			var ids []packet.FlowID
+			for _, f := range flows {
+				u, err := b.Trigger(f.ID(), f.New)
+				if err != nil {
+					return nil, fmt.Errorf("%s: trigger: %w", kind, err)
+				}
+				if u != nil {
+					updates = append(updates, u)
+				}
+				ids = append(ids, f.ID())
+			}
+			b.Eng.Run()
+			var last time.Duration
+			for _, u := range updates {
+				if !u.Done() {
+					ok = false
+					break
+				}
+				if u.Completed > last {
+					last = u.Completed
+				}
+			}
+			_ = ids
+			if !ok || last == 0 {
+				failed++
+				continue
+			}
+			samples = append(samples, last)
+		}
+		res.Series = append(res.Series, Series{
+			System: kind, CDF: metrics.NewCDF(samples), Failed: failed, Samples: samples,
+		})
+	}
+	return res, nil
+}

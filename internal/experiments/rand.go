@@ -1,0 +1,10 @@
+package experiments
+
+import "math/rand"
+
+// newWorkloadRand derives the per-run workload RNG. It is separate from
+// the simulation engine's RNG so every system sees the identical workload
+// for a given run index.
+func newWorkloadRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x6f10))
+}

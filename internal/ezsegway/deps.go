@@ -1,0 +1,100 @@
+package ezsegway
+
+import (
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// FlowUpdate describes one flow's intended move for the centralized
+// congestion dependency analysis.
+type FlowUpdate struct {
+	Flow     packet.FlowID
+	Old, New []topo.NodeID
+	SizeK    uint32
+}
+
+// pathLinks returns the set of links a path traverses.
+func pathLinks(t *topo.Topology, path []topo.NodeID) map[topo.LinkID]bool {
+	out := make(map[topo.LinkID]bool, len(path))
+	for i := 0; i+1 < len(path); i++ {
+		l, _ := t.LinkBetween(path[i], path[i+1])
+		out[l.ID] = true
+	}
+	return out
+}
+
+// ComputeCongestionDependencies is ez-Segway's control-plane congestion
+// preparation (§9.1: "ez-Segway implements a centralized dependency graph
+// generation, which assigns three types of update priorities"). For every
+// pair of updates it checks whether one's move onto a link needs the
+// other to vacate it first (the link cannot hold both demands plus the
+// standing load), builds the dependency graph, and layers it into three
+// priority classes. The returned map assigns each flow its class
+// (2 = must move first, 1 = has dependencies, 0 = unconstrained).
+//
+// This is the computation P4Update eliminates by resolving inter-flow
+// dependencies dynamically in the data plane — the paper's Fig. 8b times
+// exactly this asymmetry.
+//
+// The second return value gives, per flow, one concrete flow whose move
+// must be confirmed first (zero if none); the data plane enforces it.
+func ComputeCongestionDependencies(t *topo.Topology, updates []FlowUpdate) (map[packet.FlowID]uint8, map[packet.FlowID]packet.FlowID) {
+	n := len(updates)
+	gained := make([]map[topo.LinkID]bool, n)
+	freed := make([]map[topo.LinkID]bool, n)
+	standing := make(map[topo.LinkID]uint64) // load of old configuration
+	for i, u := range updates {
+		oldL := pathLinks(t, u.Old)
+		newL := pathLinks(t, u.New)
+		gained[i] = make(map[topo.LinkID]bool)
+		freed[i] = make(map[topo.LinkID]bool)
+		for l := range newL {
+			if !oldL[l] {
+				gained[i][l] = true
+			}
+		}
+		for l := range oldL {
+			standing[l] += uint64(u.SizeK)
+			if !newL[l] {
+				freed[i][l] = true
+			}
+		}
+	}
+	// deps[i] -> set of j that must move before i.
+	deps := make([][]int, n)
+	rdeps := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			for l := range gained[i] {
+				if !freed[j][l] {
+					continue
+				}
+				capK := uint64(t.Link(l).Capacity * 1000)
+				if standing[l]+uint64(updates[i].SizeK) > capK {
+					deps[i] = append(deps[i], j)
+					rdeps[j] = append(rdeps[j], i)
+					break
+				}
+			}
+		}
+	}
+	out := make(map[packet.FlowID]uint8, n)
+	edge := make(map[packet.FlowID]packet.FlowID, n)
+	for i, u := range updates {
+		switch {
+		case len(rdeps[i]) > 0:
+			out[u.Flow] = 2 // others wait on this move: highest class
+		case len(deps[i]) > 0:
+			out[u.Flow] = 1 // waits on others
+		default:
+			out[u.Flow] = 0
+		}
+		if len(deps[i]) > 0 {
+			edge[u.Flow] = updates[deps[i][0]].Flow
+		}
+	}
+	return out, edge
+}

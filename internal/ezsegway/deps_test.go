@@ -1,0 +1,82 @@
+package ezsegway
+
+import (
+	"testing"
+	"time"
+
+	"p4update/internal/topo"
+)
+
+// depsTopo: two sources feed X, which fans out to A/B/C toward D.
+func depsTopo() *topo.Topology {
+	g := topo.New("deps")
+	for _, n := range []string{"S1", "S2", "X", "A", "B", "C", "D"} {
+		g.AddNode(n, 0, 0)
+	}
+	id := func(n string) topo.NodeID { i, _ := g.NodeByName(n); return i }
+	lat := time.Millisecond
+	g.AddLink(id("S1"), id("X"), lat, 100)
+	g.AddLink(id("S2"), id("X"), lat, 100)
+	g.AddLink(id("X"), id("A"), lat, 1) // 1000 kbps contested links
+	g.AddLink(id("X"), id("B"), lat, 1)
+	g.AddLink(id("X"), id("C"), lat, 1)
+	g.AddLink(id("A"), id("D"), lat, 100)
+	g.AddLink(id("B"), id("D"), lat, 100)
+	g.AddLink(id("C"), id("D"), lat, 100)
+	return g
+}
+
+func TestComputeCongestionDependencies(t *testing.T) {
+	g := depsTopo()
+	id := func(n string) topo.NodeID { i, _ := g.NodeByName(n); return i }
+	path := func(names ...string) []topo.NodeID {
+		out := make([]topo.NodeID, len(names))
+		for i, n := range names {
+			out[i] = id(n)
+		}
+		return out
+	}
+	// f1 moves onto X-B, which only fits after f2 (600 of 1000 kbps on
+	// X-B) vacates toward X-C.
+	updates := []FlowUpdate{
+		{Flow: 1, Old: path("S1", "X", "A", "D"), New: path("S1", "X", "B", "D"), SizeK: 600},
+		{Flow: 2, Old: path("S2", "X", "B", "D"), New: path("S2", "X", "C", "D"), SizeK: 600},
+	}
+	classes, edges := ComputeCongestionDependencies(g, updates)
+	if classes[1] != 1 {
+		t.Errorf("f1 class = %d, want 1 (waits on others)", classes[1])
+	}
+	if classes[2] != 2 {
+		t.Errorf("f2 class = %d, want 2 (others wait on it)", classes[2])
+	}
+	if edges[1] != 2 {
+		t.Errorf("f1 dependency = %d, want flow 2", edges[1])
+	}
+	if _, has := edges[2]; has {
+		t.Error("f2 should have no dependency")
+	}
+}
+
+func TestComputeCongestionDependenciesNoContention(t *testing.T) {
+	g := depsTopo()
+	id := func(n string) topo.NodeID { i, _ := g.NodeByName(n); return i }
+	updates := []FlowUpdate{
+		{Flow: 1,
+			Old:   []topo.NodeID{id("S1"), id("X"), id("A"), id("D")},
+			New:   []topo.NodeID{id("S1"), id("X"), id("B"), id("D")},
+			SizeK: 100},
+		{Flow: 2,
+			Old:   []topo.NodeID{id("S2"), id("X"), id("B"), id("D")},
+			New:   []topo.NodeID{id("S2"), id("X"), id("C"), id("D")},
+			SizeK: 100},
+	}
+	classes, edges := ComputeCongestionDependencies(g, updates)
+	for f, c := range classes {
+		if c != 0 {
+			t.Errorf("flow %d class = %d, want 0 (links have headroom)", f, c)
+		}
+	}
+	if len(edges) != 0 {
+		t.Errorf("edges = %v, want none", edges)
+	}
+}

@@ -1,0 +1,432 @@
+// Package ezsegway implements the ez-Segway baseline (Nguyen et al.,
+// SOSR'17) as adapted for the paper's evaluation (§9.1): the control plane
+// partitions a flow update into in_loop / not_in_loop segments and
+// computes the congestion dependency graph centrally; the data plane
+// propagates notification messages upstream through each segment, with
+// in_loop segments waiting for their downstream dependency. There is no
+// local verification and no version fast-forward: the controller defers a
+// new update of a flow until the previous one completed.
+package ezsegway
+
+import (
+	"fmt"
+	"time"
+
+	"p4update/internal/controlplane"
+	"p4update/internal/dataplane"
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// Plan is a prepared ez-Segway update.
+type Plan struct {
+	Flow    packet.FlowID
+	Version uint32
+	NewPath []topo.NodeID
+	// Changed lists the nodes whose forwarding rule changes (the
+	// completion set).
+	Changed []topo.NodeID
+	// Targets/Msgs are the per-switch instructions.
+	Targets []topo.NodeID
+	Msgs    []packet.Message
+	// Segments is the in_loop/not_in_loop decomposition (diagnostics).
+	Segments []controlplane.Segment
+	// ExecOrder holds, per needed segment, the update order encoded into
+	// the segment's egress gateway (the original system ships this
+	// vector with the instruction).
+	ExecOrder [][]topo.NodeID
+	// Deps maps each in_loop segment index to the downstream segment it
+	// waits for.
+	Deps map[int]int
+}
+
+// PreparePlan computes the ez-Segway instruction set for one flow update.
+// Only switches participating in a changed segment receive instructions:
+// rule-changers get their new port, segment egress-gateways get the
+// initiation role (immediate for not_in_loop, after-own-apply for
+// in_loop).
+func PreparePlan(t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
+	version uint32, sizeK uint32, priority uint8) (*Plan, error) {
+	return PreparePlanDep(t, flow, oldPath, newPath, version, sizeK, priority, 0)
+}
+
+// PreparePlanDep is PreparePlan with an explicit static inter-flow
+// dependency: every instruction carries the flow whose move must precede
+// this one (0 = none).
+func PreparePlanDep(t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
+	version uint32, sizeK uint32, priority uint8, depFlow packet.FlowID) (*Plan, error) {
+
+	if err := t.ValidatePath(newPath); err != nil {
+		return nil, fmt.Errorf("ezsegway: new path: %w", err)
+	}
+	seg, err := controlplane.SegmentPaths(oldPath, newPath)
+	if err != nil {
+		return nil, fmt.Errorf("ezsegway: %w", err)
+	}
+	oldNext := make(map[topo.NodeID]topo.NodeID, len(oldPath))
+	for i := 0; i+1 < len(oldPath); i++ {
+		oldNext[oldPath[i]] = oldPath[i+1]
+	}
+	newNext := make(map[topo.NodeID]topo.NodeID, len(newPath))
+	newIdx := make(map[topo.NodeID]int, len(newPath))
+	for i, n := range newPath {
+		newIdx[n] = i
+		if i+1 < len(newPath) {
+			newNext[n] = newPath[i+1]
+		}
+	}
+	changes := func(n topo.NodeID) bool {
+		nn, onNew := newNext[n]
+		if !onNew {
+			return false
+		}
+		on, onOld := oldNext[n]
+		return !onOld || on != nn
+	}
+
+	p := &Plan{Flow: flow, Version: version, NewPath: newPath, Segments: seg.Segments}
+	instr := make(map[topo.NodeID]*packet.EZI)
+	get := func(n topo.NodeID) *packet.EZI {
+		m, ok := instr[n]
+		if !ok {
+			m = &packet.EZI{
+				Flow: flow, Version: version, FlowSizeK: sizeK,
+				EgressPort: packet.NoPort, ChildPort: packet.NoPort,
+				Priority: priority, DepFlow: depFlow,
+			}
+			if i := newIdx[n]; i+1 < len(newPath) {
+				m.EgressPort = uint16(t.PortTo(n, newPath[i+1]))
+			}
+			if i := newIdx[n]; i > 0 {
+				m.ChildPort = uint16(t.PortTo(n, newPath[i-1]))
+			}
+			if newIdx[n] == 0 {
+				m.Flags |= packet.EZIngress
+			}
+			if newIdx[n] == len(newPath)-1 {
+				m.Flags |= packet.EZEgress
+			}
+			instr[n] = m
+		}
+		return m
+	}
+
+	for _, s := range seg.Segments {
+		// A segment needs work when any of its rule-setting nodes
+		// (everything but the segment egress gateway) changes.
+		needed := false
+		for _, n := range s.Nodes[:len(s.Nodes)-1] {
+			if changes(n) {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			continue
+		}
+		for i, n := range s.Nodes[:len(s.Nodes)-1] {
+			in := get(n)
+			if i > 0 {
+				in.Flags |= packet.EZRelay // segment interior
+			}
+			if changes(n) {
+				p.Changed = append(p.Changed, n)
+			}
+		}
+		eg := get(s.EgressGW)
+		switch {
+		case s.Forward || !changes(s.EgressGW):
+			// not_in_loop segments start immediately; a gateway whose
+			// own rule never changes has no downstream dependency.
+			eg.Flags |= packet.EZInitNow
+		default:
+			eg.Flags |= packet.EZInitAfterApply
+		}
+		// Encode the intra-segment update order into the segment egress
+		// (egress-to-ingress), as the original system does.
+		order := make([]topo.NodeID, 0, len(s.Nodes))
+		for i := len(s.Nodes) - 2; i >= 0; i-- {
+			order = append(order, s.Nodes[i])
+		}
+		p.ExecOrder = append(p.ExecOrder, order)
+	}
+	// Resolve inter-segment dependencies: each in_loop segment waits for
+	// its downstream neighbor chain.
+	p.Deps = make(map[int]int)
+	for i, s := range seg.Segments {
+		if !s.Forward && i > 0 {
+			p.Deps[i] = i - 1
+		}
+	}
+	for n, m := range instr {
+		p.Targets = append(p.Targets, n)
+		p.Msgs = append(p.Msgs, m)
+	}
+	return p, nil
+}
+
+// flowEZState is the per-flow, per-switch baseline state.
+type flowEZState struct {
+	instr   *packet.EZI
+	applied bool
+	started bool // upstream segment initiated
+	// depWaived releases a static-dependency wait after the fallback
+	// timeout (the CP-computed graph can contain cycles).
+	depWaived bool
+}
+
+func ezState(st *dataplane.FlowState) *flowEZState {
+	es, ok := st.Proto.(*flowEZState)
+	if !ok {
+		es = &flowEZState{}
+		st.Proto = es
+	}
+	return es
+}
+
+// Handler is the ez-Segway data-plane handler.
+type Handler struct {
+	// Congestion enables the per-link capacity check before a move
+	// (waiters are woken FIFO; ez-Segway's scheduling order comes from
+	// the CP-computed priorities, not from dynamic data-plane state).
+	Congestion bool
+}
+
+var _ dataplane.Handler = (*Handler)(nil)
+var _ dataplane.MessageHandler = (*Handler)(nil)
+
+// HandleUIM is unused by ez-Segway (instructions arrive as EZI).
+func (h *Handler) HandleUIM(sw *dataplane.Switch, m *packet.UIM) {}
+
+// HandleUNM is unused by ez-Segway.
+func (h *Handler) HandleUNM(sw *dataplane.Switch, m *packet.UNM, inPort topo.PortID) {}
+
+// HandleMessage dispatches the baseline message types.
+func (h *Handler) HandleMessage(sw *dataplane.Switch, m packet.Message, inPort topo.PortID) {
+	switch m := m.(type) {
+	case *packet.EZI:
+		h.handleEZI(sw, m)
+	case *packet.EZN:
+		h.handleEZN(sw, m)
+	}
+}
+
+func (h *Handler) handleEZI(sw *dataplane.Switch, m *packet.EZI) {
+	st := sw.State(m.Flow)
+	es := ezState(st)
+	if es.instr != nil && m.Version <= es.instr.Version {
+		return
+	}
+	es.instr = m
+	es.applied = false
+	es.started = false
+	if m.Version > st.IndicatedVersion {
+		st.IndicatedVersion = m.Version
+	}
+	switch {
+	case m.Flags.Has(packet.EZEgress):
+		// The egress has nothing to move; mark applied and initiate.
+		es.applied = true
+		h.initiate(sw, m, es)
+	case m.Flags.Has(packet.EZInitNow):
+		h.initiate(sw, m, es)
+	}
+	sw.WakeUIMWaiters(m.Flow)
+}
+
+// initiate starts the upstream segment by notifying the child.
+func (h *Handler) initiate(sw *dataplane.Switch, m *packet.EZI, es *flowEZState) {
+	if es.started || m.ChildPort == packet.NoPort {
+		es.started = true
+		return
+	}
+	es.started = true
+	sw.Network().SendPort(sw.ID, topo.PortID(int32(m.ChildPort)), &packet.EZN{
+		Flow: m.Flow, Version: m.Version,
+	})
+}
+
+func (h *Handler) handleEZN(sw *dataplane.Switch, m *packet.EZN) {
+	st := sw.State(m.Flow)
+	es := ezState(st)
+	if es.instr == nil || es.instr.Version < m.Version {
+		// Instruction not here yet: wait (resubmission).
+		sw.ParkOnUIM(m.Flow, func() { h.handleEZN(sw, m) })
+		return
+	}
+	if es.instr.Version > m.Version || es.applied {
+		return // stale or duplicate notification
+	}
+	instr := es.instr
+	newPort := dataplane.PortLocal
+	if instr.EgressPort != packet.NoPort {
+		newPort = topo.PortID(int32(instr.EgressPort))
+	}
+	if h.Congestion && newPort != dataplane.PortLocal &&
+		!(st.HasRule && st.EgressPort == newPort && st.FlowSizeK >= instr.FlowSizeK) {
+		// Static CP-computed dependency: wait until the depended flow has
+		// vacated the contested link, even if capacity already suffices —
+		// ez-Segway's scheduler follows the precomputed order, it cannot
+		// observe live capacity the way P4Update's dynamic scheduler does.
+		if dep := instr.DepFlow; dep != 0 && !es.depWaived {
+			if dst, ok := sw.PeekState(dep); ok && dst.HasRule && dst.EgressPort == newPort {
+				sw.ParkOnCapacity(newPort, func() { h.handleEZN(sw, m) })
+				// Fallback: the static graph can contain cycles; waive
+				// the dependency after a timeout and retry on capacity
+				// alone.
+				sw.Network().Eng.Schedule(500*time.Millisecond, func() {
+					if !es.applied {
+						es.depWaived = true
+						h.handleEZN(sw, m)
+					}
+				})
+				return
+			}
+		}
+		if sw.RemainingK(newPort) < uint64(instr.FlowSizeK) {
+			sw.ParkOnCapacity(newPort, func() { h.handleEZN(sw, m) })
+			return
+		}
+		sw.StageReservation(m.Flow, newPort, instr.FlowSizeK, instr.Version)
+	}
+	portChanged := !st.HasRule || st.EgressPort != newPort
+	sw.Apply(portChanged, func() {
+		ok := sw.CommitState(m.Flow, dataplane.Commit{
+			Port:    newPort,
+			Version: instr.Version,
+			// ez-Segway carries no distance labels; keep the old ones.
+			Distance:    st.NewDistance,
+			OldVersion:  st.NewVersion,
+			OldDistance: st.OldDistance,
+			SizeK:       instr.FlowSizeK,
+			Type:        packet.UpdateSingle,
+		})
+		if !ok {
+			return
+		}
+		es.applied = true
+		// Segment-interior nodes relay the notification upstream.
+		if instr.Flags.Has(packet.EZRelay) && instr.ChildPort != packet.NoPort {
+			sw.Network().SendPort(sw.ID, topo.PortID(int32(instr.ChildPort)), &packet.EZN{
+				Flow: m.Flow, Version: m.Version,
+			})
+		}
+		if instr.Flags.Has(packet.EZIngress) {
+			// Flow ingress: report completion of the final segment.
+			sw.SendUFM(&packet.UFM{
+				Flow: m.Flow, Version: m.Version, Status: packet.StatusUpdated,
+			})
+		}
+		// A gateway that just applied may now initiate its in_loop
+		// upstream segment (the downstream dependency resolved).
+		if instr.Flags.Has(packet.EZInitAfterApply) {
+			es.started = false
+			h.initiate(sw, instr, es)
+		}
+	})
+}
+
+// Controller drives ez-Segway updates: it wraps the shared tracking
+// controller and serializes updates per flow (no fast-forward — a new
+// configuration waits for the ongoing update to complete, §4.2).
+type Controller struct {
+	Ctl *controlplane.Controller
+	// Congestion enables the centralized dependency-graph computation;
+	// its result is shipped with the instructions as static priorities
+	// and dependency edges.
+	Congestion bool
+
+	queued map[packet.FlowID][]queuedUpdate
+	active map[packet.FlowID]*controlplane.UpdateStatus
+	// activeUpdates mirrors the in-flight moves for dependency-graph
+	// recomputation.
+	activeUpdates map[packet.FlowID]FlowUpdate
+	// PrepTime accumulates pure control-plane preparation time across
+	// triggered updates (measured with the wall clock, as in Fig. 8).
+	PrepTime time.Duration
+}
+
+type queuedUpdate struct {
+	newPath []topo.NodeID
+}
+
+// NewController wires an ez-Segway control plane over the shared tracker.
+func NewController(ctl *controlplane.Controller) *Controller {
+	c := &Controller{
+		Ctl:           ctl,
+		queued:        make(map[packet.FlowID][]queuedUpdate),
+		active:        make(map[packet.FlowID]*controlplane.UpdateStatus),
+		activeUpdates: make(map[packet.FlowID]FlowUpdate),
+	}
+	prev := ctl.OnComplete
+	ctl.OnComplete = func(u *controlplane.UpdateStatus) {
+		if prev != nil {
+			prev(u)
+		}
+		c.onComplete(u)
+	}
+	return c
+}
+
+// TriggerUpdate schedules an update of f to newPath. If an update of f is
+// in flight, the new one is deferred until completion.
+func (c *Controller) TriggerUpdate(f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+	if _, busy := c.active[f]; busy {
+		c.queued[f] = append(c.queued[f], queuedUpdate{newPath: newPath})
+		return nil, nil
+	}
+	return c.launch(f, newPath)
+}
+
+func (c *Controller) launch(f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+	rec, ok := c.Ctl.Flow(f)
+	if !ok {
+		return nil, fmt.Errorf("ezsegway: unknown flow %d", f)
+	}
+	version := rec.Version + 1
+	oldPath := rec.Path
+	start := time.Now()
+	var prio uint8
+	var dep packet.FlowID
+	if c.Congestion {
+		// Recompute the global dependency graph over the in-flight moves
+		// (the centralized preparation P4Update eliminates, Fig. 8b).
+		c.activeUpdates[f] = FlowUpdate{Flow: f, Old: oldPath, New: newPath, SizeK: rec.SizeK}
+		set := make([]FlowUpdate, 0, len(c.activeUpdates))
+		for _, fu := range c.activeUpdates {
+			set = append(set, fu)
+		}
+		classes, edges := ComputeCongestionDependencies(c.Ctl.Topo, set)
+		prio = classes[f]
+		dep = edges[f]
+	}
+	plan, err := PreparePlanDep(c.Ctl.Topo, f, oldPath, newPath, version, rec.SizeK, prio, dep)
+	c.PrepTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	u := c.Ctl.PushMessages(f, version, oldPath, newPath, plan.Changed, plan.Targets, plan.Msgs, rec)
+	if len(plan.Changed) == 0 {
+		// Nothing to move: the update is trivially complete.
+		u.Completed = c.Ctl.Eng.Now()
+		return u, nil
+	}
+	c.active[f] = u
+	return u, nil
+}
+
+func (c *Controller) onComplete(u *controlplane.UpdateStatus) {
+	if cur, ok := c.active[u.Flow]; !ok || cur != u {
+		return
+	}
+	delete(c.active, u.Flow)
+	delete(c.activeUpdates, u.Flow)
+	if q := c.queued[u.Flow]; len(q) > 0 {
+		next := q[0]
+		c.queued[u.Flow] = q[1:]
+		if _, err := c.launch(u.Flow, next.newPath); err != nil {
+			// Unlaunchable deferred update: drop it.
+			_ = err
+		}
+	}
+}

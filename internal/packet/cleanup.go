@@ -1,0 +1,40 @@
+package packet
+
+import "encoding/binary"
+
+// TypeCLN is the rule-cleanup message (§11 "Rule Cleanup"): after an
+// update completes, stale rules on abandoned old-path nodes are removed
+// and their capacity reservations released.
+const TypeCLN MsgType = 18
+
+// CLN asks a switch to remove the flow's rule if it predates version
+// (the switch keeps rules belonging to the given or a newer
+// configuration).
+type CLN struct {
+	Flow    FlowID
+	Version uint32
+}
+
+const clnSize = 9
+
+// Type implements Message.
+func (m *CLN) Type() MsgType { return TypeCLN }
+
+// SerializeTo implements Message.
+func (m *CLN) SerializeTo(b []byte) []byte {
+	var buf [clnSize]byte
+	buf[0] = byte(TypeCLN)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(m.Flow))
+	binary.BigEndian.PutUint32(buf[5:9], m.Version)
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes implements Message.
+func (m *CLN) DecodeFromBytes(b []byte) error {
+	if err := checkFrame(b, TypeCLN, clnSize); err != nil {
+		return err
+	}
+	m.Flow = FlowID(binary.BigEndian.Uint32(b[1:5]))
+	m.Version = binary.BigEndian.Uint32(b[5:9])
+	return nil
+}

@@ -1,0 +1,124 @@
+package packet
+
+import "encoding/binary"
+
+// The ez-Segway baseline (Nguyen et al., SOSR'17, adapted per the paper's
+// §9.1) uses two extra wire formats: the per-switch instruction message
+// EZI and the intra-/inter-segment notification EZN. They live alongside
+// the P4Update formats so both systems run on the same switch substrate.
+
+// Additional message types for the baseline protocols.
+const (
+	TypeEZI MsgType = 16
+	TypeEZN MsgType = 17
+)
+
+// EZFlags describes a switch's role in an ez-Segway update.
+type EZFlags uint8
+
+// EZI flags.
+const (
+	// EZEgress marks the flow egress.
+	EZEgress EZFlags = 1 << iota
+	// EZIngress marks the flow ingress.
+	EZIngress
+	// EZInitNow marks a gateway that initiates its upstream segment
+	// immediately (the segment is not_in_loop).
+	EZInitNow
+	// EZInitAfterApply marks a gateway whose upstream segment is in_loop:
+	// it may only be initiated after the gateway itself applied, i.e.
+	// after the downstream dependency finished.
+	EZInitAfterApply
+	// EZRelay marks a segment-interior node that forwards the
+	// notification to its upstream neighbor after applying.
+	EZRelay
+)
+
+// Has reports whether all bits of g are set in f.
+func (f EZFlags) Has(g EZFlags) bool { return f&g == g }
+
+// EZI is the ez-Segway instruction the controller sends each switch on
+// the new path.
+type EZI struct {
+	Flow       FlowID
+	Version    uint32
+	EgressPort uint16 // new next-hop port (NoPort at the egress)
+	ChildPort  uint16 // port toward the upstream neighbor (NoPort at ingress)
+	FlowSizeK  uint32
+	Flags      EZFlags
+	// Priority is the CP-computed congestion scheduling class (0 = no
+	// dependency; higher moves first on contended links).
+	Priority uint8
+	// DepFlow, when nonzero, is the flow whose move away must be
+	// confirmed before this flow's move may proceed (the CP-computed
+	// static inter-flow dependency).
+	DepFlow FlowID
+}
+
+const eziSize = 23
+
+// Type implements Message.
+func (m *EZI) Type() MsgType { return TypeEZI }
+
+// SerializeTo implements Message.
+func (m *EZI) SerializeTo(b []byte) []byte {
+	var buf [eziSize]byte
+	buf[0] = byte(TypeEZI)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(m.Flow))
+	binary.BigEndian.PutUint32(buf[5:9], m.Version)
+	binary.BigEndian.PutUint16(buf[9:11], m.EgressPort)
+	binary.BigEndian.PutUint16(buf[11:13], m.ChildPort)
+	binary.BigEndian.PutUint32(buf[13:17], m.FlowSizeK)
+	buf[17] = byte(m.Flags)
+	buf[18] = m.Priority
+	binary.BigEndian.PutUint32(buf[19:23], uint32(m.DepFlow))
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes implements Message.
+func (m *EZI) DecodeFromBytes(b []byte) error {
+	if err := checkFrame(b, TypeEZI, eziSize); err != nil {
+		return err
+	}
+	m.Flow = FlowID(binary.BigEndian.Uint32(b[1:5]))
+	m.Version = binary.BigEndian.Uint32(b[5:9])
+	m.EgressPort = binary.BigEndian.Uint16(b[9:11])
+	m.ChildPort = binary.BigEndian.Uint16(b[11:13])
+	m.FlowSizeK = binary.BigEndian.Uint32(b[13:17])
+	m.Flags = EZFlags(b[17])
+	m.Priority = b[18]
+	m.DepFlow = FlowID(binary.BigEndian.Uint32(b[19:23]))
+	return nil
+}
+
+// EZN is the ez-Segway data-plane notification propagating an update
+// upstream through a segment. It carries no verification labels — the
+// receiving switch applies unconditionally.
+type EZN struct {
+	Flow    FlowID
+	Version uint32
+}
+
+const eznSize = 9
+
+// Type implements Message.
+func (m *EZN) Type() MsgType { return TypeEZN }
+
+// SerializeTo implements Message.
+func (m *EZN) SerializeTo(b []byte) []byte {
+	var buf [eznSize]byte
+	buf[0] = byte(TypeEZN)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(m.Flow))
+	binary.BigEndian.PutUint32(buf[5:9], m.Version)
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes implements Message.
+func (m *EZN) DecodeFromBytes(b []byte) error {
+	if err := checkFrame(b, TypeEZN, eznSize); err != nil {
+		return err
+	}
+	m.Flow = FlowID(binary.BigEndian.Uint32(b[1:5]))
+	m.Version = binary.BigEndian.Uint32(b[5:9])
+	return nil
+}

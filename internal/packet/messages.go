@@ -1,0 +1,338 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Role flags carried in a UIM, telling a switch which role it plays on the
+// new path.
+type Role uint8
+
+// Role bits.
+const (
+	// RoleEgress marks the flow's egress switch (new distance 0).
+	RoleEgress Role = 1 << iota
+	// RoleIngress marks the flow's ingress switch.
+	RoleIngress
+	// RoleGateway marks a gateway node: a node on both the old and the
+	// new path (dual-layer segmentation, §3.2).
+	RoleGateway
+)
+
+// Has reports whether all bits of r2 are set in r.
+func (r Role) Has(r2 Role) bool { return r&r2 == r2 }
+
+// Layer discriminates dual-layer UNMs.
+type Layer uint8
+
+// UNM layers.
+const (
+	// LayerIntra is the second-layer UNM propagating inside a segment
+	// (and the only layer used by SL updates).
+	LayerIntra Layer = 0
+	// LayerInter is the first-layer UNM coordinating gateways.
+	LayerInter Layer = 1
+)
+
+// Data is a data-plane packet of a flow. Probe packets additionally
+// carry the configuration version whose deployment they confirm. Tag is
+// the two-phase-commit version stamp of §11 ("2-Phase Commit Updates"):
+// when two-phase forwarding is enabled, the ingress stamps each packet
+// with its committed version and downstream switches that have already
+// moved on forward tagged packets over their retained previous rule, so
+// every packet traverses exactly one configuration end to end.
+type Data struct {
+	Flow         FlowID
+	Seq          uint32
+	TTL          uint8
+	Probe        bool
+	ProbeVersion uint32
+	Tag          uint32
+}
+
+const dataSize = 19
+
+// Type implements Message.
+func (d *Data) Type() MsgType { return TypeData }
+
+// SerializeTo implements Message.
+func (d *Data) SerializeTo(b []byte) []byte {
+	var buf [dataSize]byte
+	buf[0] = byte(TypeData)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(d.Flow))
+	binary.BigEndian.PutUint32(buf[5:9], d.Seq)
+	buf[9] = d.TTL
+	if d.Probe {
+		buf[10] = 1
+	}
+	binary.BigEndian.PutUint32(buf[11:15], d.ProbeVersion)
+	binary.BigEndian.PutUint32(buf[15:19], d.Tag)
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes implements Message.
+func (d *Data) DecodeFromBytes(b []byte) error {
+	if err := checkFrame(b, TypeData, dataSize); err != nil {
+		return err
+	}
+	d.Flow = FlowID(binary.BigEndian.Uint32(b[1:5]))
+	d.Seq = binary.BigEndian.Uint32(b[5:9])
+	d.TTL = b[9]
+	d.Probe = b[10] != 0
+	d.ProbeVersion = binary.BigEndian.Uint32(b[11:15])
+	d.Tag = binary.BigEndian.Uint32(b[15:19])
+	return nil
+}
+
+// FRM is the Flow Report Message an ingress switch clones to the
+// controller when a new flow emerges (§B).
+type FRM struct {
+	Flow FlowID
+	Src  uint16
+	Dst  uint16
+}
+
+const frmSize = 9
+
+// Type implements Message.
+func (m *FRM) Type() MsgType { return TypeFRM }
+
+// SerializeTo implements Message.
+func (m *FRM) SerializeTo(b []byte) []byte {
+	var buf [frmSize]byte
+	buf[0] = byte(TypeFRM)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(m.Flow))
+	binary.BigEndian.PutUint16(buf[5:7], m.Src)
+	binary.BigEndian.PutUint16(buf[7:9], m.Dst)
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes implements Message.
+func (m *FRM) DecodeFromBytes(b []byte) error {
+	if err := checkFrame(b, TypeFRM, frmSize); err != nil {
+		return err
+	}
+	m.Flow = FlowID(binary.BigEndian.Uint32(b[1:5]))
+	m.Src = binary.BigEndian.Uint16(b[5:7])
+	m.Dst = binary.BigEndian.Uint16(b[7:9])
+	return nil
+}
+
+// UIM is the Update Indication Message the controller sends to each switch
+// on a flow's new path. It carries the verification labels of §3: version
+// number, new distance, (for gateways) the old-path distance, plus the new
+// egress port, the flow's size bound and the update type (§8).
+type UIM struct {
+	Flow        FlowID
+	Version     uint32
+	NewDistance uint16
+	OldDistance uint16 // only meaningful when Role has RoleGateway
+	EgressPort  uint16
+	// ChildPort is the clone-session port toward the node's child
+	// (upstream neighbor) on the new path; §8 realizes this as a
+	// one-to-one port-based forwarding table for UNM clones.
+	// NoPort when the node is the flow ingress.
+	ChildPort  uint16
+	FlowSizeK  uint32 // flow size bound in kbps
+	UpdateType UpdateType
+	Role       Role
+}
+
+// NoPort is the wire encoding of "no port" (egress delivery / no child).
+const NoPort uint16 = 0xffff
+
+const uimSize = 23
+
+// Type implements Message.
+func (m *UIM) Type() MsgType { return TypeUIM }
+
+// SerializeTo implements Message.
+func (m *UIM) SerializeTo(b []byte) []byte {
+	var buf [uimSize]byte
+	buf[0] = byte(TypeUIM)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(m.Flow))
+	binary.BigEndian.PutUint32(buf[5:9], m.Version)
+	binary.BigEndian.PutUint16(buf[9:11], m.NewDistance)
+	binary.BigEndian.PutUint16(buf[11:13], m.OldDistance)
+	binary.BigEndian.PutUint16(buf[13:15], m.EgressPort)
+	binary.BigEndian.PutUint16(buf[15:17], m.ChildPort)
+	binary.BigEndian.PutUint32(buf[17:21], m.FlowSizeK)
+	buf[21] = byte(m.UpdateType)
+	buf[22] = byte(m.Role)
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes implements Message.
+func (m *UIM) DecodeFromBytes(b []byte) error {
+	if err := checkFrame(b, TypeUIM, uimSize); err != nil {
+		return err
+	}
+	m.Flow = FlowID(binary.BigEndian.Uint32(b[1:5]))
+	m.Version = binary.BigEndian.Uint32(b[5:9])
+	m.NewDistance = binary.BigEndian.Uint16(b[9:11])
+	m.OldDistance = binary.BigEndian.Uint16(b[11:13])
+	m.EgressPort = binary.BigEndian.Uint16(b[13:15])
+	m.ChildPort = binary.BigEndian.Uint16(b[15:17])
+	m.FlowSizeK = binary.BigEndian.Uint32(b[17:21])
+	m.UpdateType = UpdateType(b[21])
+	m.Role = Role(b[22])
+	return nil
+}
+
+// UNM is the Update Notification Message switches exchange in the data
+// plane. It carries the sender's previous configuration (Vo, Do) and
+// current configuration (Vn, Dn) labels plus the dual-layer hop counter
+// used for symmetry breaking (Alg. 2).
+type UNM struct {
+	Flow       FlowID
+	Layer      Layer
+	UpdateType UpdateType
+	Vn         uint32
+	Dn         uint16
+	Vo         uint32
+	Do         uint16
+	Counter    uint16
+}
+
+const unmSize = 21
+
+// Type implements Message.
+func (m *UNM) Type() MsgType { return TypeUNM }
+
+// SerializeTo implements Message.
+func (m *UNM) SerializeTo(b []byte) []byte {
+	var buf [unmSize]byte
+	buf[0] = byte(TypeUNM)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(m.Flow))
+	buf[5] = byte(m.Layer)
+	buf[6] = byte(m.UpdateType)
+	binary.BigEndian.PutUint32(buf[7:11], m.Vn)
+	binary.BigEndian.PutUint16(buf[11:13], m.Dn)
+	binary.BigEndian.PutUint32(buf[13:17], m.Vo)
+	binary.BigEndian.PutUint16(buf[17:19], m.Do)
+	binary.BigEndian.PutUint16(buf[19:21], m.Counter)
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes implements Message.
+func (m *UNM) DecodeFromBytes(b []byte) error {
+	if err := checkFrame(b, TypeUNM, unmSize); err != nil {
+		return err
+	}
+	m.Flow = FlowID(binary.BigEndian.Uint32(b[1:5]))
+	m.Layer = Layer(b[5])
+	m.UpdateType = UpdateType(b[6])
+	m.Vn = binary.BigEndian.Uint32(b[7:11])
+	m.Dn = binary.BigEndian.Uint16(b[11:13])
+	m.Vo = binary.BigEndian.Uint32(b[13:17])
+	m.Do = binary.BigEndian.Uint16(b[17:19])
+	m.Counter = binary.BigEndian.Uint16(b[19:21])
+	return nil
+}
+
+// UFMStatus reports what a UFM signals to the controller.
+type UFMStatus uint8
+
+// UFM status codes.
+const (
+	// StatusUpdated: the reporting switch applied the new configuration.
+	StatusUpdated UFMStatus = 1
+	// StatusAlarm: local verification rejected an inconsistent update.
+	StatusAlarm UFMStatus = 2
+	// StatusProbeOK: the egress received a probe confirming the new
+	// ingress-to-egress path is fully established.
+	StatusProbeOK UFMStatus = 3
+	// StatusStalled: a switch holds an indication whose update has not
+	// arrived within the watchdog window — likely a lost UNM (§11
+	// "Failures in the Update Process").
+	StatusStalled UFMStatus = 4
+)
+
+// String implements fmt.Stringer.
+func (s UFMStatus) String() string {
+	switch s {
+	case StatusUpdated:
+		return "updated"
+	case StatusAlarm:
+		return "alarm"
+	case StatusProbeOK:
+		return "probe-ok"
+	case StatusStalled:
+		return "stalled"
+	default:
+		return fmt.Sprintf("UFMStatus(%d)", uint8(s))
+	}
+}
+
+// AlarmReason explains a StatusAlarm UFM.
+type AlarmReason uint8
+
+// Alarm reasons (the inconsistency classes of §7.1).
+const (
+	ReasonNone AlarmReason = iota
+	// ReasonDistance: the parent's distance does not verify (potential
+	// loop; Fig. 6b).
+	ReasonDistance
+	// ReasonOutdated: the notification carries an outdated version
+	// (Fig. 6c).
+	ReasonOutdated
+	// ReasonFlowSize: the flow's size bound changed unexpectedly (§A.2).
+	ReasonFlowSize
+)
+
+// String implements fmt.Stringer.
+func (r AlarmReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonDistance:
+		return "distance-mismatch"
+	case ReasonOutdated:
+		return "outdated-version"
+	case ReasonFlowSize:
+		return "flow-size-mismatch"
+	default:
+		return fmt.Sprintf("AlarmReason(%d)", uint8(r))
+	}
+}
+
+// UFM is the Update Feedback Message a switch sends to the controller to
+// report update success or an alarm.
+type UFM struct {
+	Flow    FlowID
+	Version uint32
+	Status  UFMStatus
+	Reason  AlarmReason
+	Node    uint16
+}
+
+const ufmSize = 13
+
+// Type implements Message.
+func (m *UFM) Type() MsgType { return TypeUFM }
+
+// SerializeTo implements Message.
+func (m *UFM) SerializeTo(b []byte) []byte {
+	var buf [ufmSize]byte
+	buf[0] = byte(TypeUFM)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(m.Flow))
+	binary.BigEndian.PutUint32(buf[5:9], m.Version)
+	buf[9] = byte(m.Status)
+	buf[10] = byte(m.Reason)
+	binary.BigEndian.PutUint16(buf[11:13], m.Node)
+	return append(b, buf[:]...)
+}
+
+// DecodeFromBytes implements Message.
+func (m *UFM) DecodeFromBytes(b []byte) error {
+	if err := checkFrame(b, TypeUFM, ufmSize); err != nil {
+		return err
+	}
+	m.Flow = FlowID(binary.BigEndian.Uint32(b[1:5]))
+	m.Version = binary.BigEndian.Uint32(b[5:9])
+	m.Status = UFMStatus(b[9])
+	m.Reason = AlarmReason(b[10])
+	m.Node = binary.BigEndian.Uint16(b[11:13])
+	return nil
+}

@@ -1,0 +1,137 @@
+// Package packet defines the byte-level wire formats exchanged in the
+// P4Update system: data-plane packets and the four control message types
+// of the paper's Fig. 5 — Flow Report Messages (FRM), Update Indication
+// Messages (UIM), Update Notification Messages (UNM) and Update Feedback
+// Messages (UFM).
+//
+// Every message implements Message with gopacket-style SerializeTo /
+// DecodeFromBytes semantics: serialization appends a fixed-layout
+// big-endian header; decoding validates the length and type byte.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// MsgType discriminates the wire messages.
+type MsgType uint8
+
+// Message type values. Zero is reserved as invalid.
+const (
+	TypeInvalid MsgType = iota
+	TypeData
+	TypeFRM
+	TypeUIM
+	TypeUNM
+	TypeUFM
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeFRM:
+		return "FRM"
+	case TypeUIM:
+		return "UIM"
+	case TypeUNM:
+		return "UNM"
+	case TypeUFM:
+		return "UFM"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// FlowID identifies a flow. The paper derives it by hashing the flow's
+// source-destination pair at the ingress switch (§B).
+type FlowID uint32
+
+// HashFlow computes the FlowID for a source-destination pair the way the
+// ingress switch does for FRM generation.
+func HashFlow(src, dst uint16) FlowID {
+	h := fnv.New32a()
+	var b [4]byte
+	binary.BigEndian.PutUint16(b[0:2], src)
+	binary.BigEndian.PutUint16(b[2:4], dst)
+	h.Write(b[:])
+	return FlowID(h.Sum32())
+}
+
+// UpdateType tags an update as single-layer or dual-layer (register "t"
+// of Table 1).
+type UpdateType uint8
+
+// Update type values.
+const (
+	UpdateSingle UpdateType = 0
+	UpdateDual   UpdateType = 1
+)
+
+// String implements fmt.Stringer.
+func (u UpdateType) String() string {
+	if u == UpdateDual {
+		return "DL"
+	}
+	return "SL"
+}
+
+// Message is the common interface of all wire formats.
+type Message interface {
+	// Type returns the message's type discriminator.
+	Type() MsgType
+	// SerializeTo appends the encoded message to b and returns the
+	// extended slice.
+	SerializeTo(b []byte) []byte
+	// DecodeFromBytes parses the message from b, which must contain
+	// exactly one encoded message of this type.
+	DecodeFromBytes(b []byte) error
+}
+
+// Decode parses any supported message from b.
+func Decode(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("packet: empty buffer")
+	}
+	var m Message
+	switch MsgType(b[0]) {
+	case TypeData:
+		m = &Data{}
+	case TypeFRM:
+		m = &FRM{}
+	case TypeUIM:
+		m = &UIM{}
+	case TypeUNM:
+		m = &UNM{}
+	case TypeUFM:
+		m = &UFM{}
+	case TypeEZI:
+		m = &EZI{}
+	case TypeEZN:
+		m = &EZN{}
+	case TypeCLN:
+		m = &CLN{}
+	default:
+		return nil, fmt.Errorf("packet: unknown message type %d", b[0])
+	}
+	if err := m.DecodeFromBytes(b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Marshal is a convenience wrapper serializing m into a fresh buffer.
+func Marshal(m Message) []byte { return m.SerializeTo(nil) }
+
+func checkFrame(b []byte, want MsgType, size int) error {
+	if len(b) != size {
+		return fmt.Errorf("packet: %v frame is %d bytes, want %d", want, len(b), size)
+	}
+	if MsgType(b[0]) != want {
+		return fmt.Errorf("packet: type byte %d, want %v", b[0], want)
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package packet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripData(t *testing.T) {
+	in := &Data{Flow: 0xdeadbeef, Seq: 42, TTL: 64, Probe: true, ProbeVersion: 7}
+	b := Marshal(in)
+	out := &Data{}
+	if err := out.DecodeFromBytes(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", in, out)
+	}
+}
+
+func TestRoundTripFRM(t *testing.T) {
+	in := &FRM{Flow: HashFlow(3, 9), Src: 3, Dst: 9}
+	out := &FRM{}
+	if err := out.DecodeFromBytes(Marshal(in)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", in, out)
+	}
+}
+
+func TestRoundTripUIM(t *testing.T) {
+	in := &UIM{
+		Flow: 9, Version: 3, NewDistance: 7, OldDistance: 2,
+		EgressPort: 5, ChildPort: NoPort, FlowSizeK: 125000, UpdateType: UpdateDual,
+		Role: RoleGateway | RoleIngress,
+	}
+	out := &UIM{}
+	if err := out.DecodeFromBytes(Marshal(in)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", in, out)
+	}
+}
+
+func TestRoundTripUNM(t *testing.T) {
+	in := &UNM{
+		Flow: 1, Layer: LayerInter, UpdateType: UpdateDual,
+		Vn: 5, Dn: 4, Vo: 4, Do: 1, Counter: 3,
+	}
+	out := &UNM{}
+	if err := out.DecodeFromBytes(Marshal(in)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", in, out)
+	}
+}
+
+func TestRoundTripUFM(t *testing.T) {
+	in := &UFM{Flow: 8, Version: 2, Status: StatusAlarm, Reason: ReasonDistance, Node: 4}
+	out := &UFM{}
+	if err := out.DecodeFromBytes(Marshal(in)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", in, out)
+	}
+}
+
+func TestDecodeDispatch(t *testing.T) {
+	msgs := []Message{
+		&Data{Flow: 1, TTL: 64},
+		&FRM{Flow: 2},
+		&UIM{Flow: 3, Version: 1},
+		&UNM{Flow: 4, Vn: 1},
+		&UFM{Flow: 5, Status: StatusUpdated},
+	}
+	for _, m := range msgs {
+		got, err := Decode(Marshal(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type(), err)
+		}
+		if got.Type() != m.Type() {
+			t.Errorf("decoded type %v, want %v", got.Type(), m.Type())
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("decoded %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	if _, err := Decode([]byte{0xff, 0, 0}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Truncated UIM.
+	b := Marshal(&UIM{Flow: 1})
+	if _, err := Decode(b[:len(b)-1]); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	// Wrong type byte for the target struct.
+	u := &UNM{}
+	if err := u.DecodeFromBytes(Marshal(&UFM{})); err == nil {
+		t.Error("UNM decoded a UFM frame")
+	}
+}
+
+func TestSerializeAppends(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	b := (&FRM{Flow: 7}).SerializeTo(append([]byte{}, prefix...))
+	if !bytes.Equal(b[:3], prefix) {
+		t.Error("SerializeTo did not preserve the prefix")
+	}
+	out := &FRM{}
+	if err := out.DecodeFromBytes(b[3:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashFlowDeterministicAndSpread(t *testing.T) {
+	if HashFlow(1, 2) != HashFlow(1, 2) {
+		t.Error("HashFlow not deterministic")
+	}
+	if HashFlow(1, 2) == HashFlow(2, 1) {
+		t.Error("HashFlow should distinguish direction")
+	}
+	seen := map[FlowID]bool{}
+	for s := uint16(0); s < 50; s++ {
+		for d := uint16(50); d < 100; d++ {
+			seen[HashFlow(s, d)] = true
+		}
+	}
+	if len(seen) != 50*50 {
+		t.Errorf("collisions in small ID space: %d unique of 2500", len(seen))
+	}
+}
+
+func TestQuickUNMRoundTrip(t *testing.T) {
+	f := func(flow uint32, layer, ut uint8, vn uint32, dn uint16, vo uint32, do, c uint16) bool {
+		in := &UNM{
+			Flow: FlowID(flow), Layer: Layer(layer % 2), UpdateType: UpdateType(ut % 2),
+			Vn: vn, Dn: dn, Vo: vo, Do: do, Counter: c,
+		}
+		out := &UNM{}
+		if err := out.DecodeFromBytes(Marshal(in)); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUIMRoundTrip(t *testing.T) {
+	f := func(flow, v uint32, nd, od, ep, cp uint16, fs uint32, ut, role uint8) bool {
+		in := &UIM{
+			Flow: FlowID(flow), Version: v, NewDistance: nd, OldDistance: od,
+			EgressPort: ep, ChildPort: cp, FlowSizeK: fs, UpdateType: UpdateType(ut % 2), Role: Role(role % 8),
+		}
+		out := &UIM{}
+		if err := out.DecodeFromBytes(Marshal(in)); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoleHas(t *testing.T) {
+	r := RoleGateway | RoleEgress
+	if !r.Has(RoleGateway) || !r.Has(RoleEgress) || r.Has(RoleIngress) {
+		t.Errorf("Role.Has broken for %b", r)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		TypeUIM.String():         "UIM",
+		UpdateDual.String():      "DL",
+		UpdateSingle.String():    "SL",
+		StatusProbeOK.String():   "probe-ok",
+		ReasonOutdated.String():  "outdated-version",
+		MsgType(99).String():     "MsgType(99)",
+		UFMStatus(99).String():   "UFMStatus(99)",
+		AlarmReason(99).String(): "AlarmReason(99)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("stringer: got %q want %q", got, want)
+		}
+	}
+}
+
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		// Decode must reject or parse — never panic — for arbitrary input.
+		m, err := Decode(b)
+		return (m == nil) == (err != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Every valid type byte with a wrong length is rejected cleanly.
+	for _, typ := range []MsgType{TypeData, TypeFRM, TypeUIM, TypeUNM, TypeUFM, TypeEZI, TypeEZN, TypeCLN} {
+		for n := 0; n < 32; n++ {
+			buf := make([]byte, n+1)
+			buf[0] = byte(typ)
+			m, err := Decode(buf)
+			if err == nil {
+				// Accept only if this is the exact frame size.
+				if len(Marshal(m)) != len(buf) {
+					t.Fatalf("type %v accepted a %d-byte frame", typ, len(buf))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant are executed in scheduling order
+// (FIFO), which makes every run with the same seed fully deterministic —
+// a property the protocol property-tests rely on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a closure scheduled to run at a virtual instant.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	idx  int
+	dead bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It is safe to call on an already-fired timer.
+func (t *Timer) Stop() {
+	if t != nil && t.ev != nil {
+		t.ev.dead = true
+	}
+}
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	nsteps uint64
+	// MaxEvents bounds a run as a runaway-loop backstop (0 = unlimited).
+	MaxEvents uint64
+}
+
+// New returns an engine whose random streams are derived from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps reports how many events have been executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero. The returned Timer may be used to cancel the event.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// ScheduleAt runs fn at absolute virtual instant at (clamped to now).
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Timer {
+	return e.Schedule(at-e.now, fn)
+}
+
+// Step executes the next pending event. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time ran backwards: %v < %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		e.nsteps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or MaxEvents is hit.
+// It returns the virtual time at which the simulation quiesced.
+func (e *Engine) Run() time.Duration {
+	for e.Step() {
+		if e.MaxEvents > 0 && e.nsteps >= e.MaxEvents {
+			break
+		}
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// later stay queued; the clock is advanced to deadline if it quiesced early.
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	for len(e.queue) > 0 {
+		// Peek.
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+		if e.MaxEvents > 0 && e.nsteps >= e.MaxEvents {
+			break
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending reports the number of live queued events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

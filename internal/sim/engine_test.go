@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30*time.Millisecond {
+		t.Fatalf("end time = %v, want 30ms", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestFIFOWithinSameInstant(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event %d ran out of order (got %d)", i, v)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	var at []time.Duration
+	e.Schedule(time.Millisecond, func() {
+		at = append(at, e.Now())
+		e.Schedule(2*time.Millisecond, func() {
+			at = append(at, e.Now())
+		})
+	})
+	e.Run()
+	if len(at) != 2 || at[0] != time.Millisecond || at[1] != 3*time.Millisecond {
+		t.Fatalf("timestamps = %v", at)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.Schedule(5*time.Millisecond, func() {
+		e.Schedule(-time.Second, func() { ran = true })
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("clock = %v, want 5ms", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	ran := false
+	tm := e.Schedule(time.Millisecond, func() { ran = true })
+	tm.Stop()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 2) })
+	e.RunUntil(20 * time.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("ran %d events, want 1", len(got))
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want 20ms", e.Now())
+	}
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("ran %d events after Run, want 2", len(got))
+	}
+}
+
+func TestMaxEventsBackstop(t *testing.T) {
+	e := New(1)
+	e.MaxEvents = 50
+	var loop func()
+	n := 0
+	loop = func() {
+		n++
+		e.Schedule(time.Millisecond, loop)
+	}
+	e.Schedule(0, loop)
+	e.Run()
+	if n != 50 {
+		t.Fatalf("executed %d events, want 50", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		e := New(seed)
+		var trace []time.Duration
+		for i := 0; i < 20; i++ {
+			e.Schedule(time.Duration(e.Rand().Intn(100))*time.Millisecond, func() {
+				trace = append(trace, e.Now())
+				if e.Rand().Intn(2) == 0 {
+					e.Schedule(time.Duration(e.Rand().Intn(10))*time.Millisecond, func() {
+						trace = append(trace, e.Now())
+					})
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(7)
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Microsecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	e.Schedule(10*time.Millisecond, func() {
+		e.ScheduleAt(5*time.Millisecond, func() { at = e.Now() }) // in the past: clamps
+	})
+	e.Run()
+	if at != 10*time.Millisecond {
+		t.Fatalf("past ScheduleAt ran at %v, want clamped to 10ms", at)
+	}
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil fn")
+		}
+	}()
+	New(1).Schedule(0, nil)
+}

@@ -1,0 +1,43 @@
+package topo
+
+import (
+	"math"
+	"time"
+)
+
+// earthRadiusKm is the mean Earth radius.
+const earthRadiusKm = 6371.0
+
+// propagationKmPerSec is the signal speed in optical fiber (~2/3 c), the
+// figure the paper's §9.1 uses to derive WAN link latencies.
+const propagationKmPerSec = 200000.0
+
+// HaversineKm returns the great-circle distance between two coordinates
+// in kilometers.
+func HaversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const rad = math.Pi / 180
+	dLat := (lat2 - lat1) * rad
+	dLon := (lon2 - lon1) * rad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*rad)*math.Cos(lat2*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// GeoLatency returns the propagation delay between two coordinates through
+// optical fiber.
+func GeoLatency(lat1, lon1, lat2, lon2 float64) time.Duration {
+	km := HaversineKm(lat1, lon1, lat2, lon2)
+	sec := km / propagationKmPerSec
+	d := time.Duration(sec * float64(time.Second))
+	if d < 100*time.Microsecond { // floor: co-located sites still traverse gear
+		d = 100 * time.Microsecond
+	}
+	return d
+}
+
+// geoLink adds a link between a and b whose latency derives from the node
+// coordinates.
+func (t *Topology) geoLink(a, b NodeID, capacity float64) LinkID {
+	na, nb := t.Node(a), t.Node(b)
+	return t.AddLink(a, b, GeoLatency(na.Lat, na.Lon, nb.Lat, nb.Lon), capacity)
+}

@@ -1,0 +1,260 @@
+package topo
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"time"
+)
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	node NodeID
+	dist float64
+	idx  int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
+func (q *pq) Push(x any)        { it := x.(*pqItem); it.idx = len(*q); *q = append(*q, it) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+func (q *pq) update(it *pqItem) { heap.Fix(q, it.idx) }
+
+// Weight selects the edge metric used for path computation.
+type Weight int
+
+const (
+	// ByLatency weights edges by propagation latency (seconds).
+	ByLatency Weight = iota
+	// ByHops weights every edge 1.
+	ByHops
+)
+
+func (t *Topology) edgeWeight(l Link, w Weight) float64 {
+	if w == ByHops {
+		return 1
+	}
+	return l.Latency.Seconds()
+}
+
+// ShortestPath returns the minimum-weight path from src to dst, or nil if
+// unreachable. Ties are broken deterministically by neighbor order.
+func (t *Topology) ShortestPath(src, dst NodeID, w Weight) []NodeID {
+	path, _ := t.shortestPathAvoiding(src, dst, w, nil, nil)
+	return path
+}
+
+// Distances returns minimum weights from src to every node (math.Inf(1)
+// for unreachable nodes).
+func (t *Topology) Distances(src NodeID, w Weight) []float64 {
+	dist := make([]float64, len(t.nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	items := make([]*pqItem, len(t.nodes))
+	q := &pq{}
+	it := &pqItem{node: src, dist: 0}
+	items[src] = it
+	heap.Push(q, it)
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(*pqItem)
+		items[cur.node] = nil
+		for _, ad := range t.adj[cur.node] {
+			alt := cur.dist + t.edgeWeight(t.links[ad.link], w)
+			if alt < dist[ad.neighbor] {
+				dist[ad.neighbor] = alt
+				if items[ad.neighbor] != nil {
+					items[ad.neighbor].dist = alt
+					q.update(items[ad.neighbor])
+				} else {
+					ni := &pqItem{node: ad.neighbor, dist: alt}
+					items[ad.neighbor] = ni
+					heap.Push(q, ni)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// shortestPathAvoiding runs Dijkstra while skipping the given nodes and
+// directed edges; used as the spur-path primitive of Yen's algorithm.
+func (t *Topology) shortestPathAvoiding(src, dst NodeID, w Weight,
+	blockedNodes map[NodeID]bool, blockedEdges map[[2]NodeID]bool) ([]NodeID, float64) {
+
+	if src == dst {
+		return []NodeID{src}, 0
+	}
+	dist := make([]float64, len(t.nodes))
+	prev := make([]NodeID, len(t.nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	items := make([]*pqItem, len(t.nodes))
+	q := &pq{}
+	it := &pqItem{node: src, dist: 0}
+	items[src] = it
+	heap.Push(q, it)
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(*pqItem)
+		items[cur.node] = nil
+		if cur.node == dst {
+			break
+		}
+		for _, ad := range t.adj[cur.node] {
+			if blockedNodes[ad.neighbor] || blockedEdges[[2]NodeID{cur.node, ad.neighbor}] {
+				continue
+			}
+			alt := cur.dist + t.edgeWeight(t.links[ad.link], w)
+			if alt < dist[ad.neighbor] {
+				dist[ad.neighbor] = alt
+				prev[ad.neighbor] = cur.node
+				if items[ad.neighbor] != nil {
+					items[ad.neighbor].dist = alt
+					q.update(items[ad.neighbor])
+				} else {
+					ni := &pqItem{node: ad.neighbor, dist: alt}
+					items[ad.neighbor] = ni
+					heap.Push(q, ni)
+				}
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, math.Inf(1)
+	}
+	var path []NodeID
+	for n := dst; n != -1; n = prev[n] {
+		path = append(path, n)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst]
+}
+
+type candidate struct {
+	path []NodeID
+	cost float64
+}
+
+// KShortestPaths returns up to k loop-free paths from src to dst in
+// non-decreasing weight order (Yen's algorithm).
+func (t *Topology) KShortestPaths(src, dst NodeID, k int, w Weight) [][]NodeID {
+	if k <= 0 {
+		return nil
+	}
+	first, cost := t.shortestPathAvoiding(src, dst, w, nil, nil)
+	if first == nil {
+		return nil
+	}
+	result := [][]NodeID{first}
+	costs := []float64{cost}
+	var pool []candidate
+
+	for len(result) < k {
+		prevPath := result[len(result)-1]
+		for i := 0; i+1 < len(prevPath); i++ {
+			spurNode := prevPath[i]
+			rootPath := prevPath[:i+1]
+
+			blockedEdges := make(map[[2]NodeID]bool)
+			for _, p := range result {
+				if len(p) > i && equalPath(p[:i+1], rootPath) {
+					blockedEdges[[2]NodeID{p[i], p[i+1]}] = true
+				}
+			}
+			blockedNodes := make(map[NodeID]bool)
+			for _, n := range rootPath[:len(rootPath)-1] {
+				blockedNodes[n] = true
+			}
+			spur, spurCost := t.shortestPathAvoiding(spurNode, dst, w, blockedNodes, blockedEdges)
+			if spur == nil {
+				continue
+			}
+			total := append(append([]NodeID{}, rootPath[:len(rootPath)-1]...), spur...)
+			rootCost := 0.0
+			for j := 0; j+1 < len(rootPath); j++ {
+				l, _ := t.LinkBetween(rootPath[j], rootPath[j+1])
+				rootCost += t.edgeWeight(l, w)
+			}
+			c := candidate{path: total, cost: rootCost + spurCost}
+			dup := false
+			for _, existing := range pool {
+				if equalPath(existing.path, c.path) {
+					dup = true
+					break
+				}
+			}
+			for _, existing := range result {
+				if equalPath(existing, c.path) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				pool = append(pool, c)
+			}
+		}
+		if len(pool) == 0 {
+			break
+		}
+		sort.SliceStable(pool, func(i, j int) bool { return pool[i].cost < pool[j].cost })
+		best := pool[0]
+		pool = pool[1:]
+		result = append(result, best.path)
+		costs = append(costs, best.cost)
+	}
+	_ = costs
+	return result
+}
+
+func equalPath(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Centroid returns the node minimizing the worst-case latency-weighted
+// distance to all other nodes (the paper places the controller there).
+func (t *Topology) Centroid() NodeID {
+	best := NodeID(0)
+	bestWorst := math.Inf(1)
+	for _, n := range t.Nodes() {
+		dist := t.Distances(n, ByLatency)
+		worst := 0.0
+		for _, d := range dist {
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst < bestWorst {
+			bestWorst = worst
+			best = n
+		}
+	}
+	return best
+}
+
+// ControlLatencies returns the control-channel latency from the controller
+// node to every switch: the latency-weighted shortest-path distance.
+func (t *Topology) ControlLatencies(controller NodeID) []time.Duration {
+	dist := t.Distances(controller, ByLatency)
+	out := make([]time.Duration, len(dist))
+	for i, d := range dist {
+		out[i] = time.Duration(d * float64(time.Second))
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomConnected builds a deterministic random connected graph with n
+// nodes and extra chord edges.
+func randomConnected(n int, extra int, seed int64) *Topology {
+	rng := rand.New(rand.NewSource(seed))
+	t := New("rand")
+	for i := 0; i < n; i++ {
+		t.AddNode("", 0, 0)
+	}
+	// Random spanning tree.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := NodeID(perm[i])
+		b := NodeID(perm[rng.Intn(i)])
+		t.AddLink(a, b, time.Duration(1+rng.Intn(20))*time.Millisecond, 100)
+	}
+	for e := 0; e < extra; e++ {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		if _, exists := t.LinkBetween(a, b); exists {
+			continue
+		}
+		t.AddLink(a, b, time.Duration(1+rng.Intn(20))*time.Millisecond, 100)
+	}
+	return t
+}
+
+// bruteShortest enumerates all simple paths (small n!) and returns the
+// cheapest latency.
+func bruteShortest(t *Topology, src, dst NodeID) float64 {
+	best := -1.0
+	var dfs func(cur NodeID, cost float64, seen map[NodeID]bool)
+	dfs = func(cur NodeID, cost float64, seen map[NodeID]bool) {
+		if cur == dst {
+			if best < 0 || cost < best {
+				best = cost
+			}
+			return
+		}
+		for _, nb := range t.Neighbors(cur) {
+			if seen[nb] {
+				continue
+			}
+			l, _ := t.LinkBetween(cur, nb)
+			seen[nb] = true
+			dfs(nb, cost+l.Latency.Seconds(), seen)
+			delete(seen, nb)
+		}
+	}
+	dfs(src, 0, map[NodeID]bool{src: true})
+	return best
+}
+
+func TestShortestPathMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := randomConnected(7, 5, seed)
+		for _, src := range g.Nodes() {
+			for _, dst := range g.Nodes() {
+				if src == dst {
+					continue
+				}
+				p := g.ShortestPath(src, dst, ByLatency)
+				if p == nil {
+					t.Fatalf("seed %d: no path %d->%d in connected graph", seed, src, dst)
+				}
+				got := g.PathLatency(p).Seconds()
+				want := bruteShortest(g, src, dst)
+				if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("seed %d: %d->%d dijkstra %.6f vs brute %.6f (path %v)",
+						seed, src, dst, got, want, p)
+				}
+			}
+		}
+	}
+}
+
+func TestKShortestPathsProperties(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomConnected(8, 6, 100+seed)
+		src, dst := NodeID(0), NodeID(7)
+		paths := g.KShortestPaths(src, dst, 6, ByLatency)
+		if len(paths) == 0 {
+			t.Fatalf("seed %d: no paths", seed)
+		}
+		seen := map[string]bool{}
+		prev := -1.0
+		for _, p := range paths {
+			// Simple, valid, endpoints correct.
+			if err := g.ValidatePath(p); err != nil {
+				t.Fatalf("seed %d: invalid path %v: %v", seed, p, err)
+			}
+			if p[0] != src || p[len(p)-1] != dst {
+				t.Fatalf("seed %d: endpoints wrong: %v", seed, p)
+			}
+			// Unique.
+			key := ""
+			for _, n := range p {
+				key += string(rune(n)) + ","
+			}
+			if seen[key] {
+				t.Fatalf("seed %d: duplicate path %v", seed, p)
+			}
+			seen[key] = true
+			// Non-decreasing cost.
+			c := g.PathLatency(p).Seconds()
+			if c < prev-1e-9 {
+				t.Fatalf("seed %d: cost regressed: %v", seed, paths)
+			}
+			prev = c
+		}
+		// First path is the shortest path.
+		if g.PathLatency(paths[0]) != g.PathLatency(g.ShortestPath(src, dst, ByLatency)) {
+			t.Fatalf("seed %d: first k-path not shortest", seed)
+		}
+	}
+}
+
+func TestDistancesSymmetricOnUndirectedGraph(t *testing.T) {
+	g := randomConnected(9, 7, 5)
+	for _, a := range g.Nodes() {
+		da := g.Distances(a, ByLatency)
+		for _, b := range g.Nodes() {
+			db := g.Distances(b, ByLatency)
+			if diff := da[b] - db[a]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("asymmetric distances %d<->%d: %f vs %f", a, b, da[b], db[a])
+			}
+		}
+	}
+}

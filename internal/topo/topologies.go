@@ -1,0 +1,311 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DefaultWANCapacity is the per-direction link capacity (Mbps) used for the
+// WAN evaluation topologies.
+const DefaultWANCapacity = 1000.0
+
+// Synthetic returns the 8-node example topology of the paper's Fig. 1.
+// Nodes are named v0..v7; every link has a homogeneous 20 ms latency as in
+// §9.1. The old path of the example flow is v0,v4,v2,v7 and the new path
+// v0,v1,v2,v3,v4,v5,v6,v7.
+func Synthetic() *Topology {
+	t := New("synthetic")
+	for i := 0; i < 8; i++ {
+		t.AddNode(fmt.Sprintf("v%d", i), 0, 0)
+	}
+	const lat = 20 * time.Millisecond
+	edges := [][2]NodeID{
+		{0, 4}, {4, 2}, {2, 7}, // old path
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, // new path
+	}
+	for _, e := range edges {
+		t.AddLink(e[0], e[1], lat, DefaultWANCapacity)
+	}
+	return t
+}
+
+// SyntheticPaths returns the old and new flow paths of the Fig-1 example.
+func SyntheticPaths() (oldPath, newPath []NodeID) {
+	return []NodeID{0, 4, 2, 7}, []NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+}
+
+// Fig2Scenario returns the 5-node topology of the paper's Fig. 2 together
+// with the three configurations (a), (b), (c) as next-hop maps for the
+// single flow v0→v4.
+//
+// (a) initial: v0→v1→v2→v3→v4
+// (b) partial: reroutes v2 directly to v4
+// (c) latest:  path v0→v3→v1→v2→v4
+//
+// Deploying (c) while (b) is delayed leaves v2→v3 in place, creating the
+// v1,v2,v3 forwarding loop the paper demonstrates.
+func Fig2Scenario() (t *Topology, configA, configB, configC map[NodeID]NodeID) {
+	t = New("fig2")
+	for i := 0; i < 5; i++ {
+		t.AddNode(fmt.Sprintf("v%d", i), 0, 0)
+	}
+	// Software-switch-like latency: the loop must consume the TTL well
+	// within the inconsistency window, as in the paper's testbed.
+	const lat = time.Millisecond
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {2, 4}, {0, 3}, {1, 3}} {
+		t.AddLink(e[0], e[1], lat, DefaultWANCapacity)
+	}
+	configA = map[NodeID]NodeID{0: 1, 1: 2, 2: 3, 3: 4}
+	configB = map[NodeID]NodeID{0: 1, 1: 2, 2: 4}       // update of v2 only
+	configC = map[NodeID]NodeID{0: 3, 3: 1, 1: 2, 2: 4} // assumes (b) applied
+	return t, configA, configB, configC
+}
+
+// B4 returns a 12-node, 19-edge replica of Google's B4 inter-datacenter
+// WAN (Jain et al., SIGCOMM'13). Site coordinates are approximate; link
+// latencies derive from great-circle distance at 2·10^8 m/s.
+func B4() *Topology {
+	t := New("b4")
+	type site struct {
+		name     string
+		lat, lon float64
+	}
+	sites := []site{
+		{"Oregon", 45.60, -121.18},     // 0 The Dalles
+		{"California", 37.42, -122.08}, // 1 Mountain View
+		{"Iowa", 41.26, -95.86},        // 2 Council Bluffs
+		{"Oklahoma", 36.31, -95.32},    // 3 Pryor
+		{"Atlanta", 33.75, -84.39},     // 4 Douglas County
+		{"SCarolina", 33.19, -80.01},   // 5 Berkeley County
+		{"Virginia", 39.04, -77.49},    // 6 Ashburn
+		{"Dublin", 53.35, -6.26},       // 7
+		{"Belgium", 50.47, 3.87},       // 8 St. Ghislain
+		{"Finland", 60.57, 27.19},      // 9 Hamina
+		{"Taiwan", 24.07, 120.54},      // 10 Changhua
+		{"Singapore", 1.35, 103.82},    // 11
+	}
+	for _, s := range sites {
+		t.AddNode(s.name, s.lat, s.lon)
+	}
+	edges := [][2]NodeID{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4},
+		{4, 5}, {5, 6}, {4, 6}, {6, 7}, {6, 8}, {7, 8}, {8, 9},
+		{7, 9}, {0, 10}, {1, 10}, {10, 11}, {11, 8},
+	}
+	for _, e := range edges {
+		t.geoLink(e[0], e[1], DefaultWANCapacity)
+	}
+	return t
+}
+
+// Internet2 returns a 16-node, 26-edge replica of the Internet2 research
+// backbone with US-city coordinates.
+func Internet2() *Topology {
+	t := New("internet2")
+	type site struct {
+		name     string
+		lat, lon float64
+	}
+	sites := []site{
+		{"Seattle", 47.61, -122.33},    // 0
+		{"Sunnyvale", 37.37, -122.04},  // 1
+		{"LosAngeles", 34.05, -118.24}, // 2
+		{"SaltLake", 40.76, -111.89},   // 3
+		{"Denver", 39.74, -104.99},     // 4
+		{"ElPaso", 31.76, -106.49},     // 5
+		{"Houston", 29.76, -95.37},     // 6
+		{"KansasCity", 39.10, -94.58},  // 7
+		{"Dallas", 32.78, -96.80},      // 8
+		{"Chicago", 41.88, -87.63},     // 9
+		{"Atlanta", 33.75, -84.39},     // 10
+		{"Nashville", 36.16, -86.78},   // 11
+		{"Washington", 38.91, -77.04},  // 12
+		{"NewYork", 40.71, -74.01},     // 13
+		{"Cleveland", 41.50, -81.69},   // 14
+		{"Boston", 42.36, -71.06},      // 15
+	}
+	for _, s := range sites {
+		t.AddNode(s.name, s.lat, s.lon)
+	}
+	edges := [][2]NodeID{
+		{0, 1}, {0, 3}, {1, 2}, {1, 3}, {2, 5}, {2, 3}, {3, 4},
+		{4, 7}, {4, 5}, {5, 6}, {6, 8}, {8, 7}, {7, 9}, {9, 14},
+		{14, 13}, {13, 15}, {15, 14}, {13, 12}, {12, 14}, {12, 10},
+		{10, 6}, {10, 11}, {11, 8}, {11, 9}, {9, 13}, {0, 9},
+	}
+	for _, e := range edges {
+		t.geoLink(e[0], e[1], DefaultWANCapacity)
+	}
+	return t
+}
+
+// geoMesh builds a connected topology over the given coordinates with
+// exactly wantEdges edges: a minimum spanning tree by geographic distance
+// plus the shortest remaining pairs. Used to replicate Topology-Zoo sizes
+// (AttMpls, Chinanet) where only node/edge counts matter to the paper's
+// Fig. 8 (see DESIGN.md substitution table).
+func geoMesh(name string, names []string, coords [][2]float64, wantEdges int) *Topology {
+	t := New(name)
+	n := len(names)
+	for i := 0; i < n; i++ {
+		t.AddNode(names[i], coords[i][0], coords[i][1])
+	}
+	if wantEdges < n-1 || wantEdges > n*(n-1)/2 {
+		panic("topo: geoMesh edge budget out of range")
+	}
+	type pair struct {
+		a, b NodeID
+		km   float64
+	}
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{NodeID(i), NodeID(j),
+				HaversineKm(coords[i][0], coords[i][1], coords[j][0], coords[j][1])})
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].km < pairs[j].km })
+
+	// Kruskal MST first, then fill with shortest unused pairs.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	used := make(map[[2]NodeID]bool)
+	added := 0
+	for _, p := range pairs {
+		if added >= n-1 {
+			break
+		}
+		ra, rb := find(int(p.a)), find(int(p.b))
+		if ra == rb {
+			continue
+		}
+		parent[ra] = rb
+		t.geoLink(p.a, p.b, DefaultWANCapacity)
+		used[[2]NodeID{p.a, p.b}] = true
+		added++
+	}
+	for _, p := range pairs {
+		if added >= wantEdges {
+			break
+		}
+		if used[[2]NodeID{p.a, p.b}] {
+			continue
+		}
+		t.geoLink(p.a, p.b, DefaultWANCapacity)
+		used[[2]NodeID{p.a, p.b}] = true
+		added++
+	}
+	return t
+}
+
+// AttMpls returns a 25-node, 56-edge topology matching the Topology-Zoo
+// AttMpls size, over US-city coordinates.
+func AttMpls() *Topology {
+	names := []string{
+		"NewYork", "Chicago", "Washington", "Atlanta", "Dallas",
+		"LosAngeles", "SanFrancisco", "Seattle", "Denver", "KansasCity",
+		"Houston", "Miami", "Boston", "Philadelphia", "Phoenix",
+		"Detroit", "Minneapolis", "StLouis", "Orlando", "Cleveland",
+		"Nashville", "Portland", "SaltLake", "Austin", "Charlotte",
+	}
+	coords := [][2]float64{
+		{40.71, -74.01}, {41.88, -87.63}, {38.91, -77.04}, {33.75, -84.39}, {32.78, -96.80},
+		{34.05, -118.24}, {37.77, -122.42}, {47.61, -122.33}, {39.74, -104.99}, {39.10, -94.58},
+		{29.76, -95.37}, {25.76, -80.19}, {42.36, -71.06}, {39.95, -75.17}, {33.45, -112.07},
+		{42.33, -83.05}, {44.98, -93.27}, {38.63, -90.20}, {28.54, -81.38}, {41.50, -81.69},
+		{36.16, -86.78}, {45.51, -122.68}, {40.76, -111.89}, {30.27, -97.74}, {35.23, -80.84},
+	}
+	return geoMesh("attmpls", names, coords, 56)
+}
+
+// Chinanet returns a 38-node, 62-edge topology matching the Topology-Zoo
+// Chinanet size, over Chinese-city coordinates.
+func Chinanet() *Topology {
+	names := []string{
+		"Beijing", "Shanghai", "Guangzhou", "Shenzhen", "Chengdu",
+		"Chongqing", "Wuhan", "Xian", "Hangzhou", "Nanjing",
+		"Tianjin", "Shenyang", "Harbin", "Changchun", "Jinan",
+		"Qingdao", "Zhengzhou", "Changsha", "Fuzhou", "Xiamen",
+		"Kunming", "Guiyang", "Nanning", "Haikou", "Lanzhou",
+		"Xining", "Urumqi", "Hohhot", "Taiyuan", "Shijiazhuang",
+		"Hefei", "Nanchang", "Wenzhou", "Ningbo", "Dalian",
+		"Suzhou", "Dongguan", "Lhasa",
+	}
+	coords := [][2]float64{
+		{39.90, 116.40}, {31.23, 121.47}, {23.13, 113.26}, {22.54, 114.06}, {30.57, 104.07},
+		{29.56, 106.55}, {30.59, 114.31}, {34.34, 108.94}, {30.27, 120.16}, {32.06, 118.80},
+		{39.34, 117.36}, {41.81, 123.43}, {45.80, 126.53}, {43.82, 125.32}, {36.65, 117.12},
+		{36.07, 120.38}, {34.75, 113.63}, {28.23, 112.94}, {26.07, 119.30}, {24.48, 118.09},
+		{25.04, 102.72}, {26.65, 106.63}, {22.82, 108.37}, {20.04, 110.20}, {36.06, 103.83},
+		{36.62, 101.78}, {43.83, 87.62}, {40.84, 111.75}, {37.87, 112.55}, {38.04, 114.51},
+		{31.82, 117.23}, {28.68, 115.86}, {28.00, 120.67}, {29.87, 121.54}, {38.91, 121.61},
+		{31.30, 120.58}, {23.02, 113.75}, {29.65, 91.14},
+	}
+	return geoMesh("chinanet", names, coords, 62)
+}
+
+// FatTree returns a K-ary fat-tree switch topology (K even): (K/2)^2 core
+// switches and K pods of K/2 aggregation + K/2 edge switches. Links have a
+// homogeneous datacenter latency of 100µs and 10 Gbps capacity. Hosts are
+// not modeled; flows run between edge switches.
+func FatTree(k int) *Topology {
+	if k < 2 || k%2 != 0 {
+		panic("topo: FatTree requires even k >= 2")
+	}
+	t := New(fmt.Sprintf("fattree-k%d", k))
+	const lat = 100 * time.Microsecond
+	const capacity = 10000.0
+	half := k / 2
+
+	core := make([]NodeID, half*half)
+	for i := range core {
+		core[i] = t.AddNode(fmt.Sprintf("core%d", i), 0, 0)
+	}
+	agg := make([][]NodeID, k)
+	edge := make([][]NodeID, k)
+	for p := 0; p < k; p++ {
+		agg[p] = make([]NodeID, half)
+		edge[p] = make([]NodeID, half)
+		for i := 0; i < half; i++ {
+			agg[p][i] = t.AddNode(fmt.Sprintf("agg%d_%d", p, i), 0, 0)
+		}
+		for i := 0; i < half; i++ {
+			edge[p][i] = t.AddNode(fmt.Sprintf("edge%d_%d", p, i), 0, 0)
+		}
+		for a := 0; a < half; a++ {
+			for e := 0; e < half; e++ {
+				t.AddLink(agg[p][a], edge[p][e], lat, capacity)
+			}
+		}
+	}
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				t.AddLink(core[a*half+c], agg[p][a], lat, capacity)
+			}
+		}
+	}
+	return t
+}
+
+// EdgeSwitches returns the edge-layer switches of a FatTree topology.
+func EdgeSwitches(t *Topology) []NodeID {
+	var out []NodeID
+	for _, id := range t.Nodes() {
+		if len(t.Node(id).Name) >= 4 && t.Node(id).Name[:4] == "edge" {
+			out = append(out, id)
+		}
+	}
+	return out
+}

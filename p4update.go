@@ -1,0 +1,392 @@
+// Package p4update is a Go reproduction of "P4Update: Fast and Locally
+// Verifiable Consistent Network Updates in the P4 Data Plane" (Zhou, He,
+// Kellerer, Blenk, Foerster — CoNEXT '21).
+//
+// It bundles a deterministic discrete-event network simulator, a P4-style
+// software-switch model (per-flow register arrays, clone, resubmit,
+// capacity accounting), the P4Update update protocol (single-layer and
+// dual-layer verification, congestion freedom with a dynamic data-plane
+// scheduler), the evaluation baselines (ez-Segway, Central), and the
+// harnesses regenerating the paper's figures.
+//
+// Quick start:
+//
+//	g := p4update.Synthetic()
+//	net := p4update.NewNetwork(g, p4update.WithSeed(1))
+//	oldPath, newPath := p4update.SyntheticPaths()
+//	flow, _ := net.AddFlow(0, 7, oldPath, 1.0)
+//	status, _ := net.UpdateFlow(flow, newPath)
+//	net.Run()
+//	fmt.Println(status.Done(), status.Completed-status.Sent)
+package p4update
+
+import (
+	"fmt"
+	"time"
+
+	"p4update/internal/central"
+	"p4update/internal/controlplane"
+	"p4update/internal/core"
+	"p4update/internal/dataplane"
+	"p4update/internal/ezsegway"
+	"p4update/internal/packet"
+	"p4update/internal/sim"
+	"p4update/internal/topo"
+)
+
+// Re-exported core types. Aliases keep the internal packages private while
+// letting callers hold and use their values.
+type (
+	// Topology is a network graph of switches and capacity-annotated links.
+	Topology = topo.Topology
+	// NodeID identifies a switch in a Topology.
+	NodeID = topo.NodeID
+	// PortID is a node-local port index.
+	PortID = topo.PortID
+	// FlowID identifies a flow (hash of its src/dst pair).
+	FlowID = packet.FlowID
+	// UpdateStatus tracks one route update until probe-confirmed completion.
+	UpdateStatus = controlplane.UpdateStatus
+	// UpdateType selects single- or dual-layer P4Update operation.
+	UpdateType = packet.UpdateType
+	// Switch exposes the data-plane state of one node (registers, stats).
+	Switch = dataplane.Switch
+	// DataPacket is a data-plane packet (seen in Fabric observation hooks).
+	DataPacket = packet.Data
+	// Tree is a destination-rooted spanning tree (child -> parent edges)
+	// for destination-based routing (§11).
+	Tree = controlplane.Tree
+)
+
+// ShortestPathTree builds the hop-count shortest-path tree toward root.
+var ShortestPathTree = controlplane.ShortestPathTree
+
+// Update types.
+const (
+	SingleLayer = packet.UpdateSingle
+	DualLayer   = packet.UpdateDual
+)
+
+// Weight selects the edge metric for path computation.
+type Weight = topo.Weight
+
+// Path weights.
+const (
+	ByLatency = topo.ByLatency
+	ByHops    = topo.ByHops
+)
+
+// Topology builders (see internal/topo for details).
+var (
+	// NewTopology returns an empty topology.
+	NewTopology = topo.New
+	// Synthetic is the paper's Fig-1 example network.
+	Synthetic = topo.Synthetic
+	// SyntheticPaths returns the Fig-1 old and new flow paths.
+	SyntheticPaths = topo.SyntheticPaths
+	// B4 is a replica of Google's inter-datacenter WAN (12 nodes, 19 edges).
+	B4 = topo.B4
+	// Internet2 is a replica of the Internet2 backbone (16 nodes, 26 edges).
+	Internet2 = topo.Internet2
+	// AttMpls matches the Topology-Zoo AttMpls size (25 nodes, 56 edges).
+	AttMpls = topo.AttMpls
+	// Chinanet matches the Topology-Zoo Chinanet size (38 nodes, 62 edges).
+	Chinanet = topo.Chinanet
+	// FatTree builds a K-ary fat-tree switch topology.
+	FatTree = topo.FatTree
+	// EdgeSwitches lists a fat-tree's edge-layer switches.
+	EdgeSwitches = topo.EdgeSwitches
+)
+
+// Strategy selects the update system a Network runs.
+type Strategy int
+
+// Strategies.
+const (
+	// StrategyAuto runs P4Update with the §7.5 single/dual-layer policy.
+	StrategyAuto Strategy = iota
+	// StrategySL forces single-layer P4Update.
+	StrategySL
+	// StrategyDL forces dual-layer P4Update.
+	StrategyDL
+	// StrategyEZSegway runs the decentralized ez-Segway baseline.
+	StrategyEZSegway
+	// StrategyCentral runs the centralized dependency-graph baseline.
+	StrategyCentral
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "p4update-auto"
+	case StrategySL:
+		return "p4update-sl"
+	case StrategyDL:
+		return "p4update-dl"
+	case StrategyEZSegway:
+		return "ez-segway"
+	case StrategyCentral:
+		return "central"
+	default:
+		return "unknown"
+	}
+}
+
+type config struct {
+	seed           int64
+	strategy       Strategy
+	congestion     bool
+	chainedDL      bool
+	installDelay   func() time.Duration
+	twoPhase       bool
+	watchdog       time.Duration
+	maxRetriggers  int
+	controller     *NodeID
+	ctrlProcDelay  time.Duration
+	ctrlQueueMean  time.Duration
+	sampledControl func() time.Duration
+}
+
+// Option configures a Network.
+type Option func(*config)
+
+// WithSeed fixes the simulation seed (runs are fully deterministic per
+// seed).
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithStrategy selects the update system (default StrategyAuto).
+func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
+
+// WithCongestionFreedom enables link-capacity enforcement and the dynamic
+// inter-flow scheduler (§7.4).
+func WithCongestionFreedom() Option { return func(c *config) { c.congestion = true } }
+
+// WithChainedDualLayer enables the Appendix-C extension allowing
+// dual-layer updates to follow dual-layer updates.
+func WithChainedDualLayer() Option { return func(c *config) { c.chainedDL = true } }
+
+// WithTwoPhaseCommit enables the §11 two-phase-commit integration:
+// switches retain the previous configuration's rule and forward packets
+// by their ingress-stamped version tag, giving Reitblatt-style per-packet
+// consistency on top of P4Update's per-hop guarantees.
+func WithTwoPhaseCommit() Option { return func(c *config) { c.twoPhase = true } }
+
+// WithFailureRecovery enables §11 failure recovery: switches watchdog
+// each held indication for `timeout`; stalled updates are re-triggered by
+// the controller up to maxRetriggers times.
+func WithFailureRecovery(timeout time.Duration, maxRetriggers int) Option {
+	return func(c *config) {
+		c.watchdog = timeout
+		c.maxRetriggers = maxRetriggers
+	}
+}
+
+// WithInstallDelay sets the sampler for per-rule install latency.
+func WithInstallDelay(f func() time.Duration) Option {
+	return func(c *config) { c.installDelay = f }
+}
+
+// WithControllerAt pins the controller to a node (default: the topology
+// centroid, as in §9.1).
+func WithControllerAt(n NodeID) Option { return func(c *config) { c.controller = &n } }
+
+// WithSampledControlLatency draws each switch's control-channel latency
+// once from the sampler (the fat-tree model of §9.1).
+func WithSampledControlLatency(f func() time.Duration) Option {
+	return func(c *config) { c.sampledControl = f }
+}
+
+// Network is a fully wired system under one update strategy.
+type Network struct {
+	cfg  config
+	topo *Topology
+	eng  *sim.Engine
+	net  *dataplane.Network
+	ctl  *controlplane.Controller
+	ez   *ezsegway.Controller
+	co   *central.Coordinator
+}
+
+// NewNetwork builds switches for every node of t, wires the fabric and a
+// controller, and installs the chosen update protocol.
+func NewNetwork(t *Topology, opts ...Option) *Network {
+	cfg := config{
+		seed:          1,
+		ctrlProcDelay: 500 * time.Microsecond,
+		ctrlQueueMean: 40 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng := sim.New(cfg.seed)
+	eng.MaxEvents = 50_000_000
+	net := dataplane.NewNetwork(eng, t)
+
+	switch cfg.strategy {
+	case StrategyEZSegway:
+		net.SetHandler(&ezsegway.Handler{Congestion: cfg.congestion})
+	case StrategyCentral:
+		net.SetHandler(&central.Handler{})
+	default:
+		net.SetHandler(&core.Protocol{
+			Congestion:      cfg.congestion,
+			AllowChainedDL:  cfg.chainedDL,
+			WatchdogTimeout: cfg.watchdog,
+		})
+	}
+
+	var node NodeID
+	switch {
+	case cfg.sampledControl != nil:
+		node = t.Centroid()
+		controlplane.UseSampledControl(net, cfg.sampledControl)
+	case cfg.controller != nil:
+		node = *cfg.controller
+		lat := t.ControlLatencies(node)
+		net.ControlLatency = func(n NodeID) time.Duration { return lat[n] }
+	default:
+		node = controlplane.UseCentroidControl(net)
+	}
+	ctl := controlplane.NewController(net, node)
+	ctl.MaxRetriggers = cfg.maxRetriggers
+
+	n := &Network{cfg: cfg, topo: t, eng: eng, net: net, ctl: ctl}
+	switch cfg.strategy {
+	case StrategyEZSegway:
+		n.ez = ezsegway.NewController(ctl)
+		n.ez.Congestion = cfg.congestion
+	case StrategyCentral:
+		n.co = central.NewCoordinator(ctl, cfg.ctrlProcDelay)
+		n.co.Congestion = cfg.congestion
+		if cfg.ctrlQueueMean > 0 {
+			rng := eng.Rand()
+			mean := float64(cfg.ctrlQueueMean)
+			n.co.QueueDelay = func() time.Duration {
+				return time.Duration(rng.ExpFloat64() * mean)
+			}
+		}
+	}
+	if cfg.installDelay != nil {
+		net.SetInstallDelay(cfg.installDelay)
+	}
+	if cfg.twoPhase {
+		for _, sw := range net.Switches() {
+			sw.TwoPhase = true
+		}
+	}
+	return n
+}
+
+// Topology returns the network's graph.
+func (n *Network) Topology() *Topology { return n.topo }
+
+// Controller exposes the control plane for advanced use (alarms, flow DB,
+// manual plan pushes).
+func (n *Network) Controller() *controlplane.Controller { return n.ctl }
+
+// Switch returns the data-plane switch at a node.
+func (n *Network) Switch(id NodeID) *Switch { return n.net.Switch(id) }
+
+// Fabric exposes the data-plane network (failure-injection hooks,
+// observation taps).
+func (n *Network) Fabric() *dataplane.Network { return n.net }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.eng.Now() }
+
+// Run drains all simulation events and returns the quiescence time.
+func (n *Network) Run() time.Duration { return n.eng.Run() }
+
+// RunUntil executes events up to the given virtual instant.
+func (n *Network) RunUntil(t time.Duration) time.Duration { return n.eng.RunUntil(t) }
+
+// Schedule runs fn after a virtual delay (for scripting scenarios).
+func (n *Network) Schedule(d time.Duration, fn func()) { n.eng.Schedule(d, fn) }
+
+// AddFlow registers a flow from src to dst along path with the given rate
+// bound in Mbps and installs its version-1 rules.
+func (n *Network) AddFlow(src, dst NodeID, path []NodeID, rateMbps float64) (FlowID, error) {
+	if rateMbps <= 0 {
+		return 0, fmt.Errorf("p4update: flow rate must be positive")
+	}
+	return n.ctl.RegisterFlow(src, dst, path, uint32(rateMbps*1000))
+}
+
+// UpdateFlow triggers a consistent route update of flow f to newPath
+// under the network's strategy. For ez-Segway the returned status is nil
+// when the update was queued behind an ongoing one; query Status after
+// Run.
+func (n *Network) UpdateFlow(f FlowID, newPath []NodeID) (*UpdateStatus, error) {
+	switch n.cfg.strategy {
+	case StrategyEZSegway:
+		return n.ez.TriggerUpdate(f, newPath)
+	case StrategyCentral:
+		return n.co.TriggerUpdate(f, newPath)
+	case StrategySL:
+		ut := SingleLayer
+		return n.ctl.TriggerUpdate(f, newPath, &ut)
+	case StrategyDL:
+		ut := DualLayer
+		return n.ctl.TriggerUpdate(f, newPath, &ut)
+	default:
+		return n.ctl.TriggerUpdate(f, newPath, nil)
+	}
+}
+
+// Status returns the tracked state of (flow, version).
+func (n *Network) Status(f FlowID, version uint32) (*UpdateStatus, bool) {
+	return n.ctl.Status(f, version)
+}
+
+// Forwarding traces flow f's current forwarding state from node `from`,
+// returning the visited nodes and whether the trace reached the egress.
+func (n *Network) Forwarding(f FlowID, from NodeID) ([]NodeID, bool) {
+	return n.net.TracePath(f, from, n.topo.NumNodes()+2)
+}
+
+// SendPacket injects one data packet of flow f at its ingress and returns
+// its sequence number (delivery can be observed via Fabric().OnDeliver).
+func (n *Network) SendPacket(f FlowID, seq uint32) error {
+	rec, ok := n.ctl.Flow(f)
+	if !ok {
+		return fmt.Errorf("p4update: unknown flow %d", f)
+	}
+	n.net.Switch(rec.Src).InjectData(&packet.Data{Flow: f, Seq: seq, TTL: 64})
+	return nil
+}
+
+// AddDestinationTree installs destination-based routing toward root
+// (§11): every node forwards traffic for root along the given tree.
+func (n *Network) AddDestinationTree(root NodeID, tree Tree, rateMbps float64) (FlowID, error) {
+	return n.ctl.RegisterTree(root, tree, uint32(rateMbps*1000))
+}
+
+// UpdateDestinationTree migrates the destination's routing onto newTree
+// with a verified single-layer update fanning out from the root.
+func (n *Network) UpdateDestinationTree(f FlowID, newTree Tree) (*UpdateStatus, error) {
+	if n.cfg.strategy == StrategyEZSegway || n.cfg.strategy == StrategyCentral {
+		return nil, fmt.Errorf("p4update: destination trees require a P4Update strategy")
+	}
+	return n.ctl.TriggerTreeUpdate(f, newTree)
+}
+
+// Stats aggregates switch counters across the network.
+func (n *Network) Stats() dataplane.Stats {
+	var total dataplane.Stats
+	for _, sw := range n.net.Switches() {
+		s := sw.Stats
+		total.DataForwarded += s.DataForwarded
+		total.DataDelivered += s.DataDelivered
+		total.BlackholeDrops += s.BlackholeDrops
+		total.TTLDrops += s.TTLDrops
+		total.DecodeErrors += s.DecodeErrors
+		total.UNMReceived += s.UNMReceived
+		total.UIMReceived += s.UIMReceived
+		total.AlarmsSent += s.AlarmsSent
+		total.Resubmissions += s.Resubmissions
+		total.RulesApplied += s.RulesApplied
+		total.RulesCleaned += s.RulesCleaned
+	}
+	return total
+}
