@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The trial runner is the only concurrent subsystem; run it under the
+# race detector.
+race:
+	$(GO) test -race ./internal/runner/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+check: vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -8,6 +8,10 @@
 //	p4update -exp all            # everything, paper-scale runs
 //	p4update -exp fig7 -runs 10  # just Fig. 7 with 10 runs per series
 //	p4update -exp fig7 -cdf      # additionally dump CDF rows for plotting
+//	p4update -exp fig7 -workers 8 -json out.json
+//	                             # shard trials across 8 workers and export
+//	                             # per-trial metrics; the merged output is
+//	                             # identical to a -workers 1 run
 package main
 
 import (
@@ -16,19 +20,25 @@ import (
 	"os"
 	"time"
 
+	"p4update"
 	"p4update/internal/experiments"
 	"p4update/internal/topo"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig8|all")
-		runs  = flag.Int("runs", 30, "runs per series (the paper uses 30)")
-		preps = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
-		seed  = flag.Int64("seed", 1, "base simulation seed")
-		cdf   = flag.Bool("cdf", false, "dump full CDF series for plotting")
+		exp      = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig8|all")
+		runs     = flag.Int("runs", 30, "runs per series (the paper uses 30)")
+		preps    = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
+		seed     = flag.Int64("seed", 1, "base simulation seed")
+		cdf      = flag.Bool("cdf", false, "dump full CDF series for plotting")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		jsonPath = flag.String("json", "", "write per-trial metrics to this JSON file")
 	)
 	flag.Parse()
+
+	opt := experiments.RunOptions{Workers: *workers}
+	var trials []p4update.TrialResult
 
 	start := time.Now()
 	switch *exp {
@@ -37,19 +47,28 @@ func main() {
 	case "fig4":
 		runFig4(*runs, *seed)
 	case "fig7":
-		runFig7(*runs, *seed, *cdf)
+		trials = append(trials, runFig7(*runs, *seed, *cdf, opt)...)
 	case "fig8":
-		runFig8(*preps, *seed)
+		trials = append(trials, runFig8(*preps, *seed, opt)...)
 	case "all":
 		runFig2(*seed)
 		runFig4(*runs, *seed)
-		runFig7(*runs, *seed, *cdf)
-		runFig8(*preps, *seed)
+		trials = append(trials, runFig7(*runs, *seed, *cdf, opt)...)
+		trials = append(trials, runFig8(*preps, *seed, opt)...)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
-	fmt.Printf("\n(wall-clock %v)\n", time.Since(start).Round(time.Millisecond))
+	wall := time.Since(start)
+	fmt.Printf("\n(wall-clock %v)\n", wall.Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		rep := p4update.NewTrialReport(*exp, opt.Pool().NumWorkers(), wall, trials)
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d trial records to %s\n", len(trials), *jsonPath)
+	}
 }
 
 func fail(err error) {
@@ -78,32 +97,33 @@ func runFig4(runs int, seed int64) {
 	fmt.Println()
 }
 
-func runFig7(runs int, seed int64, cdf bool) {
+func runFig7(runs int, seed int64, cdf bool, opt experiments.RunOptions) []p4update.TrialResult {
 	type job struct {
 		run  func() (*experiments.Fig7Result, error)
 		name string
 	}
 	jobs := []job{
 		{func() (*experiments.Fig7Result, error) {
-			return experiments.Fig7SingleFlow(topo.Synthetic, "synthetic (Fig. 7a)", runs, seed)
+			return experiments.Fig7SingleFlowOpts(topo.Synthetic, "synthetic (Fig. 7a)", runs, seed, opt)
 		}, "fig7a"},
 		{func() (*experiments.Fig7Result, error) {
-			return experiments.Fig7MultiFlow(func() *topo.Topology { return topo.FatTree(4) },
-				"fat-tree K=4 (Fig. 7b)", true, runs, seed)
+			return experiments.Fig7MultiFlowOpts(func() *topo.Topology { return topo.FatTree(4) },
+				"fat-tree K=4 (Fig. 7b)", true, runs, seed, opt)
 		}, "fig7b"},
 		{func() (*experiments.Fig7Result, error) {
-			return experiments.Fig7SingleFlow(topo.B4, "B4 (Fig. 7c)", runs, seed)
+			return experiments.Fig7SingleFlowOpts(topo.B4, "B4 (Fig. 7c)", runs, seed, opt)
 		}, "fig7c"},
 		{func() (*experiments.Fig7Result, error) {
-			return experiments.Fig7MultiFlow(topo.B4, "B4 (Fig. 7d)", false, runs, seed)
+			return experiments.Fig7MultiFlowOpts(topo.B4, "B4 (Fig. 7d)", false, runs, seed, opt)
 		}, "fig7d"},
 		{func() (*experiments.Fig7Result, error) {
-			return experiments.Fig7SingleFlow(topo.Internet2, "Internet2 (Fig. 7e)", runs, seed)
+			return experiments.Fig7SingleFlowOpts(topo.Internet2, "Internet2 (Fig. 7e)", runs, seed, opt)
 		}, "fig7e"},
 		{func() (*experiments.Fig7Result, error) {
-			return experiments.Fig7MultiFlow(topo.Internet2, "Internet2 (Fig. 7f)", false, runs, seed)
+			return experiments.Fig7MultiFlowOpts(topo.Internet2, "Internet2 (Fig. 7f)", false, runs, seed, opt)
 		}, "fig7f"},
 	}
+	var trials []p4update.TrialResult
 	for _, j := range jobs {
 		r, err := j.run()
 		if err != nil {
@@ -114,10 +134,13 @@ func runFig7(runs int, seed int64, cdf bool) {
 			fmt.Print(r.CDFSeries())
 		}
 		fmt.Println()
+		trials = append(trials, r.Trials...)
 	}
+	return trials
 }
 
-func runFig8(updates int, seed int64) {
+func runFig8(updates int, seed int64, opt experiments.RunOptions) []p4update.TrialResult {
+	var trials []p4update.TrialResult
 	for _, congestion := range []bool{false, true} {
 		n := updates
 		if congestion && n > 200 {
@@ -125,11 +148,13 @@ func runFig8(updates int, seed int64) {
 			// slow; 200 updates give the same ratio statistics.
 			n = 200
 		}
-		r, err := experiments.Fig8(congestion, n, 30, seed)
+		r, err := experiments.Fig8Opts(congestion, n, 30, seed, opt)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(r)
 		fmt.Println()
+		trials = append(trials, r.Trials...)
 	}
+	return trials
 }

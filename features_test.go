@@ -121,6 +121,40 @@ func TestFacadeDestinationTree(t *testing.T) {
 	}
 }
 
+func TestFacadeEZSegwayQueuedUpdate(t *testing.T) {
+	// Under StrategyEZSegway a second update of a flow still in flight is
+	// returned immediately as a non-nil status in the Queued state and is
+	// launched (and completed) once the first update finishes.
+	g := p4update.Synthetic()
+	net := p4update.NewNetwork(g,
+		p4update.WithSeed(13),
+		p4update.WithStrategy(p4update.StrategyEZSegway),
+	)
+	oldP, newP := p4update.SyntheticPaths()
+	f, _ := net.AddFlow(0, 7, oldP, 1.0)
+	u1, err := net.UpdateFlow(f, newP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := net.UpdateFlow(f, oldP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2 == nil {
+		t.Fatal("deferred ez-Segway update returned nil status")
+	}
+	if !u2.Queued {
+		t.Fatal("second update not in the Queued state")
+	}
+	net.Run()
+	if !u1.Done() || !u2.Done() {
+		t.Fatalf("updates did not complete: u1=%v u2=%v", u1.Done(), u2.Done())
+	}
+	if u2.Queued {
+		t.Error("completed update still marked Queued")
+	}
+}
+
 func TestFacadeChainedDualLayer(t *testing.T) {
 	g := p4update.Synthetic()
 	net := p4update.NewNetwork(g,

@@ -45,6 +45,11 @@ type UpdateStatus struct {
 	Alarms []packet.UFM
 	// Retriggers counts §11 failure-recovery re-transmissions.
 	Retriggers int
+	// Queued marks an update accepted but deferred behind an ongoing
+	// update of the same flow (ez-Segway serializes per flow, §4.2).
+	// Version and Sent stay zero until the update launches; the same
+	// record is then filled in and tracked to completion.
+	Queued bool
 
 	pending map[topo.NodeID]bool
 }
@@ -175,16 +180,28 @@ func (c *Controller) Push(plan *Plan, rec *FlowRecord) (*UpdateStatus, error) {
 // evaluated system.
 func (c *Controller) PushMessages(flow packet.FlowID, version uint32, oldPath, newPath, pendingNodes []topo.NodeID,
 	targets []topo.NodeID, msgs []packet.Message, rec *FlowRecord) *UpdateStatus {
+	return c.PushMessagesInto(nil, flow, version, oldPath, newPath, pendingNodes, targets, msgs, rec)
+}
+
+// PushMessagesInto is PushMessages reusing a caller-held status record:
+// an update handed out in the Queued state is filled in and launched
+// through the same pointer, so callers observe the transition without
+// re-querying. A nil u allocates a fresh record.
+func (c *Controller) PushMessagesInto(u *UpdateStatus, flow packet.FlowID, version uint32,
+	oldPath, newPath, pendingNodes []topo.NodeID,
+	targets []topo.NodeID, msgs []packet.Message, rec *FlowRecord) *UpdateStatus {
 
 	if pendingNodes == nil {
 		pendingNodes = newPath
 	}
-	u := &UpdateStatus{
-		Flow:    flow,
-		Version: version,
-		Sent:    c.Eng.Now(),
-		pending: make(map[topo.NodeID]bool, len(pendingNodes)),
+	if u == nil {
+		u = &UpdateStatus{}
 	}
+	u.Flow = flow
+	u.Version = version
+	u.Sent = c.Eng.Now()
+	u.Queued = false
+	u.pending = make(map[topo.NodeID]bool, len(pendingNodes))
 	u.OldPath = oldPath
 	u.NewPath = newPath
 	for _, n := range pendingNodes {

@@ -8,18 +8,14 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
-	"p4update/internal/central"
 	"p4update/internal/controlplane"
-	"p4update/internal/core"
-	"p4update/internal/dataplane"
-	"p4update/internal/ezsegway"
 	"p4update/internal/packet"
-	"p4update/internal/sim"
+	"p4update/internal/runner"
 	"p4update/internal/topo"
 	"p4update/internal/traffic"
+	"p4update/internal/wiring"
 )
 
 // SystemKind selects the evaluated update system.
@@ -46,8 +42,38 @@ func (k SystemKind) String() string {
 	}
 }
 
+// Strategy maps the evaluation kind onto the shared wiring strategy
+// (P4Update runs the §7.5 auto policy, as in the paper's comparison).
+func (k SystemKind) Strategy() wiring.Strategy {
+	switch k {
+	case KindEZSegway:
+		return wiring.EZSegway
+	case KindCentral:
+		return wiring.Central
+	default:
+		return wiring.Auto
+	}
+}
+
 // AllSystems lists the systems in the paper's plotting order.
 var AllSystems = []SystemKind{KindP4Update, KindEZSegway, KindCentral}
+
+// RunOptions controls how an experiment's trial grid executes. The zero
+// value runs one worker per core with no per-trial timeout; results are
+// merged in trial-index order either way, so the output is identical
+// for every worker count.
+type RunOptions struct {
+	// Workers is the trial-pool concurrency (<= 0: GOMAXPROCS).
+	Workers int
+	// Timeout bounds each trial's wall-clock execution (0 = none); a
+	// timed-out trial is recorded as a failed run.
+	Timeout time.Duration
+}
+
+// Pool builds the trial pool for these options.
+func (o RunOptions) Pool() *runner.Pool {
+	return &runner.Pool{Workers: o.Workers, Timeout: o.Timeout}
+}
 
 // BedConfig tunes a testbed instance.
 type BedConfig struct {
@@ -82,79 +108,33 @@ func DefaultBedConfig() BedConfig {
 	}
 }
 
-// Bed is one fully wired system-under-test.
+// WiringConfig translates the testbed knobs into the shared wiring
+// configuration — the same construction path p4update.NewNetwork uses.
+func (cfg BedConfig) WiringConfig(kind SystemKind, seed int64) wiring.Config {
+	return wiring.Config{
+		Seed:             seed,
+		Strategy:         kind.Strategy(),
+		Congestion:       cfg.Congestion,
+		MaxEvents:        20_000_000,
+		NodeDelayMean:    cfg.NodeDelayMean,
+		BaseInstallDelay: cfg.BaseInstallDelay,
+		FatTreeControl:   cfg.FatTreeControl,
+		CtrlProcDelay:    cfg.CtrlProcDelay,
+		CtrlQueueMean:    cfg.CtrlQueueMean,
+	}
+}
+
+// Bed is one fully wired system-under-test. It embeds the shared wiring
+// system (engine, data plane, controllers) built from the same options
+// the public p4update API exposes.
 type Bed struct {
 	Kind SystemKind
-	Eng  *sim.Engine
-	Net  *dataplane.Network
-	Ctl  *controlplane.Controller
-	EZ   *ezsegway.Controller
-	CO   *central.Coordinator
+	*wiring.System
 }
 
 // NewBed builds a testbed of the given kind on topology g.
 func NewBed(kind SystemKind, g *topo.Topology, seed int64, cfg BedConfig) *Bed {
-	eng := sim.New(seed)
-	eng.MaxEvents = 20_000_000
-	net := dataplane.NewNetwork(eng, g)
-
-	switch kind {
-	case KindP4Update:
-		net.SetHandler(&core.Protocol{Congestion: cfg.Congestion})
-	case KindEZSegway:
-		net.SetHandler(&ezsegway.Handler{Congestion: cfg.Congestion})
-	case KindCentral:
-		net.SetHandler(&central.Handler{})
-	}
-
-	var node topo.NodeID
-	if cfg.FatTreeControl {
-		node = g.Centroid()
-		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
-		controlplane.UseSampledControl(net, func() time.Duration {
-			// Huang et al. measured switch control-path latencies of a
-			// few milliseconds; clamp the normal sample to stay positive.
-			d := time.Duration((4 + 2*rng.NormFloat64()) * float64(time.Millisecond))
-			if d < 500*time.Microsecond {
-				d = 500 * time.Microsecond
-			}
-			return d
-		})
-	} else {
-		node = controlplane.UseCentroidControl(net)
-	}
-	ctl := controlplane.NewController(net, node)
-
-	b := &Bed{Kind: kind, Eng: eng, Net: net, Ctl: ctl}
-	switch kind {
-	case KindEZSegway:
-		b.EZ = ezsegway.NewController(ctl)
-		b.EZ.Congestion = cfg.Congestion
-	case KindCentral:
-		b.CO = central.NewCoordinator(ctl, cfg.CtrlProcDelay)
-		b.CO.Congestion = cfg.Congestion
-		// The controller also serves path setup and monitoring traffic;
-		// every message queues behind it (§9.1, Jarschel et al.).
-		if cfg.CtrlQueueMean > 0 {
-			qrng := eng.Rand()
-			mean := float64(cfg.CtrlQueueMean)
-			b.CO.QueueDelay = func() time.Duration {
-				return time.Duration(qrng.ExpFloat64() * mean)
-			}
-		}
-	}
-
-	if cfg.NodeDelayMean > 0 {
-		mean := float64(cfg.NodeDelayMean)
-		rng := eng.Rand()
-		net.SetInstallDelay(func() time.Duration {
-			return time.Duration(rng.ExpFloat64() * mean)
-		})
-	} else if cfg.BaseInstallDelay > 0 {
-		d := cfg.BaseInstallDelay
-		net.SetInstallDelay(func() time.Duration { return d })
-	}
-	return b
+	return &Bed{Kind: kind, System: wiring.New(g, cfg.WiringConfig(kind, seed))}
 }
 
 // Register installs the workload's flows (version 1 state).
@@ -169,14 +149,5 @@ func (b *Bed) Register(flows []traffic.FlowSpec) error {
 
 // Trigger starts the flow's update under the bed's system.
 func (b *Bed) Trigger(f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
-	switch b.Kind {
-	case KindP4Update:
-		return b.Ctl.TriggerUpdate(f, newPath, nil)
-	case KindEZSegway:
-		return b.EZ.TriggerUpdate(f, newPath)
-	case KindCentral:
-		return b.CO.TriggerUpdate(f, newPath)
-	default:
-		return nil, fmt.Errorf("unknown system kind %d", b.Kind)
-	}
+	return b.System.Trigger(f, newPath)
 }

@@ -147,8 +147,39 @@ func TestFig8WithCongestion(t *testing.T) {
 }
 
 func TestSystemKindString(t *testing.T) {
-	if KindP4Update.String() != "P4Update" || KindEZSegway.String() != "ez-Segway" ||
-		KindCentral.String() != "Central" || SystemKind(9).String() != "unknown" {
-		t.Error("SystemKind stringer broken")
+	cases := []struct {
+		kind SystemKind
+		want string
+	}{
+		{KindP4Update, "P4Update"},
+		{KindEZSegway, "ez-Segway"},
+		{KindCentral, "Central"},
+		{SystemKind(9), "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("SystemKind(%d).String() = %q, want %q", int(c.kind), got, c.want)
+		}
+	}
+}
+
+func TestFig7ParallelMatchesSequential(t *testing.T) {
+	// The determinism guarantee of the trial runner: results are merged by
+	// trial index, so the parallel run is byte-identical to the sequential
+	// one regardless of completion order.
+	seq, err := Fig7SingleFlowOpts(topo.Synthetic, "synthetic", 4, 100, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig7SingleFlowOpts(topo.Synthetic, "synthetic", 4, 100, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("parallel summary differs from sequential:\n--- workers=1 ---\n%s--- workers=4 ---\n%s",
+			seq.String(), par.String())
+	}
+	if seq.CDFSeries() != par.CDFSeries() {
+		t.Error("parallel CDF series differs from sequential")
 	}
 }

@@ -80,18 +80,12 @@ func Fig4(runs int, seed int64) (*Fig4Result, error) {
 			if err != nil {
 				return
 			}
-			u3 = u // nil for ez-Segway until U2 completes (queued)
+			// Under ez-Segway this status starts Queued (U2 still in
+			// flight) and is filled in when the deferred U3 launches.
+			u3 = u
 		})
 		b.Eng.Run()
-		if u3 == nil {
-			// ez-Segway queued it; fetch the tracked status (version 3).
-			st, ok := b.Ctl.Status(f, 3)
-			if !ok || !st.Done() {
-				return 0, fmt.Errorf("%v: U3 did not complete", kind)
-			}
-			return st.Completed - requestAt, nil
-		}
-		if !u3.Done() {
+		if u3 == nil || !u3.Done() {
 			return 0, fmt.Errorf("%v: U3 did not complete", kind)
 		}
 		return u3.Completed - requestAt, nil

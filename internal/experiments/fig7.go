@@ -7,9 +7,10 @@ import (
 
 	"p4update/internal/controlplane"
 	"p4update/internal/metrics"
-	"p4update/internal/packet"
+	"p4update/internal/runner"
 	"p4update/internal/topo"
 	"p4update/internal/traffic"
+	"p4update/internal/wiring"
 )
 
 // Series is one system's empirical update-time distribution.
@@ -24,6 +25,9 @@ type Series struct {
 type Fig7Result struct {
 	Label  string
 	Series []Series
+	// Trials are the merged per-trial runner results (index order:
+	// system-major, run-minor) for JSON export.
+	Trials []runner.Result
 }
 
 // String renders the subplot in the paper's reporting style: one summary
@@ -74,41 +78,75 @@ func singleFlowSpec(g *topo.Topology) (traffic.FlowSpec, error) {
 	return traffic.SegmentedSingleFlow(g, 1000)
 }
 
-// Fig7SingleFlow runs the single-flow scenario on topology builder mk:
-// one long flow (old = shortest, new = 2nd-shortest between the farthest
-// pair), per-node exp(nodeDelay) rule-install delays, `runs` repetitions.
-func Fig7SingleFlow(mk func() *topo.Topology, label string, runs int, seed int64) (*Fig7Result, error) {
-	res := &Fig7Result{Label: label + " – single flow"}
-	g := mk()
-	spec, err := singleFlowSpec(g) // deterministic; reuse across runs
-	if err != nil {
-		return nil, err
-	}
+// runFig7Grid shards the (system × run) trial grid across the pool and
+// merges the results back in trial-index order (system-major, run-minor
+// — exactly the order the sequential loops produced), so the rendered
+// figure is byte-identical whatever the worker count.
+func runFig7Grid(res *Fig7Result, runs int, opt RunOptions, mkTrial func(kind SystemKind, run int) runner.Trial) {
+	trials := make([]runner.Trial, 0, len(AllSystems)*runs)
 	for _, kind := range AllSystems {
+		for run := 0; run < runs; run++ {
+			trials = append(trials, mkTrial(kind, run))
+		}
+	}
+	res.Trials = opt.Pool().Run(trials)
+	for ki, kind := range AllSystems {
 		var samples []time.Duration
 		failed := 0
 		for run := 0; run < runs; run++ {
-			cfg := DefaultBedConfig()
-			cfg.NodeDelayMean = 100 * time.Millisecond
-			b := NewBed(kind, g, seed+int64(run), cfg)
-			if err := b.Register([]traffic.FlowSpec{spec}); err != nil {
-				return nil, err
-			}
-			u, err := b.Trigger(spec.ID(), spec.New)
-			if err != nil {
-				return nil, err
-			}
-			b.Eng.Run()
-			if u == nil || !u.Done() {
+			r := res.Trials[ki*runs+run]
+			// A trial without samples did not complete its update; a
+			// Failed trial crashed or timed out. Both count as failed
+			// runs instead of aborting the figure.
+			if r.Failed || len(r.Samples) == 0 {
 				failed++
 				continue
 			}
-			samples = append(samples, u.Completed-u.Sent)
+			samples = append(samples, r.Samples...)
 		}
 		res.Series = append(res.Series, Series{
 			System: kind, CDF: metrics.NewCDF(samples), Failed: failed, Samples: samples,
 		})
 	}
+}
+
+// Fig7SingleFlow runs the single-flow scenario on topology builder mk:
+// one long flow (old = shortest, new = 2nd-shortest between the farthest
+// pair), per-node exp(nodeDelay) rule-install delays, `runs` repetitions.
+// Trials execute on the default parallel pool (one worker per core).
+func Fig7SingleFlow(mk func() *topo.Topology, label string, runs int, seed int64) (*Fig7Result, error) {
+	return Fig7SingleFlowOpts(mk, label, runs, seed, RunOptions{})
+}
+
+// Fig7SingleFlowOpts is Fig7SingleFlow with explicit execution options.
+func Fig7SingleFlowOpts(mk func() *topo.Topology, label string, runs int, seed int64, opt RunOptions) (*Fig7Result, error) {
+	res := &Fig7Result{Label: label + " – single flow"}
+	spec, err := singleFlowSpec(mk()) // deterministic; shared across runs
+	if err != nil {
+		return nil, err
+	}
+	runFig7Grid(res, runs, opt, func(kind SystemKind, run int) runner.Trial {
+		cfg := DefaultBedConfig()
+		cfg.NodeDelayMean = 100 * time.Millisecond
+		return runner.BedTrial(
+			fmt.Sprintf("%s/%s/run%02d", label, kind, run), kind.String(),
+			mk, cfg.WiringConfig(kind, seed+int64(run)),
+			func(sys *wiring.System) (runner.Metrics, error) {
+				b := &Bed{Kind: kind, System: sys}
+				if err := b.Register([]traffic.FlowSpec{spec}); err != nil {
+					return runner.Metrics{}, err
+				}
+				u, err := b.Trigger(spec.ID(), spec.New)
+				if err != nil {
+					return runner.Metrics{}, err
+				}
+				b.Eng.Run()
+				if u == nil || !u.Done() {
+					return runner.Metrics{}, nil // incomplete: failed run
+				}
+				return runner.Metrics{Samples: []time.Duration{u.Completed - u.Sent}}, nil
+			})
+	})
 	return res, nil
 }
 
@@ -117,67 +155,63 @@ func Fig7SingleFlow(mk func() *topo.Topology, label string, runs int, seed int64
 // sizes follow the gravity model scaled near capacity, congestion freedom
 // is enforced, and the measurement is the completion time of the last
 // flow. The same per-run workload (same seed) is presented to every
-// system.
+// system. Trials execute on the default parallel pool.
 func Fig7MultiFlow(mk func() *topo.Topology, label string, fatTree bool, runs int, seed int64) (*Fig7Result, error) {
-	res := &Fig7Result{Label: label + " – multiple flows"}
-	for _, kind := range AllSystems {
-		var samples []time.Duration
-		failed := 0
-		for run := 0; run < runs; run++ {
-			g := mk()
-			cfg := DefaultBedConfig()
-			cfg.Congestion = true
-			cfg.FatTreeControl = fatTree
-			b := NewBed(kind, g, seed+int64(run), cfg)
+	return Fig7MultiFlowOpts(mk, label, fatTree, runs, seed, RunOptions{})
+}
 
-			tcfg := traffic.DefaultConfig()
-			if fatTree {
-				tcfg.Candidates = topo.EdgeSwitches(g)
-			}
-			// Workload depends only on the run index so each system sees
-			// the identical scenario.
-			wrng := newWorkloadRand(seed + int64(run))
-			flows, err := traffic.MultiFlowWorkload(g, wrng, tcfg)
-			if err != nil {
-				return nil, err
-			}
-			if err := b.Register(flows); err != nil {
-				return nil, err
-			}
-			var updates []*controlplane.UpdateStatus
-			ok := true
-			var ids []packet.FlowID
-			for _, f := range flows {
-				u, err := b.Trigger(f.ID(), f.New)
+// Fig7MultiFlowOpts is Fig7MultiFlow with explicit execution options.
+func Fig7MultiFlowOpts(mk func() *topo.Topology, label string, fatTree bool, runs int, seed int64, opt RunOptions) (*Fig7Result, error) {
+	res := &Fig7Result{Label: label + " – multiple flows"}
+	runFig7Grid(res, runs, opt, func(kind SystemKind, run int) runner.Trial {
+		cfg := DefaultBedConfig()
+		cfg.Congestion = true
+		cfg.FatTreeControl = fatTree
+		return runner.BedTrial(
+			fmt.Sprintf("%s/%s/run%02d", label, kind, run), kind.String(),
+			mk, cfg.WiringConfig(kind, seed+int64(run)),
+			func(sys *wiring.System) (runner.Metrics, error) {
+				b := &Bed{Kind: kind, System: sys}
+				g := sys.Topo
+				tcfg := traffic.DefaultConfig()
+				if fatTree {
+					tcfg.Candidates = topo.EdgeSwitches(g)
+				}
+				// Workload depends only on the run index so each system
+				// sees the identical scenario.
+				wrng := newWorkloadRand(seed + int64(run))
+				flows, err := traffic.MultiFlowWorkload(g, wrng, tcfg)
 				if err != nil {
-					return nil, fmt.Errorf("%s: trigger: %w", kind, err)
+					return runner.Metrics{}, err
 				}
-				if u != nil {
-					updates = append(updates, u)
+				if err := b.Register(flows); err != nil {
+					return runner.Metrics{}, err
 				}
-				ids = append(ids, f.ID())
-			}
-			b.Eng.Run()
-			var last time.Duration
-			for _, u := range updates {
-				if !u.Done() {
-					ok = false
-					break
+				var updates []*controlplane.UpdateStatus
+				for _, f := range flows {
+					u, err := b.Trigger(f.ID(), f.New)
+					if err != nil {
+						return runner.Metrics{}, fmt.Errorf("%s: trigger: %w", kind, err)
+					}
+					if u != nil {
+						updates = append(updates, u)
+					}
 				}
-				if u.Completed > last {
-					last = u.Completed
+				b.Eng.Run()
+				var last time.Duration
+				for _, u := range updates {
+					if !u.Done() {
+						return runner.Metrics{}, nil // incomplete: failed run
+					}
+					if u.Completed > last {
+						last = u.Completed
+					}
 				}
-			}
-			_ = ids
-			if !ok || last == 0 {
-				failed++
-				continue
-			}
-			samples = append(samples, last)
-		}
-		res.Series = append(res.Series, Series{
-			System: kind, CDF: metrics.NewCDF(samples), Failed: failed, Samples: samples,
-		})
-	}
+				if last == 0 {
+					return runner.Metrics{}, nil
+				}
+				return runner.Metrics{Samples: []time.Duration{last}}, nil
+			})
+	})
 	return res, nil
 }

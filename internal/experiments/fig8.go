@@ -8,6 +8,7 @@ import (
 	"p4update/internal/controlplane"
 	"p4update/internal/ezsegway"
 	"p4update/internal/metrics"
+	"p4update/internal/runner"
 	"p4update/internal/topo"
 	"p4update/internal/traffic"
 )
@@ -29,6 +30,9 @@ type Fig8Row struct {
 type Fig8Result struct {
 	Congestion bool
 	Rows       []Fig8Row
+	// Trials are the merged per-trial runner results (topology-major,
+	// run-minor) for JSON export.
+	Trials []runner.Result
 }
 
 // String renders the subfigure the way the paper annotates it: topology
@@ -61,13 +65,18 @@ func fig8Topologies() []func() *topo.Topology {
 // inter-flow dependency graph per update, which P4Update offloads to the
 // data plane entirely.
 func Fig8(congestion bool, updates, runs int, seed int64) (*Fig8Result, error) {
-	res := &Fig8Result{Congestion: congestion}
-	for _, mk := range fig8Topologies() {
-		g := mk()
-		var ratios []float64
-		var p4uTotal, ezTotal time.Duration
-		totalUpdates := 0
-		for run := 0; run < runs; run++ {
+	return Fig8Opts(congestion, updates, runs, seed, RunOptions{})
+}
+
+// fig8Trial measures one run: `updates` preparations of both systems on
+// one topology, returning the wall-clock totals as named values.
+func fig8Trial(mk func() *topo.Topology, congestion bool, updates int, seed int64, run int) runner.Trial {
+	g := mk()
+	return runner.Trial{
+		Label:  fmt.Sprintf("fig8/%s/run%02d", g.Name, run),
+		System: "prep-ratio",
+		Seed:   seed + int64(run),
+		Run: func() (runner.Metrics, error) {
 			rng := newWorkloadRand(seed + int64(run))
 			// The network's standing flows: one per node to a random
 			// destination (old = shortest, new = 2nd-shortest).
@@ -75,7 +84,7 @@ func Fig8(congestion bool, updates, runs int, seed int64) (*Fig8Result, error) {
 			cfg.Utilization = 0.6
 			flows, err := traffic.MultiFlowWorkload(g, rng, cfg)
 			if err != nil {
-				return nil, fmt.Errorf("fig8 %s: %w", g.Name, err)
+				return runner.Metrics{}, fmt.Errorf("fig8 %s: %w", g.Name, err)
 			}
 			updateSet := make([]ezsegway.FlowUpdate, len(flows))
 			for i, f := range flows {
@@ -92,27 +101,64 @@ func Fig8(congestion bool, updates, runs int, seed int64) (*Fig8Result, error) {
 				}
 				start := time.Now()
 				if _, err := controlplane.PreparePlan(g, f.ID(), oldP, newP, uint32(i+2), f.SizeK, nil); err != nil {
-					return nil, fmt.Errorf("fig8 %s p4u: %w", g.Name, err)
+					return runner.Metrics{}, fmt.Errorf("fig8 %s p4u: %w", g.Name, err)
 				}
 				p4u += time.Since(start)
 
 				start = time.Now()
 				if _, err := ezsegway.PreparePlan(g, f.ID(), oldP, newP, uint32(i+2), f.SizeK, 0); err != nil {
-					return nil, fmt.Errorf("fig8 %s ez: %w", g.Name, err)
+					return runner.Metrics{}, fmt.Errorf("fig8 %s ez: %w", g.Name, err)
 				}
 				if congestion {
 					_, _ = ezsegway.ComputeCongestionDependencies(g, updateSet)
 				}
 				ez += time.Since(start)
 			}
+			m := runner.Metrics{Values: map[string]float64{
+				"p4u_ns": float64(p4u),
+				"ez_ns":  float64(ez),
+			}}
 			if ez > 0 {
-				ratios = append(ratios, float64(p4u)/float64(ez))
+				m.Values["ratio"] = float64(p4u) / float64(ez)
 			}
-			p4uTotal += p4u
-			ezTotal += ez
-			totalUpdates += updates
+			return m, nil
+		},
+	}
+}
+
+// Fig8Opts is Fig8 with explicit execution options: the (topology × run)
+// grid shards across the trial pool; rows merge in trial-index order.
+// Note the per-trial metrics are wall-clock measurements, so heavily
+// oversubscribed workers can inflate both systems' absolute times — the
+// reported quantity is their ratio, measured within one trial, which is
+// robust to that.
+func Fig8Opts(congestion bool, updates, runs int, seed int64, opt RunOptions) (*Fig8Result, error) {
+	res := &Fig8Result{Congestion: congestion}
+	topos := fig8Topologies()
+	trials := make([]runner.Trial, 0, len(topos)*runs)
+	for _, mk := range topos {
+		for run := 0; run < runs; run++ {
+			trials = append(trials, fig8Trial(mk, congestion, updates, seed, run))
+		}
+	}
+	res.Trials = opt.Pool().Run(trials)
+	for ti, mk := range topos {
+		g := mk()
+		var ratios []float64
+		var p4uTotal, ezTotal time.Duration
+		for run := 0; run < runs; run++ {
+			r := res.Trials[ti*runs+run]
+			if r.Failed {
+				return nil, fmt.Errorf("fig8 %s: %s", g.Name, r.Err)
+			}
+			if ratio, ok := r.Values["ratio"]; ok {
+				ratios = append(ratios, ratio)
+			}
+			p4uTotal += time.Duration(r.Values["p4u_ns"])
+			ezTotal += time.Duration(r.Values["ez_ns"])
 		}
 		mean, ci := metrics.MeanCI(ratios)
+		totalUpdates := updates * runs
 		res.Rows = append(res.Rows, Fig8Row{
 			Topo:         g.Name,
 			Nodes:        g.NumNodes(),

@@ -10,6 +10,7 @@ package ezsegway
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"p4update/internal/controlplane"
@@ -158,9 +159,17 @@ func PreparePlanDep(t *topo.Topology, flow packet.FlowID, oldPath, newPath []top
 			p.Deps[i] = i - 1
 		}
 	}
-	for n, m := range instr {
+	// Emit instructions in node-ID order: the send order must not depend
+	// on map iteration, or same-instant message ties break differently
+	// across runs of the same seed.
+	targets := make([]topo.NodeID, 0, len(instr))
+	for n := range instr {
+		targets = append(targets, n)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, n := range targets {
 		p.Targets = append(p.Targets, n)
-		p.Msgs = append(p.Msgs, m)
+		p.Msgs = append(p.Msgs, instr[n])
 	}
 	return p, nil
 }
@@ -348,6 +357,9 @@ type Controller struct {
 
 type queuedUpdate struct {
 	newPath []topo.NodeID
+	// status is the Queued-state record handed to the caller at trigger
+	// time; launch fills it in.
+	status *controlplane.UpdateStatus
 }
 
 // NewController wires an ez-Segway control plane over the shared tracker.
@@ -368,17 +380,26 @@ func NewController(ctl *controlplane.Controller) *Controller {
 	return c
 }
 
-// TriggerUpdate schedules an update of f to newPath. If an update of f is
-// in flight, the new one is deferred until completion.
+// TriggerUpdate schedules an update of f to newPath and always returns a
+// non-nil status on success. If an update of f is in flight, the new one
+// is deferred until completion and the returned status is in the Queued
+// state (Version and Sent zero); the same record is filled in when the
+// deferred update launches, so callers can hold it across Run.
 func (c *Controller) TriggerUpdate(f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
 	if _, busy := c.active[f]; busy {
-		c.queued[f] = append(c.queued[f], queuedUpdate{newPath: newPath})
-		return nil, nil
+		if _, known := c.Ctl.Flow(f); !known {
+			return nil, fmt.Errorf("ezsegway: unknown flow %d", f)
+		}
+		u := &controlplane.UpdateStatus{Flow: f, Queued: true}
+		c.queued[f] = append(c.queued[f], queuedUpdate{newPath: newPath, status: u})
+		return u, nil
 	}
-	return c.launch(f, newPath)
+	return c.launch(f, newPath, nil)
 }
 
-func (c *Controller) launch(f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+// launch prepares and pushes the update, filling pre (a Queued-state
+// record) when the update was deferred; pre may be nil.
+func (c *Controller) launch(f packet.FlowID, newPath []topo.NodeID, pre *controlplane.UpdateStatus) (*controlplane.UpdateStatus, error) {
 	rec, ok := c.Ctl.Flow(f)
 	if !ok {
 		return nil, fmt.Errorf("ezsegway: unknown flow %d", f)
@@ -396,6 +417,9 @@ func (c *Controller) launch(f packet.FlowID, newPath []topo.NodeID) (*controlpla
 		for _, fu := range c.activeUpdates {
 			set = append(set, fu)
 		}
+		// The dependency edges pick the first qualifying flow in set
+		// order; sort so the choice is stable across runs.
+		sort.Slice(set, func(i, j int) bool { return set[i].Flow < set[j].Flow })
 		classes, edges := ComputeCongestionDependencies(c.Ctl.Topo, set)
 		prio = classes[f]
 		dep = edges[f]
@@ -405,7 +429,7 @@ func (c *Controller) launch(f packet.FlowID, newPath []topo.NodeID) (*controlpla
 	if err != nil {
 		return nil, err
 	}
-	u := c.Ctl.PushMessages(f, version, oldPath, newPath, plan.Changed, plan.Targets, plan.Msgs, rec)
+	u := c.Ctl.PushMessagesInto(pre, f, version, oldPath, newPath, plan.Changed, plan.Targets, plan.Msgs, rec)
 	if len(plan.Changed) == 0 {
 		// Nothing to move: the update is trivially complete.
 		u.Completed = c.Ctl.Eng.Now()
@@ -424,8 +448,9 @@ func (c *Controller) onComplete(u *controlplane.UpdateStatus) {
 	if q := c.queued[u.Flow]; len(q) > 0 {
 		next := q[0]
 		c.queued[u.Flow] = q[1:]
-		if _, err := c.launch(u.Flow, next.newPath); err != nil {
-			// Unlaunchable deferred update: drop it.
+		if _, err := c.launch(u.Flow, next.newPath, next.status); err != nil {
+			// Unlaunchable deferred update: drop it (the handed-out
+			// status stays Queued and never completes).
 			_ = err
 		}
 	}

@@ -95,19 +95,31 @@ func TestEZSerializesUpdatesPerFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if u2 != nil {
-		t.Fatal("second update launched while the first was in flight")
+	if u2 == nil {
+		t.Fatal("deferred update returned a nil status")
+	}
+	if !u2.Queued {
+		t.Fatal("second update launched while the first was in flight (not Queued)")
+	}
+	if u2.Version != 0 || u2.Sent != 0 {
+		t.Errorf("queued status prematurely filled: version=%d sent=%v", u2.Version, u2.Sent)
 	}
 	b.eng.Run()
 	if !u1.Done() {
 		t.Fatal("first update did not complete")
 	}
-	u2st, ok := b.ctl.Status(f, 3)
-	if !ok || !u2st.Done() {
+	if u2.Queued {
+		t.Error("deferred update still marked Queued after launch")
+	}
+	if !u2.Done() {
 		t.Fatal("deferred second update did not run to completion")
 	}
-	if u2st.Sent < u1.Completed {
-		t.Errorf("deferred update sent at %v, before first completed at %v", u2st.Sent, u1.Completed)
+	u2st, ok := b.ctl.Status(f, 3)
+	if !ok || u2st != u2 {
+		t.Fatal("tracked version-3 status is not the record handed out at trigger time")
+	}
+	if u2.Sent < u1.Completed {
+		t.Errorf("deferred update sent at %v, before first completed at %v", u2.Sent, u1.Completed)
 	}
 	got, _ := b.net.TracePath(f, 0, 20)
 	want := []topo.NodeID{0, 1, 2, 7}

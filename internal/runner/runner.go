@@ -1,0 +1,204 @@
+// Package runner executes evaluation trials in parallel.
+//
+// The paper's evaluation grid — topology × system × seed — consists of
+// fully independent trials: every trial owns its simulation engine, its
+// random streams, and its topology instance, so trials shard across a
+// worker pool without any shared state. The pool guarantees
+// deterministic merging: results are returned ordered by trial index,
+// never by completion order, so a parallel run's merged output is
+// byte-identical to a sequential run over the same trial list.
+//
+// A trial that panics or exceeds the per-trial timeout is recorded as a
+// failed Result instead of killing the run.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"p4update/internal/topo"
+	"p4update/internal/wiring"
+)
+
+// Metrics is the measured portion of one trial: wall-clock cost,
+// virtual quiescence time and executed event count of the simulation,
+// the update-time samples the trial contributes to its figure, and any
+// named scalar metrics (Fig. 8 reports preparation-time ratios).
+type Metrics struct {
+	// WallClock is the host time the trial took (filled by the pool).
+	WallClock time.Duration `json:"wall_clock_ns"`
+	// VirtualTime is the simulation's quiescence instant.
+	VirtualTime time.Duration `json:"virtual_ns,omitempty"`
+	// Events is the number of simulation events executed.
+	Events uint64 `json:"events,omitempty"`
+	// Samples are the trial's measured update times. An empty slice
+	// marks a trial whose update did not complete (a failed run in the
+	// figure's sense, distinct from a crashed trial).
+	Samples []time.Duration `json:"samples_ns,omitempty"`
+	// Values holds named scalar metrics (e.g. Fig. 8's "ratio").
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Trial is one cell of the evaluation grid.
+type Trial struct {
+	// Label names the trial for reports ("fig7a/run3").
+	Label string `json:"label"`
+	// System is the evaluated system's display name.
+	System string `json:"system"`
+	// Seed is the trial's simulation seed.
+	Seed int64 `json:"seed"`
+	// Run executes the trial and returns its measurements. The pool
+	// fills Metrics.WallClock itself.
+	Run func() (Metrics, error) `json:"-"`
+}
+
+// BedTrial builds a Trial that wires a full system from the shared
+// construction path — mk builds the topology, cfg carries the system
+// kind, seed and bed configuration — and hands it to body. VirtualTime
+// and Events are captured from the engine after body returns.
+func BedTrial(label, system string, mk func() *topo.Topology, cfg wiring.Config,
+	body func(*wiring.System) (Metrics, error)) Trial {
+	return Trial{
+		Label:  label,
+		System: system,
+		Seed:   cfg.Seed,
+		Run: func() (Metrics, error) {
+			sys := wiring.New(mk(), cfg)
+			m, err := body(sys)
+			m.VirtualTime = sys.Eng.Now()
+			m.Events = sys.Eng.Steps()
+			return m, err
+		},
+	}
+}
+
+// Result is one trial's outcome.
+type Result struct {
+	// Index is the trial's position in the submitted list; results are
+	// always merged in index order.
+	Index  int    `json:"index"`
+	Label  string `json:"label"`
+	System string `json:"system"`
+	Seed   int64  `json:"seed"`
+	Metrics
+	// Failed marks a trial that panicked, timed out, or returned an
+	// error; Err carries the message.
+	Failed bool   `json:"failed,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// Pool runs trials across a fixed set of workers.
+type Pool struct {
+	// Workers is the concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout bounds each trial's wall-clock execution (0 = unlimited).
+	// A timed-out trial's goroutine is abandoned (the simulation cannot
+	// be interrupted mid-event); its engine's MaxEvents backstop keeps
+	// the leak bounded.
+	Timeout time.Duration
+}
+
+// NumWorkers reports the effective worker count.
+func (p *Pool) NumWorkers() int {
+	if p == nil || p.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Workers
+}
+
+// Run executes all trials and returns their results ordered by trial
+// index. It never returns early: failed trials are recorded in place.
+func (p *Pool) Run(trials []Trial) []Result {
+	results := make([]Result, len(trials))
+	workers := p.NumWorkers()
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+	if workers <= 1 {
+		for i, t := range trials {
+			results[i] = p.runOne(i, t)
+		}
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = p.runOne(i, trials[i])
+			}
+		}()
+	}
+	for i := range trials {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single trial with panic recovery and the pool's
+// per-trial timeout.
+func (p *Pool) runOne(index int, t Trial) Result {
+	res := Result{Index: index, Label: t.Label, System: t.System, Seed: t.Seed}
+	start := time.Now()
+	m, err := p.execute(t)
+	m.WallClock = time.Since(start)
+	res.Metrics = m
+	if err != nil {
+		res.Failed = true
+		res.Err = err.Error()
+	}
+	return res
+}
+
+func (p *Pool) execute(t Trial) (Metrics, error) {
+	if t.Run == nil {
+		return Metrics{}, fmt.Errorf("runner: trial %q has no Run function", t.Label)
+	}
+	if p == nil || p.Timeout <= 0 {
+		return recoverRun(t)
+	}
+	type outcome struct {
+		m   Metrics
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		m, err := recoverRun(t)
+		done <- outcome{m, err}
+	}()
+	timer := time.NewTimer(p.Timeout)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.m, o.err
+	case <-timer.C:
+		return Metrics{}, fmt.Errorf("runner: trial %q timed out after %v", t.Label, p.Timeout)
+	}
+}
+
+// recoverRun converts a trial panic into an error.
+func recoverRun(t Trial) (m Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: trial %q panicked: %v", t.Label, r)
+		}
+	}()
+	return t.Run()
+}
+
+// Failed counts the trials that crashed or timed out.
+func Failed(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Failed {
+			n++
+		}
+	}
+	return n
+}

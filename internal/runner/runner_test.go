@@ -1,0 +1,196 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"p4update/internal/topo"
+	"p4update/internal/wiring"
+)
+
+// sleepTrial returns a trial that sleeps and then emits its index as a
+// one-sample metric.
+func sleepTrial(i int, d time.Duration) Trial {
+	return Trial{
+		Label:  fmt.Sprintf("trial%02d", i),
+		System: "test",
+		Seed:   int64(i),
+		Run: func() (Metrics, error) {
+			time.Sleep(d)
+			return Metrics{Samples: []time.Duration{time.Duration(i)}}, nil
+		},
+	}
+}
+
+func TestPoolMergesByTrialIndex(t *testing.T) {
+	// Later trials sleep less, so under parallel execution they complete
+	// first; the merged results must still come back in submission order.
+	const n = 8
+	trials := make([]Trial, n)
+	for i := 0; i < n; i++ {
+		trials[i] = sleepTrial(i, time.Duration(n-i)*5*time.Millisecond)
+	}
+	p := &Pool{Workers: 4}
+	results := p.Run(trials)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+		if want := fmt.Sprintf("trial%02d", i); r.Label != want {
+			t.Errorf("result %d labeled %q, want %q", i, r.Label, want)
+		}
+		if len(r.Samples) != 1 || r.Samples[0] != time.Duration(i) {
+			t.Errorf("result %d carries samples %v", i, r.Samples)
+		}
+		if r.Failed {
+			t.Errorf("result %d unexpectedly failed: %s", i, r.Err)
+		}
+	}
+}
+
+// stripWallClock zeroes the host-time fields so runs are comparable.
+func stripWallClock(results []Result) []Result {
+	out := make([]Result, len(results))
+	copy(out, results)
+	for i := range out {
+		out[i].WallClock = 0
+	}
+	return out
+}
+
+func TestPoolDeterministicAcrossWorkerCounts(t *testing.T) {
+	mk := func() []Trial {
+		trials := make([]Trial, 12)
+		for i := range trials {
+			i := i
+			trials[i] = Trial{
+				Label:  fmt.Sprintf("t%d", i),
+				System: "test",
+				Seed:   int64(i),
+				Run: func() (Metrics, error) {
+					return Metrics{
+						Samples: []time.Duration{time.Duration(i * i)},
+						Values:  map[string]float64{"v": float64(i)},
+					}, nil
+				},
+			}
+		}
+		return trials
+	}
+	seq := stripWallClock((&Pool{Workers: 1}).Run(mk()))
+	for _, workers := range []int{2, 4, 8} {
+		par := stripWallClock((&Pool{Workers: workers}).Run(mk()))
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d produced different merged results", workers)
+		}
+	}
+}
+
+func TestPoolRecoversPanics(t *testing.T) {
+	trials := []Trial{
+		sleepTrial(0, 0),
+		{Label: "boom", System: "test", Run: func() (Metrics, error) { panic("kaboom") }},
+		sleepTrial(2, 0),
+	}
+	results := (&Pool{Workers: 2}).Run(trials)
+	if results[0].Failed || results[2].Failed {
+		t.Error("healthy trials marked failed")
+	}
+	if !results[1].Failed {
+		t.Fatal("panicking trial not marked failed")
+	}
+	if !strings.Contains(results[1].Err, "panicked") || !strings.Contains(results[1].Err, "kaboom") {
+		t.Errorf("panic error = %q", results[1].Err)
+	}
+	if Failed(results) != 1 {
+		t.Errorf("Failed = %d, want 1", Failed(results))
+	}
+}
+
+func TestPoolTimeoutRecordsFailedTrial(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	trials := []Trial{
+		{Label: "stuck", System: "test", Run: func() (Metrics, error) {
+			<-block
+			return Metrics{}, nil
+		}},
+		sleepTrial(1, 0),
+	}
+	results := (&Pool{Workers: 2, Timeout: 20 * time.Millisecond}).Run(trials)
+	if !results[0].Failed || !strings.Contains(results[0].Err, "timed out") {
+		t.Fatalf("stuck trial: failed=%v err=%q", results[0].Failed, results[0].Err)
+	}
+	if results[1].Failed {
+		t.Error("fast trial marked failed")
+	}
+}
+
+func TestPoolNilRunIsFailure(t *testing.T) {
+	results := (&Pool{}).Run([]Trial{{Label: "empty"}})
+	if !results[0].Failed {
+		t.Fatal("trial without Run not marked failed")
+	}
+}
+
+func TestBedTrialWiresFullSystem(t *testing.T) {
+	oldP, newP := topo.SyntheticPaths()
+	trial := BedTrial("bed", "p4update-auto", topo.Synthetic,
+		wiring.Config{Seed: 1, MaxEvents: 1_000_000},
+		func(sys *wiring.System) (Metrics, error) {
+			f, err := sys.Ctl.RegisterFlow(0, 7, oldP, 1000)
+			if err != nil {
+				return Metrics{}, err
+			}
+			u, err := sys.Trigger(f, newP)
+			if err != nil {
+				return Metrics{}, err
+			}
+			sys.Eng.Run()
+			if !u.Done() {
+				return Metrics{}, fmt.Errorf("update did not complete")
+			}
+			return Metrics{Samples: []time.Duration{u.Completed - u.Sent}}, nil
+		})
+	results := (&Pool{Workers: 1}).Run([]Trial{trial})
+	r := results[0]
+	if r.Failed {
+		t.Fatalf("bed trial failed: %s", r.Err)
+	}
+	if len(r.Samples) != 1 || r.Samples[0] <= 0 {
+		t.Fatalf("samples = %v", r.Samples)
+	}
+	if r.VirtualTime <= 0 || r.Events == 0 {
+		t.Errorf("engine metrics not captured: virtual=%v events=%d", r.VirtualTime, r.Events)
+	}
+	if r.Seed != 1 {
+		t.Errorf("seed = %d, want 1 (from wiring config)", r.Seed)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	results := (&Pool{Workers: 2}).Run([]Trial{sleepTrial(0, 0), sleepTrial(1, 0)})
+	rep := NewReport("unit", 2, 123*time.Millisecond, results)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "unit" || back.Workers != 2 || back.Trials != 2 || back.Failed != 0 {
+		t.Errorf("round-tripped header = %+v", back)
+	}
+	if len(back.Results) != 2 || back.Results[1].Label != "trial01" {
+		t.Errorf("round-tripped results = %+v", back.Results)
+	}
+}

@@ -55,12 +55,17 @@ func (q *eventQueue) Pop() any {
 }
 
 // Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
 
-// Stop cancels the timer. It is safe to call on an already-fired timer.
+// Stop cancels the timer. It is safe to call on an already-fired or
+// already-stopped timer (only the first call takes effect).
 func (t *Timer) Stop() {
-	if t != nil && t.ev != nil {
+	if t != nil && t.ev != nil && !t.ev.dead {
 		t.ev.dead = true
+		t.eng.live--
 	}
 }
 
@@ -73,6 +78,9 @@ type Engine struct {
 	seq    uint64
 	rng    *rand.Rand
 	nsteps uint64
+	// live counts queued events that are neither cancelled nor executed,
+	// so Pending is O(1) instead of a heap scan.
+	live int
 	// MaxEvents bounds a run as a runaway-loop backstop (0 = unlimited).
 	MaxEvents uint64
 }
@@ -103,7 +111,8 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
 	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	e.live++
+	return &Timer{eng: e, ev: ev}
 }
 
 // ScheduleAt runs fn at absolute virtual instant at (clamped to now).
@@ -121,6 +130,9 @@ func (e *Engine) Step() bool {
 		if ev.at < e.now {
 			panic(fmt.Sprintf("sim: time ran backwards: %v < %v", ev.at, e.now))
 		}
+		// Mark consumed before running so a late Timer.Stop is a no-op.
+		ev.dead = true
+		e.live--
 		e.now = ev.at
 		e.nsteps++
 		ev.fn()
@@ -164,13 +176,7 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 	return e.now
 }
 
-// Pending reports the number of live queued events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live queued events (cancelled timers
+// excluded). It is O(1): the count is maintained incrementally by
+// Schedule, Step, and Timer.Stop.
+func (e *Engine) Pending() int { return e.live }

@@ -183,3 +183,42 @@ func TestScheduleNilPanics(t *testing.T) {
 	}()
 	New(1).Schedule(0, nil)
 }
+
+func TestPendingTracksCancelledTimers(t *testing.T) {
+	e := New(1)
+	t1 := e.Schedule(10*time.Millisecond, func() {})
+	t2 := e.Schedule(20*time.Millisecond, func() {})
+	e.Schedule(30*time.Millisecond, func() {})
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	t1.Stop()
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending after Stop = %d, want 2", got)
+	}
+	t1.Stop() // double-Stop must not double-count
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending after double Stop = %d, want 2", got)
+	}
+	if !e.Step() { // runs the 20ms event (10ms one is cancelled)
+		t.Fatal("Step found no live event")
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Fatalf("cancelled event executed: now = %v", e.Now())
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after Step = %d, want 1", got)
+	}
+	t2.Stop() // stopping an already-fired timer is a no-op
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after firing-then-Stop = %d, want 1", got)
+	}
+	e.Run()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", got)
+	}
+	e.Schedule(time.Millisecond, func() {})
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after re-Schedule = %d, want 1", got)
+	}
+}

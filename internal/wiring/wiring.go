@@ -1,0 +1,227 @@
+// Package wiring is the single construction path for a fully wired
+// system under test. Both the public facade (p4update.NewNetwork) and
+// the evaluation harness (experiments.NewBed) build their systems here,
+// so the strategy dispatch — which data-plane handler runs, which
+// controller drives updates, how install and controller delays are
+// sampled — exists exactly once.
+package wiring
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"p4update/internal/central"
+	"p4update/internal/controlplane"
+	"p4update/internal/core"
+	"p4update/internal/dataplane"
+	"p4update/internal/ezsegway"
+	"p4update/internal/packet"
+	"p4update/internal/sim"
+	"p4update/internal/topo"
+)
+
+// Strategy selects the update system a wired network runs.
+type Strategy int
+
+// Strategies.
+const (
+	// Auto runs P4Update with the §7.5 single/dual-layer policy.
+	Auto Strategy = iota
+	// SingleLayer forces single-layer P4Update.
+	SingleLayer
+	// DualLayer forces dual-layer P4Update.
+	DualLayer
+	// EZSegway runs the decentralized ez-Segway baseline.
+	EZSegway
+	// Central runs the centralized dependency-graph baseline.
+	Central
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "p4update-auto"
+	case SingleLayer:
+		return "p4update-sl"
+	case DualLayer:
+		return "p4update-dl"
+	case EZSegway:
+		return "ez-segway"
+	case Central:
+		return "central"
+	default:
+		return "unknown"
+	}
+}
+
+// Config is the one knob set from which every system is built. The zero
+// value is usable (seed 0, P4Update auto policy, no delays); callers
+// layer their own defaults on top before calling New.
+type Config struct {
+	// Seed fixes the simulation's random streams.
+	Seed int64
+	// Strategy selects the update system.
+	Strategy Strategy
+	// Congestion enables link-capacity enforcement and each system's
+	// scheduler (P4Update §7.4, ez-Segway's static dependency graph).
+	Congestion bool
+	// ChainedDL enables the Appendix-C chained dual-layer extension.
+	ChainedDL bool
+	// WatchdogTimeout arms the §11 failure-recovery watchdog on held
+	// indications (0 disables it).
+	WatchdogTimeout time.Duration
+	// MaxRetriggers bounds §11 stalled-update re-transmissions.
+	MaxRetriggers int
+	// MaxEvents bounds a run as a runaway-loop backstop (0 = unlimited).
+	MaxEvents uint64
+	// TwoPhase enables the §11 two-phase-commit integration.
+	TwoPhase bool
+
+	// Rule-install latency, first match wins:
+	// InstallDelay (explicit sampler) > NodeDelayMean (exponential,
+	// engine RNG) > BaseInstallDelay (constant) > instantaneous.
+	InstallDelay     func() time.Duration
+	NodeDelayMean    time.Duration
+	BaseInstallDelay time.Duration
+
+	// Controller placement and control-channel latency, first match
+	// wins: SampledControl (explicit per-switch sampler, centroid
+	// placement) > FatTreeControl (the §9.1 normal-distribution model,
+	// Huang et al., derived from Seed) > Controller (pinned node,
+	// propagation latencies) > topology centroid.
+	SampledControl func() time.Duration
+	FatTreeControl bool
+	Controller     *topo.NodeID
+
+	// CtrlProcDelay is the Central coordinator's per-message processing
+	// time; CtrlQueueMean the mean of its exponential queuing delay
+	// (§9.1, Jarschel et al.). Both only matter under Central.
+	CtrlProcDelay time.Duration
+	CtrlQueueMean time.Duration
+}
+
+// System is a fully wired system under one update strategy: engine,
+// data plane, tracking controller, and — depending on the strategy —
+// the baseline coordinator driving it.
+type System struct {
+	Cfg  Config
+	Topo *topo.Topology
+	Eng  *sim.Engine
+	Net  *dataplane.Network
+	Ctl  *controlplane.Controller
+	// EZ is non-nil under EZSegway, CO under Central.
+	EZ *ezsegway.Controller
+	CO *central.Coordinator
+}
+
+// New builds switches for every node of g, wires the fabric and a
+// controller, and installs the configured update protocol.
+func New(g *topo.Topology, cfg Config) *System {
+	eng := sim.New(cfg.Seed)
+	eng.MaxEvents = cfg.MaxEvents
+	net := dataplane.NewNetwork(eng, g)
+
+	switch cfg.Strategy {
+	case EZSegway:
+		net.SetHandler(&ezsegway.Handler{Congestion: cfg.Congestion})
+	case Central:
+		net.SetHandler(&central.Handler{})
+	default:
+		net.SetHandler(&core.Protocol{
+			Congestion:      cfg.Congestion,
+			AllowChainedDL:  cfg.ChainedDL,
+			WatchdogTimeout: cfg.WatchdogTimeout,
+		})
+	}
+
+	var node topo.NodeID
+	switch {
+	case cfg.SampledControl != nil:
+		node = g.Centroid()
+		controlplane.UseSampledControl(net, cfg.SampledControl)
+	case cfg.FatTreeControl:
+		node = g.Centroid()
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+		controlplane.UseSampledControl(net, func() time.Duration {
+			// Huang et al. measured switch control-path latencies of a
+			// few milliseconds; clamp the normal sample to stay positive.
+			d := time.Duration((4 + 2*rng.NormFloat64()) * float64(time.Millisecond))
+			if d < 500*time.Microsecond {
+				d = 500 * time.Microsecond
+			}
+			return d
+		})
+	case cfg.Controller != nil:
+		node = *cfg.Controller
+		lat := g.ControlLatencies(node)
+		net.ControlLatency = func(n topo.NodeID) time.Duration { return lat[n] }
+	default:
+		node = controlplane.UseCentroidControl(net)
+	}
+	ctl := controlplane.NewController(net, node)
+	ctl.MaxRetriggers = cfg.MaxRetriggers
+
+	s := &System{Cfg: cfg, Topo: g, Eng: eng, Net: net, Ctl: ctl}
+	switch cfg.Strategy {
+	case EZSegway:
+		s.EZ = ezsegway.NewController(ctl)
+		s.EZ.Congestion = cfg.Congestion
+	case Central:
+		s.CO = central.NewCoordinator(ctl, cfg.CtrlProcDelay)
+		s.CO.Congestion = cfg.Congestion
+		// The controller also serves path setup and monitoring traffic;
+		// every message queues behind it (§9.1, Jarschel et al.).
+		if cfg.CtrlQueueMean > 0 {
+			rng := eng.Rand()
+			mean := float64(cfg.CtrlQueueMean)
+			s.CO.QueueDelay = func() time.Duration {
+				return time.Duration(rng.ExpFloat64() * mean)
+			}
+		}
+	}
+
+	switch {
+	case cfg.InstallDelay != nil:
+		net.SetInstallDelay(cfg.InstallDelay)
+	case cfg.NodeDelayMean > 0:
+		mean := float64(cfg.NodeDelayMean)
+		rng := eng.Rand()
+		net.SetInstallDelay(func() time.Duration {
+			return time.Duration(rng.ExpFloat64() * mean)
+		})
+	case cfg.BaseInstallDelay > 0:
+		d := cfg.BaseInstallDelay
+		net.SetInstallDelay(func() time.Duration { return d })
+	}
+	if cfg.TwoPhase {
+		for _, sw := range net.Switches() {
+			sw.TwoPhase = true
+		}
+	}
+	return s
+}
+
+// Trigger starts a consistent route update of flow f to newPath under
+// the system's strategy. Under EZSegway a second update of a flow whose
+// previous update is still in flight returns a status in the Queued
+// state (it launches when the ongoing update completes).
+func (s *System) Trigger(f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+	switch s.Cfg.Strategy {
+	case EZSegway:
+		return s.EZ.TriggerUpdate(f, newPath)
+	case Central:
+		return s.CO.TriggerUpdate(f, newPath)
+	case SingleLayer:
+		ut := packet.UpdateSingle
+		return s.Ctl.TriggerUpdate(f, newPath, &ut)
+	case DualLayer:
+		ut := packet.UpdateDual
+		return s.Ctl.TriggerUpdate(f, newPath, &ut)
+	case Auto:
+		return s.Ctl.TriggerUpdate(f, newPath, nil)
+	default:
+		return nil, fmt.Errorf("wiring: unknown strategy %d", s.Cfg.Strategy)
+	}
+}

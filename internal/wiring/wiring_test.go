@@ -1,0 +1,92 @@
+package wiring
+
+import (
+	"testing"
+	"time"
+
+	"p4update/internal/topo"
+)
+
+func TestStrategyString(t *testing.T) {
+	cases := []struct {
+		s    Strategy
+		want string
+	}{
+		{Auto, "p4update-auto"},
+		{SingleLayer, "p4update-sl"},
+		{DualLayer, "p4update-dl"},
+		{EZSegway, "ez-segway"},
+		{Central, "central"},
+		{Strategy(42), "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("Strategy(%d).String() = %q, want %q", int(c.s), got, c.want)
+		}
+	}
+}
+
+func TestNewWiresStrategySpecificControllers(t *testing.T) {
+	cases := []struct {
+		strategy       Strategy
+		wantEZ, wantCO bool
+	}{
+		{Auto, false, false},
+		{SingleLayer, false, false},
+		{DualLayer, false, false},
+		{EZSegway, true, false},
+		{Central, false, true},
+	}
+	for _, c := range cases {
+		sys := New(topo.Synthetic(), Config{Seed: 1, Strategy: c.strategy})
+		if sys.Eng == nil || sys.Net == nil || sys.Ctl == nil {
+			t.Fatalf("%v: incomplete system", c.strategy)
+		}
+		if (sys.EZ != nil) != c.wantEZ || (sys.CO != nil) != c.wantCO {
+			t.Errorf("%v: EZ=%v CO=%v, want EZ=%v CO=%v",
+				c.strategy, sys.EZ != nil, sys.CO != nil, c.wantEZ, c.wantCO)
+		}
+	}
+}
+
+// TestTriggerCompletesUnderEveryStrategy drives one full update through
+// each strategy's dispatch path — the single wiring-level switch that
+// replaced the per-caller copies.
+func TestTriggerCompletesUnderEveryStrategy(t *testing.T) {
+	oldP, newP := topo.SyntheticPaths()
+	for _, s := range []Strategy{Auto, SingleLayer, DualLayer, EZSegway, Central} {
+		sys := New(topo.Synthetic(), Config{
+			Seed:          1,
+			Strategy:      s,
+			MaxEvents:     5_000_000,
+			CtrlProcDelay: 500 * time.Microsecond,
+		})
+		f, err := sys.Ctl.RegisterFlow(0, 7, oldP, 1000)
+		if err != nil {
+			t.Fatalf("%v: register: %v", s, err)
+		}
+		u, err := sys.Trigger(f, newP)
+		if err != nil {
+			t.Fatalf("%v: trigger: %v", s, err)
+		}
+		if u == nil {
+			t.Fatalf("%v: nil status", s)
+		}
+		sys.Eng.Run()
+		if !u.Done() {
+			t.Errorf("%v: update did not complete", s)
+		}
+	}
+}
+
+func TestTriggerUnknownStrategyErrors(t *testing.T) {
+	sys := New(topo.Synthetic(), Config{Seed: 1, Strategy: Strategy(42)})
+	oldP, _ := topo.SyntheticPaths()
+	f, err := sys.Ctl.RegisterFlow(0, 7, oldP, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Trigger(f, oldP); err == nil {
+		t.Fatal("unknown strategy did not error")
+	}
+}

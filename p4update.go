@@ -24,14 +24,12 @@ import (
 	"fmt"
 	"time"
 
-	"p4update/internal/central"
 	"p4update/internal/controlplane"
-	"p4update/internal/core"
 	"p4update/internal/dataplane"
-	"p4update/internal/ezsegway"
 	"p4update/internal/packet"
-	"p4update/internal/sim"
+	"p4update/internal/runner"
 	"p4update/internal/topo"
+	"p4update/internal/wiring"
 )
 
 // Re-exported core types. Aliases keep the internal packages private while
@@ -98,211 +96,139 @@ var (
 	EdgeSwitches = topo.EdgeSwitches
 )
 
-// Strategy selects the update system a Network runs.
-type Strategy int
+// Strategy selects the update system a Network runs. It aliases the
+// internal wiring strategy so the facade and the evaluation harness
+// share one construction path.
+type Strategy = wiring.Strategy
 
 // Strategies.
 const (
 	// StrategyAuto runs P4Update with the §7.5 single/dual-layer policy.
-	StrategyAuto Strategy = iota
+	StrategyAuto = wiring.Auto
 	// StrategySL forces single-layer P4Update.
-	StrategySL
+	StrategySL = wiring.SingleLayer
 	// StrategyDL forces dual-layer P4Update.
-	StrategyDL
+	StrategyDL = wiring.DualLayer
 	// StrategyEZSegway runs the decentralized ez-Segway baseline.
-	StrategyEZSegway
+	StrategyEZSegway = wiring.EZSegway
 	// StrategyCentral runs the centralized dependency-graph baseline.
-	StrategyCentral
+	StrategyCentral = wiring.Central
 )
 
-// String implements fmt.Stringer.
-func (s Strategy) String() string {
-	switch s {
-	case StrategyAuto:
-		return "p4update-auto"
-	case StrategySL:
-		return "p4update-sl"
-	case StrategyDL:
-		return "p4update-dl"
-	case StrategyEZSegway:
-		return "ez-segway"
-	case StrategyCentral:
-		return "central"
-	default:
-		return "unknown"
-	}
-}
+// TrialResult is the per-trial summary the parallel evaluation runner
+// produces: identity (label, system, seed), wall-clock and virtual
+// quiescence times, executed event count, and the measured update-time
+// samples. cmd/p4update's -json export and the BENCH trajectories are
+// lists of these.
+type TrialResult = runner.Result
 
-type config struct {
-	seed           int64
-	strategy       Strategy
-	congestion     bool
-	chainedDL      bool
-	installDelay   func() time.Duration
-	twoPhase       bool
-	watchdog       time.Duration
-	maxRetriggers  int
-	controller     *NodeID
-	ctrlProcDelay  time.Duration
-	ctrlQueueMean  time.Duration
-	sampledControl func() time.Duration
-}
+// TrialMetrics is the measured portion of a TrialResult.
+type TrialMetrics = runner.Metrics
+
+// TrialReport is a JSON-serializable run summary: worker/host counts,
+// total wall-clock, and the merged per-trial results in deterministic
+// trial order.
+type TrialReport = runner.Report
+
+// NewTrialReport assembles a TrialReport from merged trial results.
+var NewTrialReport = runner.NewReport
+
+type config = wiring.Config
 
 // Option configures a Network.
 type Option func(*config)
 
 // WithSeed fixes the simulation seed (runs are fully deterministic per
 // seed).
-func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+func WithSeed(seed int64) Option { return func(c *config) { c.Seed = seed } }
 
 // WithStrategy selects the update system (default StrategyAuto).
-func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
+func WithStrategy(s Strategy) Option { return func(c *config) { c.Strategy = s } }
 
 // WithCongestionFreedom enables link-capacity enforcement and the dynamic
 // inter-flow scheduler (§7.4).
-func WithCongestionFreedom() Option { return func(c *config) { c.congestion = true } }
+func WithCongestionFreedom() Option { return func(c *config) { c.Congestion = true } }
 
 // WithChainedDualLayer enables the Appendix-C extension allowing
 // dual-layer updates to follow dual-layer updates.
-func WithChainedDualLayer() Option { return func(c *config) { c.chainedDL = true } }
+func WithChainedDualLayer() Option { return func(c *config) { c.ChainedDL = true } }
 
 // WithTwoPhaseCommit enables the §11 two-phase-commit integration:
 // switches retain the previous configuration's rule and forward packets
 // by their ingress-stamped version tag, giving Reitblatt-style per-packet
 // consistency on top of P4Update's per-hop guarantees.
-func WithTwoPhaseCommit() Option { return func(c *config) { c.twoPhase = true } }
+func WithTwoPhaseCommit() Option { return func(c *config) { c.TwoPhase = true } }
 
 // WithFailureRecovery enables §11 failure recovery: switches watchdog
 // each held indication for `timeout`; stalled updates are re-triggered by
 // the controller up to maxRetriggers times.
 func WithFailureRecovery(timeout time.Duration, maxRetriggers int) Option {
 	return func(c *config) {
-		c.watchdog = timeout
-		c.maxRetriggers = maxRetriggers
+		c.WatchdogTimeout = timeout
+		c.MaxRetriggers = maxRetriggers
 	}
 }
 
 // WithInstallDelay sets the sampler for per-rule install latency.
 func WithInstallDelay(f func() time.Duration) Option {
-	return func(c *config) { c.installDelay = f }
+	return func(c *config) { c.InstallDelay = f }
 }
 
 // WithControllerAt pins the controller to a node (default: the topology
 // centroid, as in §9.1).
-func WithControllerAt(n NodeID) Option { return func(c *config) { c.controller = &n } }
+func WithControllerAt(n NodeID) Option { return func(c *config) { c.Controller = &n } }
 
 // WithSampledControlLatency draws each switch's control-channel latency
 // once from the sampler (the fat-tree model of §9.1).
 func WithSampledControlLatency(f func() time.Duration) Option {
-	return func(c *config) { c.sampledControl = f }
+	return func(c *config) { c.SampledControl = f }
 }
 
 // Network is a fully wired system under one update strategy.
 type Network struct {
-	cfg  config
-	topo *Topology
-	eng  *sim.Engine
-	net  *dataplane.Network
-	ctl  *controlplane.Controller
-	ez   *ezsegway.Controller
-	co   *central.Coordinator
+	sys *wiring.System
 }
 
 // NewNetwork builds switches for every node of t, wires the fabric and a
 // controller, and installs the chosen update protocol.
 func NewNetwork(t *Topology, opts ...Option) *Network {
 	cfg := config{
-		seed:          1,
-		ctrlProcDelay: 500 * time.Microsecond,
-		ctrlQueueMean: 40 * time.Millisecond,
+		Seed:          1,
+		MaxEvents:     50_000_000,
+		CtrlProcDelay: 500 * time.Microsecond,
+		CtrlQueueMean: 40 * time.Millisecond,
 	}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	eng := sim.New(cfg.seed)
-	eng.MaxEvents = 50_000_000
-	net := dataplane.NewNetwork(eng, t)
-
-	switch cfg.strategy {
-	case StrategyEZSegway:
-		net.SetHandler(&ezsegway.Handler{Congestion: cfg.congestion})
-	case StrategyCentral:
-		net.SetHandler(&central.Handler{})
-	default:
-		net.SetHandler(&core.Protocol{
-			Congestion:      cfg.congestion,
-			AllowChainedDL:  cfg.chainedDL,
-			WatchdogTimeout: cfg.watchdog,
-		})
-	}
-
-	var node NodeID
-	switch {
-	case cfg.sampledControl != nil:
-		node = t.Centroid()
-		controlplane.UseSampledControl(net, cfg.sampledControl)
-	case cfg.controller != nil:
-		node = *cfg.controller
-		lat := t.ControlLatencies(node)
-		net.ControlLatency = func(n NodeID) time.Duration { return lat[n] }
-	default:
-		node = controlplane.UseCentroidControl(net)
-	}
-	ctl := controlplane.NewController(net, node)
-	ctl.MaxRetriggers = cfg.maxRetriggers
-
-	n := &Network{cfg: cfg, topo: t, eng: eng, net: net, ctl: ctl}
-	switch cfg.strategy {
-	case StrategyEZSegway:
-		n.ez = ezsegway.NewController(ctl)
-		n.ez.Congestion = cfg.congestion
-	case StrategyCentral:
-		n.co = central.NewCoordinator(ctl, cfg.ctrlProcDelay)
-		n.co.Congestion = cfg.congestion
-		if cfg.ctrlQueueMean > 0 {
-			rng := eng.Rand()
-			mean := float64(cfg.ctrlQueueMean)
-			n.co.QueueDelay = func() time.Duration {
-				return time.Duration(rng.ExpFloat64() * mean)
-			}
-		}
-	}
-	if cfg.installDelay != nil {
-		net.SetInstallDelay(cfg.installDelay)
-	}
-	if cfg.twoPhase {
-		for _, sw := range net.Switches() {
-			sw.TwoPhase = true
-		}
-	}
-	return n
+	return &Network{sys: wiring.New(t, cfg)}
 }
 
 // Topology returns the network's graph.
-func (n *Network) Topology() *Topology { return n.topo }
+func (n *Network) Topology() *Topology { return n.sys.Topo }
 
 // Controller exposes the control plane for advanced use (alarms, flow DB,
 // manual plan pushes).
-func (n *Network) Controller() *controlplane.Controller { return n.ctl }
+func (n *Network) Controller() *controlplane.Controller { return n.sys.Ctl }
 
 // Switch returns the data-plane switch at a node.
-func (n *Network) Switch(id NodeID) *Switch { return n.net.Switch(id) }
+func (n *Network) Switch(id NodeID) *Switch { return n.sys.Net.Switch(id) }
 
 // Fabric exposes the data-plane network (failure-injection hooks,
 // observation taps).
-func (n *Network) Fabric() *dataplane.Network { return n.net }
+func (n *Network) Fabric() *dataplane.Network { return n.sys.Net }
 
 // Now returns the current virtual time.
-func (n *Network) Now() time.Duration { return n.eng.Now() }
+func (n *Network) Now() time.Duration { return n.sys.Eng.Now() }
 
 // Run drains all simulation events and returns the quiescence time.
-func (n *Network) Run() time.Duration { return n.eng.Run() }
+func (n *Network) Run() time.Duration { return n.sys.Eng.Run() }
 
 // RunUntil executes events up to the given virtual instant.
-func (n *Network) RunUntil(t time.Duration) time.Duration { return n.eng.RunUntil(t) }
+func (n *Network) RunUntil(t time.Duration) time.Duration { return n.sys.Eng.RunUntil(t) }
 
 // Schedule runs fn after a virtual delay (for scripting scenarios).
-func (n *Network) Schedule(d time.Duration, fn func()) { n.eng.Schedule(d, fn) }
+func (n *Network) Schedule(d time.Duration, fn func()) { n.sys.Eng.Schedule(d, fn) }
 
 // AddFlow registers a flow from src to dst along path with the given rate
 // bound in Mbps and installs its version-1 rules.
@@ -310,71 +236,59 @@ func (n *Network) AddFlow(src, dst NodeID, path []NodeID, rateMbps float64) (Flo
 	if rateMbps <= 0 {
 		return 0, fmt.Errorf("p4update: flow rate must be positive")
 	}
-	return n.ctl.RegisterFlow(src, dst, path, uint32(rateMbps*1000))
+	return n.sys.Ctl.RegisterFlow(src, dst, path, uint32(rateMbps*1000))
 }
 
 // UpdateFlow triggers a consistent route update of flow f to newPath
-// under the network's strategy. For ez-Segway the returned status is nil
-// when the update was queued behind an ongoing one; query Status after
-// Run.
+// under the network's strategy. The returned status is always non-nil on
+// success: under StrategyEZSegway an update requested while a previous
+// update of the same flow is still in flight is returned in the Queued
+// state and launches automatically once the ongoing update completes.
 func (n *Network) UpdateFlow(f FlowID, newPath []NodeID) (*UpdateStatus, error) {
-	switch n.cfg.strategy {
-	case StrategyEZSegway:
-		return n.ez.TriggerUpdate(f, newPath)
-	case StrategyCentral:
-		return n.co.TriggerUpdate(f, newPath)
-	case StrategySL:
-		ut := SingleLayer
-		return n.ctl.TriggerUpdate(f, newPath, &ut)
-	case StrategyDL:
-		ut := DualLayer
-		return n.ctl.TriggerUpdate(f, newPath, &ut)
-	default:
-		return n.ctl.TriggerUpdate(f, newPath, nil)
-	}
+	return n.sys.Trigger(f, newPath)
 }
 
 // Status returns the tracked state of (flow, version).
 func (n *Network) Status(f FlowID, version uint32) (*UpdateStatus, bool) {
-	return n.ctl.Status(f, version)
+	return n.sys.Ctl.Status(f, version)
 }
 
 // Forwarding traces flow f's current forwarding state from node `from`,
 // returning the visited nodes and whether the trace reached the egress.
 func (n *Network) Forwarding(f FlowID, from NodeID) ([]NodeID, bool) {
-	return n.net.TracePath(f, from, n.topo.NumNodes()+2)
+	return n.sys.Net.TracePath(f, from, n.sys.Topo.NumNodes()+2)
 }
 
 // SendPacket injects one data packet of flow f at its ingress and returns
 // its sequence number (delivery can be observed via Fabric().OnDeliver).
 func (n *Network) SendPacket(f FlowID, seq uint32) error {
-	rec, ok := n.ctl.Flow(f)
+	rec, ok := n.sys.Ctl.Flow(f)
 	if !ok {
 		return fmt.Errorf("p4update: unknown flow %d", f)
 	}
-	n.net.Switch(rec.Src).InjectData(&packet.Data{Flow: f, Seq: seq, TTL: 64})
+	n.sys.Net.Switch(rec.Src).InjectData(&packet.Data{Flow: f, Seq: seq, TTL: 64})
 	return nil
 }
 
 // AddDestinationTree installs destination-based routing toward root
 // (§11): every node forwards traffic for root along the given tree.
 func (n *Network) AddDestinationTree(root NodeID, tree Tree, rateMbps float64) (FlowID, error) {
-	return n.ctl.RegisterTree(root, tree, uint32(rateMbps*1000))
+	return n.sys.Ctl.RegisterTree(root, tree, uint32(rateMbps*1000))
 }
 
 // UpdateDestinationTree migrates the destination's routing onto newTree
 // with a verified single-layer update fanning out from the root.
 func (n *Network) UpdateDestinationTree(f FlowID, newTree Tree) (*UpdateStatus, error) {
-	if n.cfg.strategy == StrategyEZSegway || n.cfg.strategy == StrategyCentral {
+	if s := n.sys.Cfg.Strategy; s == StrategyEZSegway || s == StrategyCentral {
 		return nil, fmt.Errorf("p4update: destination trees require a P4Update strategy")
 	}
-	return n.ctl.TriggerTreeUpdate(f, newTree)
+	return n.sys.Ctl.TriggerTreeUpdate(f, newTree)
 }
 
 // Stats aggregates switch counters across the network.
 func (n *Network) Stats() dataplane.Stats {
 	var total dataplane.Stats
-	for _, sw := range n.net.Switches() {
+	for _, sw := range n.sys.Net.Switches() {
 		s := sw.Stats
 		total.DataForwarded += s.DataForwarded
 		total.DataDelivered += s.DataDelivered
