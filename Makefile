@@ -13,12 +13,16 @@ vet:
 test:
 	$(GO) test ./...
 
-# The trial runner is the only concurrent subsystem; run it under the
-# race detector.
+# The trial runner is the concurrent subsystem; the sim and topo
+# packages carry the pooled engine and the shared path oracle, so all
+# three run under the race detector.
 race:
-	$(GO) test -race ./internal/runner/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/...
 
+# Hot-path microbenchmarks (engine schedule/step) plus the end-to-end
+# Fig. 7 trial benchmark. Results are tracked in BENCH_hotpath.json.
 bench:
+	$(GO) test -bench=BenchmarkEngine -benchmem -run=^$$ ./internal/sim/
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 check: vet build test race

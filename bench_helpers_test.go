@@ -6,7 +6,9 @@ import (
 
 	"p4update"
 	"p4update/internal/controlplane"
+	"p4update/internal/experiments"
 	"p4update/internal/topo"
+	"p4update/internal/traffic"
 )
 
 // runSyntheticOnce runs one forced-strategy update on the synthetic
@@ -37,6 +39,29 @@ func runSyntheticOnce(strat string, oldP, newP []topo.NodeID, seed int64) (time.
 	net.Run()
 	if !u.Done() {
 		return 0, fmt.Errorf("%s update did not complete", strat)
+	}
+	return u.Completed - u.Sent, nil
+}
+
+// runFig7TrialOnce executes exactly the trial body Fig7SingleFlow shards
+// across the pool: a synthetic-topology bed with the straggler install
+// model, one engineered single-flow update, run to quiescence.
+func runFig7TrialOnce(kind experiments.SystemKind, seed int64) (time.Duration, error) {
+	oldP, newP := topo.SyntheticPaths()
+	spec := traffic.FlowSpec{Src: oldP[0], Dst: oldP[len(oldP)-1], Old: oldP, New: newP, SizeK: 1000}
+	cfg := experiments.DefaultBedConfig()
+	cfg.NodeDelayMean = 100 * time.Millisecond
+	b := experiments.NewBed(kind, topo.Synthetic(), seed, cfg)
+	if err := b.Register([]traffic.FlowSpec{spec}); err != nil {
+		return 0, err
+	}
+	u, err := b.Trigger(spec.ID(), spec.New)
+	if err != nil {
+		return 0, err
+	}
+	b.Eng.Run()
+	if u == nil || !u.Done() {
+		return 0, fmt.Errorf("%v update did not complete", kind)
 	}
 	return u.Completed - u.Sent, nil
 }

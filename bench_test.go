@@ -185,6 +185,31 @@ func BenchmarkAblationUpdateType(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7Trial measures one Fig. 7a inner-loop trial end to end —
+// wire a synthetic-topology bed, trigger the engineered single-flow
+// update, run the simulation to quiescence — and reports allocations.
+// This is the unit of work the parallel runner shards, so its allocs/op
+// is the GC pressure of the whole evaluation.
+func BenchmarkFig7Trial(b *testing.B) {
+	for _, kind := range []experiments.SystemKind{
+		experiments.KindP4Update, experiments.KindEZSegway,
+	} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := runFig7TrialOnce(kind, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d <= 0 {
+					b.Fatal("update did not complete")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPreparePlan measures the raw control-plane preparation
 // throughput (the per-update cost behind Fig. 8a).
 func BenchmarkPreparePlan(b *testing.B) {

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"p4update"
@@ -27,15 +29,42 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig8|all")
-		runs     = flag.Int("runs", 30, "runs per series (the paper uses 30)")
-		preps    = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
-		seed     = flag.Int64("seed", 1, "base simulation seed")
-		cdf      = flag.Bool("cdf", false, "dump full CDF series for plotting")
-		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		jsonPath = flag.String("json", "", "write per-trial metrics to this JSON file")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig8|all")
+		runs       = flag.Int("runs", 30, "runs per series (the paper uses 30)")
+		preps      = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
+		seed       = flag.Int64("seed", 1, "base simulation seed")
+		cdf        = flag.Bool("cdf", false, "dump full CDF series for plotting")
+		workers    = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		jsonPath   = flag.String("json", "", "write per-trial metrics to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	opt := experiments.RunOptions{Workers: *workers}
 	var trials []p4update.TrialResult

@@ -132,7 +132,9 @@ func (p *Protocol) HandleUNM(sw *dataplane.Switch, m *packet.UNM, inPort topo.Po
 
 	switch v.Decision {
 	case DecisionWaitUIM:
-		sw.ParkOnUIM(m.Flow, func() { p.HandleUNM(sw, m, inPort) })
+		// Park a copy: m is pool-owned and recycled after dispatch.
+		cp := *m
+		sw.ParkOnUIM(m.Flow, func() { p.HandleUNM(sw, &cp, inPort) })
 	case DecisionReject:
 		sw.Alarm(m.Flow, m.Vn, v.Reason)
 	case DecisionWaitDependency, DecisionDuplicate:
@@ -149,7 +151,8 @@ func (p *Protocol) HandleUNM(sw *dataplane.Switch, m *packet.UNM, inPort topo.Po
 			// notification may still carry a smaller inherited distance,
 			// so re-verify once the install commits (it will then take
 			// the branch-3 inheritance path).
-			sw.ParkOnUIM(m.Flow, func() { p.HandleUNM(sw, m, inPort) })
+			cp := *m
+			sw.ParkOnUIM(m.Flow, func() { p.HandleUNM(sw, &cp, inPort) })
 			return
 		}
 		if p.Congestion && !p.congestionGate(sw, m, inPort, st, uim) {
@@ -227,7 +230,10 @@ func (p *Protocol) emit(sw *dataplane.Switch, f packet.FlowID, st *dataplane.Flo
 		}
 	}
 	for _, child := range st.ChildPorts {
-		sw.SendUNM(child, &packet.UNM{
+		// SendUNM serializes synchronously, so a pooled struct can be
+		// recycled as soon as it returns.
+		unm := sw.Pool().GetUNM()
+		*unm = packet.UNM{
 			Flow:       f,
 			Layer:      layer,
 			UpdateType: uim.UpdateType,
@@ -236,7 +242,9 @@ func (p *Protocol) emit(sw *dataplane.Switch, f packet.FlowID, st *dataplane.Flo
 			Vo:         vo,
 			Do:         do,
 			Counter:    st.Counter,
-		})
+		}
+		sw.SendUNM(child, unm)
+		sw.Pool().PutUNM(unm)
 	}
 }
 
@@ -264,13 +272,15 @@ func (p *Protocol) congestionGate(sw *dataplane.Switch, m *packet.UNM, inPort to
 		if st.Priority == dataplane.PriorityHigh {
 			sw.MarkHighWaiting(newPort, m.Flow)
 		}
-		sw.ParkOnCapacity(newPort, func() { p.HandleUNM(sw, m, inPort) })
+		cp := *m
+		sw.ParkOnCapacity(newPort, func() { p.HandleUNM(sw, &cp, inPort) })
 		return false
 	}
 	// Capacity suffices, but a low-priority flow must let waiting
 	// high-priority flows onto the link first.
 	if st.Priority == dataplane.PriorityLow && sw.HighWaitingOn(newPort, m.Flow) {
-		sw.ParkOnCapacity(newPort, func() { p.HandleUNM(sw, m, inPort) })
+		cp := *m
+		sw.ParkOnCapacity(newPort, func() { p.HandleUNM(sw, &cp, inPort) })
 		return false
 	}
 	// Book the capacity now so concurrent gate decisions during the

@@ -47,17 +47,70 @@ type Network struct {
 	OnApply func(node topo.NodeID, f packet.FlowID, version uint32)
 	// OnDeliver observes local data-packet delivery at an egress.
 	OnDeliver func(node topo.NodeID, d *packet.Data)
+
+	// pool recycles message structs and marshal buffers; deliveries and
+	// frames drawn from it live only until Receive/ControllerRx return.
+	pool packet.Pool
+	// freeDeliv recycles in-flight delivery records; deliverFn is the
+	// method value bound once so scheduling a delivery allocates nothing.
+	freeDeliv []*delivery
+	deliverFn func(any)
+}
+
+// delivery is a pooled in-flight frame: switch-bound (ctrl false, via
+// node/inPort) or controller-bound (ctrl true, node = sender). recycle
+// marks the last delivery of raw, after which the buffer returns to the
+// pool.
+type delivery struct {
+	ctrl    bool
+	node    topo.NodeID
+	inPort  topo.PortID
+	raw     []byte
+	recycle bool
 }
 
 // NewNetwork builds a switch per topology node. Control latency defaults
 // to zero until configured.
 func NewNetwork(eng *sim.Engine, t *topo.Topology) *Network {
 	n := &Network{Eng: eng, Topo: t}
+	n.deliverFn = n.deliver
 	n.switches = make([]*Switch, t.NumNodes())
 	for _, id := range t.Nodes() {
 		n.switches[id] = newSwitch(id, n)
 	}
 	return n
+}
+
+// Pool returns the network's message/buffer pool.
+func (n *Network) Pool() *packet.Pool { return &n.pool }
+
+// newDelivery pops a delivery record from the free list.
+func (n *Network) newDelivery() *delivery {
+	if k := len(n.freeDeliv); k > 0 {
+		dv := n.freeDeliv[k-1]
+		n.freeDeliv = n.freeDeliv[:k-1]
+		return dv
+	}
+	return &delivery{}
+}
+
+// deliver consumes a scheduled delivery record: it hands the frame to
+// the destination (switch pipeline or controller), recycles the marshal
+// buffer if this was its last use, and returns the record to the free
+// list. It is scheduled through ScheduleArg with the bound deliverFn so
+// the steady-state send path allocates nothing.
+func (n *Network) deliver(x any) {
+	dv := x.(*delivery)
+	if dv.ctrl {
+		n.ControllerRx(dv.node, dv.raw)
+	} else {
+		n.switches[dv.node].Receive(dv.raw, dv.inPort)
+	}
+	if dv.recycle {
+		n.pool.PutBuf(dv.raw)
+	}
+	dv.raw = nil
+	n.freeDeliv = append(n.freeDeliv, dv)
 }
 
 // Switch returns the switch at the given node.
@@ -91,25 +144,33 @@ func (n *Network) SendPort(from topo.NodeID, port topo.PortID, m packet.Message)
 		panic(fmt.Sprintf("dataplane: node %d has no port %d", from, port))
 	}
 	to := link.Other(from)
-	raw := packet.Marshal(m)
+	raw := m.SerializeTo(n.pool.GetBuf())
 	if n.Drop != nil && n.Drop(from, to, raw) {
+		n.pool.PutBuf(raw)
 		return
 	}
+	recycle := true
 	if n.Mangle != nil {
+		// The hook may return an aliased or test-owned slice; never
+		// recycle a mangled frame.
 		raw = n.Mangle(from, to, raw)
+		recycle = false
 	}
 	delay := link.Latency
 	if n.ExtraDelay != nil {
 		delay += n.ExtraDelay(from, to, raw)
 	}
 	inPort := link.PortAt(to)
-	n.Eng.Schedule(delay, func() {
-		n.switches[to].Receive(raw, inPort)
-	})
-	if n.Duplicate != nil && n.Duplicate(from, to, raw) {
-		n.Eng.Schedule(delay+time.Millisecond, func() {
-			n.switches[to].Receive(raw, inPort)
-		})
+	dup := n.Duplicate != nil && n.Duplicate(from, to, raw)
+	dv := n.newDelivery()
+	*dv = delivery{node: to, inPort: inPort, raw: raw, recycle: recycle && !dup}
+	n.Eng.ScheduleArg(delay, n.deliverFn, dv)
+	if dup {
+		// Same raw delivered twice: only the second (last) delivery may
+		// recycle the buffer.
+		dv2 := n.newDelivery()
+		*dv2 = delivery{node: to, inPort: inPort, raw: raw, recycle: recycle}
+		n.Eng.ScheduleArg(delay+time.Millisecond, n.deliverFn, dv2)
 	}
 }
 
@@ -119,8 +180,9 @@ func (n *Network) SendToController(from topo.NodeID, m packet.Message) {
 	if n.ControllerRx == nil {
 		return
 	}
-	raw := packet.Marshal(m)
+	raw := m.SerializeTo(n.pool.GetBuf())
 	if n.DropControl != nil && n.DropControl(from, true, raw) {
+		n.pool.PutBuf(raw)
 		return
 	}
 	var delay time.Duration
@@ -130,15 +192,20 @@ func (n *Network) SendToController(from topo.NodeID, m packet.Message) {
 	if n.ExtraControlDelay != nil {
 		delay += n.ExtraControlDelay(from, true, raw)
 	}
-	n.Eng.Schedule(delay, func() { n.ControllerRx(from, raw) })
+	// raw is valid only for the duration of the ControllerRx call; the
+	// controller decodes (copying every field) and must not retain it.
+	dv := n.newDelivery()
+	*dv = delivery{ctrl: true, node: from, raw: raw, recycle: true}
+	n.Eng.ScheduleArg(delay, n.deliverFn, dv)
 }
 
 // SendToSwitch serializes m at the controller and delivers it to node
 // after the control-channel latency. The extraDelay parameter lets
 // callers model per-message controller-side queuing.
 func (n *Network) SendToSwitch(node topo.NodeID, m packet.Message, extraDelay time.Duration) {
-	raw := packet.Marshal(m)
+	raw := m.SerializeTo(n.pool.GetBuf())
 	if n.DropControl != nil && n.DropControl(node, false, raw) {
+		n.pool.PutBuf(raw)
 		return
 	}
 	delay := extraDelay
@@ -148,9 +215,9 @@ func (n *Network) SendToSwitch(node topo.NodeID, m packet.Message, extraDelay ti
 	if n.ExtraControlDelay != nil {
 		delay += n.ExtraControlDelay(node, false, raw)
 	}
-	n.Eng.Schedule(delay, func() {
-		n.switches[node].Receive(raw, topo.InvalidPort)
-	})
+	dv := n.newDelivery()
+	*dv = delivery{node: node, inPort: topo.InvalidPort, raw: raw, recycle: true}
+	n.Eng.ScheduleArg(delay, n.deliverFn, dv)
 }
 
 // InstallPath seeds forwarding rules for flow f along path with the given

@@ -118,11 +118,19 @@ func (sw *Switch) Flows() []packet.FlowID {
 	return out
 }
 
+// Pool returns the per-network message/buffer pool, so protocol
+// handlers can draw short-lived messages from it instead of allocating.
+func (sw *Switch) Pool() *packet.Pool { return &sw.net.pool }
+
 // Receive is the switch's pipeline entry point: it parses the frame and
 // dispatches on message type. inPort is the arrival port, or
 // topo.InvalidPort for frames from the controller or host side.
+//
+// Pooled message types (Data, UNM, EZN) are recycled once dispatch
+// returns: a handler that parks work for later resubmission must copy
+// the message into the closure rather than capture the pointer.
 func (sw *Switch) Receive(raw []byte, inPort topo.PortID) {
-	m, err := packet.Decode(raw)
+	m, err := sw.net.pool.Decode(raw)
 	if err != nil {
 		sw.Stats.DecodeErrors++
 		return
@@ -130,6 +138,7 @@ func (sw *Switch) Receive(raw []byte, inPort topo.PortID) {
 	switch m := m.(type) {
 	case *packet.Data:
 		sw.handleData(m, inPort)
+		sw.net.pool.PutData(m)
 	case *packet.UIM:
 		sw.Stats.UIMReceived++
 		if sw.handler != nil {
@@ -140,6 +149,7 @@ func (sw *Switch) Receive(raw []byte, inPort topo.PortID) {
 		if sw.handler != nil {
 			sw.handler.HandleUNM(sw, m, inPort)
 		}
+		sw.net.pool.PutUNM(m)
 	case *packet.CLN:
 		sw.handleCleanup(m)
 	default:
@@ -147,6 +157,7 @@ func (sw *Switch) Receive(raw []byte, inPort topo.PortID) {
 		// handler when it supports them, else drop.
 		if mh, ok := sw.handler.(MessageHandler); ok {
 			mh.HandleMessage(sw, m, inPort)
+			sw.net.pool.Recycle(m)
 			return
 		}
 		sw.Stats.DecodeErrors++
@@ -199,10 +210,15 @@ func (sw *Switch) handleData(d *packet.Data, inPort topo.PortID) {
 		sw.Stats.TTLDrops++
 		return
 	}
-	fwd := *d
+	// Forward a pooled copy: SendPort serializes synchronously, so the
+	// struct can be recycled as soon as it returns, and the caller's d
+	// (possibly host-owned via InjectData) is never mutated.
+	fwd := sw.net.pool.GetData()
+	*fwd = *d
 	fwd.TTL = d.TTL - 1
 	sw.Stats.DataForwarded++
-	sw.net.SendPort(sw.ID, out, &fwd)
+	sw.net.SendPort(sw.ID, out, fwd)
+	sw.net.pool.PutData(fwd)
 }
 
 // handleCleanup removes the flow's stale rule (§11 "Rule Cleanup"): only

@@ -250,12 +250,18 @@ func (h *Handler) initiate(sw *dataplane.Switch, m *packet.EZI, es *flowEZState)
 		return
 	}
 	es.started = true
-	sw.Network().SendPort(sw.ID, topo.PortID(int32(m.ChildPort)), &packet.EZN{
-		Flow: m.Flow, Version: m.Version,
-	})
+	ezn := sw.Pool().GetEZN()
+	ezn.Flow, ezn.Version = m.Flow, m.Version
+	sw.Network().SendPort(sw.ID, topo.PortID(int32(m.ChildPort)), ezn)
+	sw.Pool().PutEZN(ezn)
 }
 
 func (h *Handler) handleEZN(sw *dataplane.Switch, m *packet.EZN) {
+	// m may be pool-owned and recycled when dispatch returns, but the
+	// closures below (parks, the dependency timeout, the Apply commit)
+	// outlive this call — rebind m to a private copy up front.
+	cp := *m
+	m = &cp
 	st := sw.State(m.Flow)
 	es := ezState(st)
 	if es.instr == nil || es.instr.Version < m.Version {
@@ -316,9 +322,10 @@ func (h *Handler) handleEZN(sw *dataplane.Switch, m *packet.EZN) {
 		es.applied = true
 		// Segment-interior nodes relay the notification upstream.
 		if instr.Flags.Has(packet.EZRelay) && instr.ChildPort != packet.NoPort {
-			sw.Network().SendPort(sw.ID, topo.PortID(int32(instr.ChildPort)), &packet.EZN{
-				Flow: m.Flow, Version: m.Version,
-			})
+			ezn := sw.Pool().GetEZN()
+			ezn.Flow, ezn.Version = m.Flow, m.Version
+			sw.Network().SendPort(sw.ID, topo.PortID(int32(instr.ChildPort)), ezn)
+			sw.Pool().PutEZN(ezn)
 		}
 		if instr.Flags.Has(packet.EZIngress) {
 			// Flow ingress: report completion of the final segment.

@@ -1,0 +1,130 @@
+package packet
+
+import "fmt"
+
+// Pool recycles the hot-path message structs (Data, UNM, EZN) and
+// marshal buffers for one simulation engine.
+//
+// The simulation engine is single-threaded by contract, so the free
+// lists need no locking (unlike sync.Pool, nothing is ever contended
+// and nothing is dropped by GC cycles). Ownership protocol: whoever
+// pops a struct with Get*/Decode owns it until it calls Put*/Recycle;
+// handlers that need a message beyond the dispatch call (e.g. parked
+// resubmission closures) must copy the struct first.
+//
+// Message types that protocols retain by reference — UIM (held in
+// FlowState.UIM and controller plans for retriggering) and EZI (held in
+// ez-Segway switch state) — are deliberately not pooled.
+type Pool struct {
+	data []*Data
+	unm  []*UNM
+	ezn  []*EZN
+	bufs [][]byte
+}
+
+// GetData pops a zeroed Data from the pool (allocating if empty).
+func (p *Pool) GetData() *Data {
+	if n := len(p.data); n > 0 {
+		d := p.data[n-1]
+		p.data = p.data[:n-1]
+		return d
+	}
+	return &Data{}
+}
+
+// PutData zeroes d and returns it to the pool.
+func (p *Pool) PutData(d *Data) {
+	*d = Data{}
+	p.data = append(p.data, d)
+}
+
+// GetUNM pops a zeroed UNM from the pool (allocating if empty).
+func (p *Pool) GetUNM() *UNM {
+	if n := len(p.unm); n > 0 {
+		m := p.unm[n-1]
+		p.unm = p.unm[:n-1]
+		return m
+	}
+	return &UNM{}
+}
+
+// PutUNM zeroes m and returns it to the pool.
+func (p *Pool) PutUNM(m *UNM) {
+	*m = UNM{}
+	p.unm = append(p.unm, m)
+}
+
+// GetEZN pops a zeroed EZN from the pool (allocating if empty).
+func (p *Pool) GetEZN() *EZN {
+	if n := len(p.ezn); n > 0 {
+		m := p.ezn[n-1]
+		p.ezn = p.ezn[:n-1]
+		return m
+	}
+	return &EZN{}
+}
+
+// PutEZN zeroes m and returns it to the pool.
+func (p *Pool) PutEZN(m *EZN) {
+	*m = EZN{}
+	p.ezn = append(p.ezn, m)
+}
+
+// GetBuf pops a zero-length marshal buffer (nil if the pool is empty;
+// SerializeTo grows it as needed and the grown capacity is what gets
+// recycled).
+func (p *Pool) GetBuf() []byte {
+	if n := len(p.bufs); n > 0 {
+		b := p.bufs[n-1]
+		p.bufs = p.bufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+// PutBuf returns a marshal buffer to the pool, keeping its capacity.
+func (p *Pool) PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	p.bufs = append(p.bufs, b[:0])
+}
+
+// Decode parses any supported message from b, drawing the hot message
+// types (Data, UNM, EZN) from the pool instead of allocating. The
+// caller owns the result and should hand it back via Recycle once
+// dispatch is complete.
+func (p *Pool) Decode(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("packet: empty buffer")
+	}
+	var m Message
+	switch MsgType(b[0]) {
+	case TypeData:
+		m = p.GetData()
+	case TypeUNM:
+		m = p.GetUNM()
+	case TypeEZN:
+		m = p.GetEZN()
+	default:
+		return Decode(b)
+	}
+	if err := m.DecodeFromBytes(b); err != nil {
+		p.Recycle(m)
+		return nil, err
+	}
+	return m, nil
+}
+
+// Recycle returns a pooled message type to its free list; non-pooled
+// types are a no-op.
+func (p *Pool) Recycle(m Message) {
+	switch m := m.(type) {
+	case *Data:
+		p.PutData(m)
+	case *UNM:
+		p.PutUNM(m)
+	case *EZN:
+		p.PutEZN(m)
+	}
+}

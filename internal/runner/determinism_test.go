@@ -1,0 +1,77 @@
+package runner_test
+
+// Cross-package determinism tests: they drive the real experiment
+// constructors (internal/experiments) through the pool at several
+// worker counts and require identical merged output. They live in an
+// external test package because experiments imports runner.
+
+import (
+	"reflect"
+	"testing"
+
+	"p4update/internal/experiments"
+	"p4update/internal/runner"
+	"p4update/internal/topo"
+)
+
+// stripHost zeroes host-side measurements (wall clock, allocation
+// deltas) that legitimately vary between runs and across worker counts.
+func stripHost(results []runner.Result) []runner.Result {
+	out := make([]runner.Result, len(results))
+	copy(out, results)
+	for i := range out {
+		out[i].WallClock = 0
+		out[i].Allocs = 0
+		out[i].AllocBytes = 0
+	}
+	return out
+}
+
+func TestFig7DeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []runner.Result {
+		r, err := experiments.Fig7SingleFlowOpts(topo.Synthetic, "synthetic", 6, 1,
+			experiments.RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return stripHost(r.Trials)
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if par := run(workers); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("fig7 workers=%d produced different merged results", workers)
+		}
+	}
+}
+
+// TestFig8DeterministicAcrossWorkerCounts checks the fig8 grid's
+// deterministic skeleton — trial order, labels, systems, seeds,
+// failure status — across worker counts. The measured Values are
+// host wall-clock preparation times, so they are stripped along with
+// the other host metrics.
+func TestFig8DeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 grid is slow under -short")
+	}
+	run := func(workers int) []runner.Result {
+		r, err := experiments.Fig8Opts(false, 10, 2, 1,
+			experiments.RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := stripHost(r.Trials)
+		for i := range out {
+			out[i].Values = nil
+		}
+		return out
+	}
+	seq := run(1)
+	if len(seq) == 0 {
+		t.Fatal("fig8 produced no trials")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if par := run(workers); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("fig8 workers=%d produced different merged results", workers)
+		}
+	}
+}

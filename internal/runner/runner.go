@@ -15,6 +15,7 @@ package runner
 import (
 	"fmt"
 	"runtime"
+	"runtime/metrics"
 	"sync"
 	"time"
 
@@ -33,6 +34,19 @@ type Metrics struct {
 	VirtualTime time.Duration `json:"virtual_ns,omitempty"`
 	// Events is the number of simulation events executed.
 	Events uint64 `json:"events,omitempty"`
+	// EventsScheduled is the number of simulation events scheduled
+	// (including cancelled timers); deterministic per seed.
+	EventsScheduled uint64 `json:"events_scheduled,omitempty"`
+	// Allocs and AllocBytes are the host heap allocations observed
+	// during the trial (filled by the pool). They are host-side
+	// profiling aids, not simulation outputs: with more than one worker
+	// the runtime counters are shared, so concurrent trials contaminate
+	// each other's deltas, and the runtime flushes allocation counts in
+	// span-sized batches, so individual deltas are coarse (meaningful in
+	// aggregate over many trials). Determinism comparisons must ignore
+	// them, like WallClock.
+	Allocs     uint64 `json:"allocs,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
 	// Samples are the trial's measured update times. An empty slice
 	// marks a trial whose update did not complete (a failed run in the
 	// figure's sense, distinct from a crashed trial).
@@ -69,6 +83,7 @@ func BedTrial(label, system string, mk func() *topo.Topology, cfg wiring.Config,
 			m, err := body(sys)
 			m.VirtualTime = sys.Eng.Now()
 			m.Events = sys.Eng.Steps()
+			m.EventsScheduled = sys.Eng.Scheduled()
 			return m, err
 		},
 	}
@@ -146,8 +161,12 @@ func (p *Pool) Run(trials []Trial) []Result {
 func (p *Pool) runOne(index int, t Trial) Result {
 	res := Result{Index: index, Label: t.Label, System: t.System, Seed: t.Seed}
 	start := time.Now()
+	allocs0, bytes0 := readAllocs()
 	m, err := p.execute(t)
 	m.WallClock = time.Since(start)
+	allocs1, bytes1 := readAllocs()
+	m.Allocs = allocs1 - allocs0
+	m.AllocBytes = bytes1 - bytes0
 	res.Metrics = m
 	if err != nil {
 		res.Failed = true
@@ -190,6 +209,17 @@ func recoverRun(t Trial) (m Metrics, err error) {
 		}
 	}()
 	return t.Run()
+}
+
+// readAllocs samples the runtime's cumulative heap-allocation counters
+// (object count and bytes) without a stop-the-world pause.
+func readAllocs() (objects, bytes uint64) {
+	s := [2]metrics.Sample{
+		{Name: "/gc/heap/allocs:objects"},
+		{Name: "/gc/heap/allocs:bytes"},
+	}
+	metrics.Read(s[:])
+	return s[0].Value.Uint64(), s[1].Value.Uint64()
 }
 
 // Failed counts the trials that crashed or timed out.

@@ -56,12 +56,15 @@ func TestPoolMergesByTrialIndex(t *testing.T) {
 	}
 }
 
-// stripWallClock zeroes the host-time fields so runs are comparable.
+// stripWallClock zeroes the host-side fields (wall time, allocation
+// counters) so runs are comparable; only simulation outputs remain.
 func stripWallClock(results []Result) []Result {
 	out := make([]Result, len(results))
 	copy(out, results)
 	for i := range out {
 		out[i].WallClock = 0
+		out[i].Allocs = 0
+		out[i].AllocBytes = 0
 	}
 	return out
 }

@@ -4,69 +4,78 @@
 // Events scheduled for the same instant are executed in scheduling order
 // (FIFO), which makes every run with the same seed fully deterministic —
 // a property the protocol property-tests rely on.
+//
+// The event queue is allocation-free in steady state: event payloads
+// live in a pooled slot arena reused through a free list, and the
+// priority queue is a value-typed 4-ary heap of {at, seq, slot}
+// entries. Schedule, Step, and Timer.Stop therefore do zero heap
+// allocations once the arena has grown to the simulation's high-water
+// mark. The engine is single-threaded by contract, so the pool needs no
+// locking.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// Event is a closure scheduled to run at a virtual instant.
-type event struct {
+// entry is one element of the value-typed 4-ary event heap. The slot
+// index points into Engine.slots, where the payload lives; keeping the
+// heap free of pointers makes sifting cheap and allocation-free.
+type entry struct {
 	at   time.Duration
 	seq  uint64
-	fn   func()
-	idx  int
-	dead bool
+	slot int32
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func entryLess(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
+// eventSlot holds a scheduled event's payload. Slots are recycled via
+// the engine's free list; gen disambiguates a recycled slot from the
+// incarnation an outstanding Timer refers to.
+//
+// Exactly one heap entry references a live or cancelled slot at any
+// time: Timer.Stop only marks the slot dead, and the slot returns to
+// the free list when its heap entry is discarded (peekLive) or executed
+// (Step). This invariant is what lets heap entries omit a generation.
+type eventSlot struct {
+	fn   func()
+	afn  func(any)
+	arg  any
+	gen  uint32
+	live bool
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
-
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. The
+// zero value is a valid no-op timer.
 type Timer struct {
-	eng *Engine
-	ev  *event
+	eng  *Engine
+	slot int32
+	gen  uint32
 }
 
 // Stop cancels the timer. It is safe to call on an already-fired or
 // already-stopped timer (only the first call takes effect).
-func (t *Timer) Stop() {
-	if t != nil && t.ev != nil && !t.ev.dead {
-		t.ev.dead = true
-		t.eng.live--
+func (t Timer) Stop() {
+	e := t.eng
+	if e == nil {
+		return
 	}
+	s := &e.slots[t.slot]
+	if s.gen != t.gen || !s.live {
+		return
+	}
+	s.live = false
+	// Drop closure references now; the slot itself is reclaimed when
+	// its heap entry surfaces.
+	s.fn, s.afn, s.arg = nil, nil, nil
+	e.live--
 }
 
 // Engine is a single-threaded discrete-event simulator.
@@ -74,15 +83,21 @@ func (t *Timer) Stop() {
 // The zero value is not usable; construct with New.
 type Engine struct {
 	now    time.Duration
-	queue  eventQueue
+	heap   []entry
+	slots  []eventSlot
+	free   []int32
 	seq    uint64
 	rng    *rand.Rand
 	nsteps uint64
+	nsched uint64
 	// live counts queued events that are neither cancelled nor executed,
 	// so Pending is O(1) instead of a heap scan.
 	live int
 	// MaxEvents bounds a run as a runaway-loop backstop (0 = unlimited).
 	MaxEvents uint64
+	// Strict makes scheduling into the past a panic instead of silently
+	// clamping to now, so protocol bugs surface in tests.
+	Strict bool
 }
 
 // New returns an engine whose random streams are derived from seed.
@@ -99,46 +114,129 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Steps reports how many events have been executed so far.
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
+// Scheduled reports how many events have been scheduled so far,
+// including cancelled ones.
+func (e *Engine) Scheduled() uint64 { return e.nsched }
+
 // Schedule runs fn after delay of virtual time. A negative delay is
 // treated as zero. The returned Timer may be used to cancel the event.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("sim: Schedule with nil fn")
 	}
 	if delay < 0 {
 		delay = 0
 	}
-	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	e.live++
-	return &Timer{eng: e, ev: ev}
+	return e.push(e.now+delay, fn, nil, nil)
 }
 
-// ScheduleAt runs fn at absolute virtual instant at (clamped to now).
-func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Timer {
-	return e.Schedule(at-e.now, fn)
+// ScheduleArg runs fn(arg) after delay of virtual time. It exists so
+// hot paths can schedule a long-lived method value plus a pooled
+// argument instead of allocating a fresh closure per event.
+func (e *Engine) ScheduleArg(delay time.Duration, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: ScheduleArg with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return e.push(e.now+delay, nil, fn, arg)
+}
+
+// ScheduleAt runs fn at absolute virtual instant at. A past instant is
+// clamped to now, unless Strict is set, in which case it panics.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	if at < e.now {
+		e.mustNotRegress(at)
+		at = e.now
+	}
+	return e.push(at, fn, nil, nil)
+}
+
+// mustNotRegress flags an attempt to schedule into the past. Under
+// Strict it panics; otherwise the caller clamps to now, preserving the
+// engine's historical lenient behaviour.
+func (e *Engine) mustNotRegress(at time.Duration) {
+	if e.Strict {
+		panic(fmt.Sprintf("sim: ScheduleAt into the past: %v < now %v", at, e.now))
+	}
+}
+
+// push allocates a slot (reusing the free list), stores the payload,
+// and inserts a heap entry. Exactly one of fn/afn is non-nil.
+func (e *Engine) push(at time.Duration, fn func(), afn func(any), arg any) Timer {
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		slot = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[slot]
+	s.fn, s.afn, s.arg = fn, afn, arg
+	s.live = true
+	e.heapPush(entry{at: at, seq: e.seq, slot: slot})
+	e.seq++
+	e.nsched++
+	e.live++
+	return Timer{eng: e, slot: slot, gen: s.gen}
+}
+
+// freeSlot returns a slot to the free list, bumping its generation so
+// stale Timers become no-ops.
+func (e *Engine) freeSlot(slot int32) {
+	s := &e.slots[slot]
+	s.fn, s.afn, s.arg = nil, nil, nil
+	s.live = false
+	s.gen++
+	e.free = append(e.free, slot)
+}
+
+// peekLive discards cancelled events at the head of the heap (freeing
+// their slots) and reports whether a live event remains. This is the
+// single place dead events are skipped; Step and RunUntil both go
+// through it, so the MaxEvents backstop and the skip logic cannot
+// diverge.
+func (e *Engine) peekLive() bool {
+	for len(e.heap) > 0 {
+		slot := e.heap[0].slot
+		if e.slots[slot].live {
+			return true
+		}
+		e.heapPop()
+		e.freeSlot(slot)
+	}
+	return false
 }
 
 // Step executes the next pending event. It reports whether an event ran.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time ran backwards: %v < %v", ev.at, e.now))
-		}
-		// Mark consumed before running so a late Timer.Stop is a no-op.
-		ev.dead = true
-		e.live--
-		e.now = ev.at
-		e.nsteps++
-		ev.fn()
-		return true
+	if !e.peekLive() {
+		return false
 	}
-	return false
+	head := e.heap[0]
+	e.heapPop()
+	if head.at < e.now {
+		panic(fmt.Sprintf("sim: time ran backwards: %v < %v", head.at, e.now))
+	}
+	s := &e.slots[head.slot]
+	fn, afn, arg := s.fn, s.afn, s.arg
+	// Reclaim the slot before running so a late Timer.Stop is a no-op
+	// and the slot is immediately reusable by events fn schedules.
+	e.live--
+	e.freeSlot(head.slot)
+	e.now = head.at
+	e.nsteps++
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+	return true
 }
 
 // Run executes events until the queue drains or MaxEvents is hit.
@@ -155,14 +253,8 @@ func (e *Engine) Run() time.Duration {
 // RunUntil executes events with timestamps <= deadline. Events scheduled
 // later stay queued; the clock is advanced to deadline if it quiesced early.
 func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
-	for len(e.queue) > 0 {
-		// Peek.
-		next := e.queue[0]
-		if next.dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > deadline {
+	for e.peekLive() {
+		if e.heap[0].at > deadline {
 			break
 		}
 		e.Step()
@@ -180,3 +272,46 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 // excluded). It is O(1): the count is maintained incrementally by
 // Schedule, Step, and Timer.Stop.
 func (e *Engine) Pending() int { return e.live }
+
+// heapPush inserts it into the 4-ary min-heap.
+func (e *Engine) heapPush(it entry) {
+	e.heap = append(e.heap, it)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(e.heap[i], e.heap[p]) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+// heapPop removes the minimum entry from the 4-ary min-heap.
+func (e *Engine) heapPop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if entryLess(e.heap[c], e.heap[best]) {
+				best = c
+			}
+		}
+		if !entryLess(e.heap[best], e.heap[i]) {
+			break
+		}
+		e.heap[i], e.heap[best] = e.heap[best], e.heap[i]
+		i = best
+	}
+}

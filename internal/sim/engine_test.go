@@ -184,6 +184,149 @@ func TestScheduleNilPanics(t *testing.T) {
 	New(1).Schedule(0, nil)
 }
 
+// TestRunUntilCancelledAtDeadline is a regression test for the old
+// RunUntil, which popped dead head events in its own loop, bypassing
+// the unified skip logic. Cancelled timers sitting exactly at and
+// around the deadline must be discarded without executing, and live
+// events past the deadline must stay queued.
+func TestRunUntilCancelledAtDeadline(t *testing.T) {
+	e := New(1)
+	var got []int
+	t1 := e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(15*time.Millisecond, func() { got = append(got, 2) })
+	t3 := e.Schedule(20*time.Millisecond, func() { got = append(got, 3) }) // at the deadline
+	t4 := e.Schedule(25*time.Millisecond, func() { got = append(got, 4) }) // past it
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 5) })
+	t1.Stop()
+	t3.Stop()
+	t4.Stop()
+	e.RunUntil(20 * time.Millisecond)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("ran %v, want [2]", got)
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want 20ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(got) != 2 || got[1] != 5 {
+		t.Fatalf("after Run got %v, want [2 5]", got)
+	}
+}
+
+// TestRunUntilMaxEventsWithDeadHeads verifies the MaxEvents backstop is
+// honoured even when cancelled events pepper the queue (the old code
+// popped dead heads outside the backstop check).
+func TestRunUntilMaxEventsWithDeadHeads(t *testing.T) {
+	e := New(1)
+	e.MaxEvents = 3
+	n := 0
+	for i := 0; i < 10; i++ {
+		tm := e.Schedule(time.Duration(2*i)*time.Millisecond, func() { n++ })
+		e.Schedule(time.Duration(2*i+1)*time.Millisecond, func() { n++ })
+		tm.Stop()
+	}
+	e.RunUntil(time.Second)
+	if n != 3 {
+		t.Fatalf("executed %d events, want 3 (MaxEvents)", n)
+	}
+}
+
+func TestStrictScheduleAtPanics(t *testing.T) {
+	e := New(1)
+	e.Strict = true
+	var recovered any
+	e.Schedule(10*time.Millisecond, func() {
+		defer func() { recovered = recover() }()
+		e.ScheduleAt(5*time.Millisecond, func() {})
+	})
+	e.Run()
+	if recovered == nil {
+		t.Fatal("Strict ScheduleAt into the past did not panic")
+	}
+	// Non-strict engines must keep the historical clamping behaviour.
+	e2 := New(1)
+	ran := false
+	e2.Schedule(10*time.Millisecond, func() {
+		e2.ScheduleAt(5*time.Millisecond, func() { ran = true })
+	})
+	e2.Run()
+	if !ran {
+		t.Fatal("lenient ScheduleAt did not clamp and run")
+	}
+}
+
+// TestFIFOSurvivesSlotReuse drives schedule/cancel/reschedule churn so
+// pooled slots are recycled mid-instant, then asserts same-instant FIFO
+// order still follows scheduling order, not slot order.
+func TestFIFOSurvivesSlotReuse(t *testing.T) {
+	e := New(1)
+	var got []int
+	// Interleave doomed timers with live ones so the free list hands
+	// out low-numbered slots to late schedules.
+	var doomed []Timer
+	for i := 0; i < 50; i++ {
+		doomed = append(doomed, e.Schedule(5*time.Millisecond, func() { t.Fatal("cancelled event ran") }))
+	}
+	for _, tm := range doomed {
+		tm.Stop()
+	}
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+		// Churn: schedule and immediately cancel between live events.
+		e.Schedule(5*time.Millisecond, func() { t.Fatal("cancelled event ran") }).Stop()
+	}
+	// Second wave at the same instant, scheduled from inside an event.
+	e.Schedule(time.Millisecond, func() {
+		for i := 50; i < 100; i++ {
+			i := i
+			e.Schedule(4*time.Millisecond, func() { got = append(got, i) })
+		}
+	})
+	e.Run()
+	if len(got) != 100 {
+		t.Fatalf("ran %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event %d ran out of order (got %d)", i, v)
+		}
+	}
+}
+
+func TestScheduleArg(t *testing.T) {
+	e := New(1)
+	var got []int
+	fn := func(a any) { got = append(got, *a.(*int)) }
+	x, y := 1, 2
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 3) })
+	e.ScheduleArg(time.Millisecond, fn, &x)
+	tm := e.ScheduleArg(2*time.Millisecond, fn, &y)
+	tm.Stop()
+	e.ScheduleArg(5*time.Millisecond, fn, &y)
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestScheduledCounter(t *testing.T) {
+	e := New(1)
+	tm := e.Schedule(time.Millisecond, func() {})
+	e.Schedule(2*time.Millisecond, func() {})
+	tm.Stop()
+	e.Run()
+	if got := e.Scheduled(); got != 2 {
+		t.Fatalf("Scheduled = %d, want 2 (cancelled events count)", got)
+	}
+	if got := e.Steps(); got != 1 {
+		t.Fatalf("Steps = %d, want 1", got)
+	}
+}
+
 func TestPendingTracksCancelledTimers(t *testing.T) {
 	e := New(1)
 	t1 := e.Schedule(10*time.Millisecond, func() {})

@@ -8,6 +8,7 @@ package topo
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -72,6 +73,12 @@ type Topology struct {
 	nodes []Node
 	links []Link
 	adj   [][]adjacency // indexed by NodeID, ordered by PortID
+
+	// version counts mutations (AddNode/AddLink); the PathOracle uses
+	// it to invalidate memoized path computations.
+	version uint64
+	oracle  *PathOracle
+	once    sync.Once
 }
 
 // New returns an empty topology with the given name.
@@ -84,6 +91,7 @@ func (t *Topology) AddNode(name string, lat, lon float64) NodeID {
 	id := NodeID(len(t.nodes))
 	t.nodes = append(t.nodes, Node{ID: id, Name: name, Lat: lat, Lon: lon})
 	t.adj = append(t.adj, nil)
+	t.version++
 	return id
 }
 
@@ -110,7 +118,20 @@ func (t *Topology) AddLink(a, b NodeID, latency time.Duration, capacity float64)
 	})
 	t.adj[a] = append(t.adj[a], adjacency{neighbor: b, port: pa, link: id})
 	t.adj[b] = append(t.adj[b], adjacency{neighbor: a, port: pb, link: id})
+	t.version++
 	return id
+}
+
+// Version counts topology mutations. The PathOracle compares it against
+// its own snapshot to decide when memoized results are stale.
+func (t *Topology) Version() uint64 { return t.version }
+
+// Oracle returns the topology's memoizing path oracle, creating it on
+// first use. Creation is guarded by a sync.Once so concurrent readers
+// (parallel trial workers sharing a topology) are safe.
+func (t *Topology) Oracle() *PathOracle {
+	t.once.Do(func() { t.oracle = newPathOracle(t) })
+	return t.oracle
 }
 
 // NumNodes returns the node count.

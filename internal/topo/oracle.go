@@ -1,0 +1,366 @@
+package topo
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// distKey identifies one memoized single-source distance sweep.
+type distKey struct {
+	src NodeID
+	w   Weight
+}
+
+// pathKey identifies one memoized point-to-point query. avoid is an
+// FNV-1a hash of the sorted avoid set (0 for the empty set), so Yen
+// spur queries with distinct blocked sets occupy distinct entries.
+type pathKey struct {
+	src, dst NodeID
+	w        Weight
+	avoid    uint64
+}
+
+// oracleItem is a value-typed Dijkstra frontier entry.
+type oracleItem struct {
+	node NodeID
+	dist float64
+}
+
+// PathOracle memoizes shortest-path computation over one Topology.
+//
+// Results are cached per (src, dst, weight, avoid-set-hash) and
+// invalidated wholesale whenever the topology mutates (AddNode/AddLink
+// bump Topology.version). The Dijkstra sweep itself runs on reusable
+// scratch buffers — distance, predecessor, and heap-position arrays
+// plus a value-typed binary heap — so a cache miss allocates only the
+// slice that is retained in the cache, and a hit allocates nothing.
+//
+// Cached slices are shared: callers must treat them as read-only. The
+// Topology wrapper methods that historically handed out fresh slices
+// (ShortestPath, shortestPathAvoiding) copy on the way out; Distances
+// intentionally does not, per its documented contract.
+//
+// The oracle is safe for concurrent readers (a mutex serializes
+// queries); topology mutation is not concurrent-safe, matching the
+// Topology contract.
+type PathOracle struct {
+	t  *Topology
+	mu sync.Mutex
+
+	version      uint64
+	dist         map[distKey][]float64
+	path         map[pathKey][]NodeID
+	pathCost     map[pathKey]float64
+	centroid     NodeID
+	haveCentroid bool
+
+	// Dijkstra scratch, sized to the topology's node count.
+	d    []float64
+	prev []NodeID
+	pos  []int32 // heap index per node, -1 when absent
+	h    []oracleItem
+}
+
+func newPathOracle(t *Topology) *PathOracle {
+	return &PathOracle{t: t}
+}
+
+// refresh flushes the caches if the topology changed and (re)sizes the
+// scratch buffers. Callers hold o.mu.
+func (o *PathOracle) refresh() {
+	if o.dist != nil && o.version == o.t.version {
+		return
+	}
+	o.version = o.t.version
+	o.dist = make(map[distKey][]float64)
+	o.path = make(map[pathKey][]NodeID)
+	o.pathCost = make(map[pathKey]float64)
+	o.haveCentroid = false
+	n := o.t.NumNodes()
+	if cap(o.d) < n {
+		o.d = make([]float64, n)
+		o.prev = make([]NodeID, n)
+		o.pos = make([]int32, n)
+	}
+	o.d = o.d[:n]
+	o.prev = o.prev[:n]
+	o.pos = o.pos[:n]
+}
+
+// Distances returns minimum weights from src to every node (math.Inf(1)
+// for unreachable nodes). The returned slice is owned by the oracle's
+// cache and must not be modified.
+func (o *PathOracle) Distances(src NodeID, w Weight) []float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.refresh()
+	k := distKey{src, w}
+	if d, ok := o.dist[k]; ok {
+		return d
+	}
+	o.sweep(src, w)
+	out := make([]float64, len(o.d))
+	copy(out, o.d)
+	o.dist[k] = out
+	return out
+}
+
+// ShortestPath returns the minimum-weight path from src to dst, or nil
+// if unreachable. The returned slice is owned by the oracle's cache and
+// must not be modified.
+func (o *PathOracle) ShortestPath(src, dst NodeID, w Weight) []NodeID {
+	p, _ := o.shortestAvoiding(src, dst, w, nil, nil)
+	return p
+}
+
+// shortestAvoiding is the memoized Yen spur primitive. The returned
+// slice is cache-owned and read-only; Topology.shortestPathAvoiding
+// copies before handing ownership to callers.
+func (o *PathOracle) shortestAvoiding(src, dst NodeID, w Weight,
+	blockedNodes map[NodeID]bool, blockedEdges map[[2]NodeID]bool) ([]NodeID, float64) {
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.refresh()
+	k := pathKey{src, dst, w, hashAvoid(blockedNodes, blockedEdges)}
+	if p, ok := o.path[k]; ok {
+		return p, o.pathCost[k]
+	}
+	p, cost := o.spurPath(src, dst, w, blockedNodes, blockedEdges)
+	o.path[k] = p
+	o.pathCost[k] = cost
+	return p, cost
+}
+
+// Centroid returns the node minimizing the worst-case latency-weighted
+// distance to all other nodes, memoized per topology generation.
+func (o *PathOracle) Centroid() NodeID {
+	o.mu.Lock()
+	if o.dist != nil && o.version == o.t.version && o.haveCentroid {
+		c := o.centroid
+		o.mu.Unlock()
+		return c
+	}
+	o.mu.Unlock()
+
+	best := NodeID(0)
+	bestWorst := math.Inf(1)
+	for _, n := range o.t.Nodes() {
+		dist := o.Distances(n, ByLatency)
+		worst := 0.0
+		for _, d := range dist {
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst < bestWorst {
+			bestWorst = worst
+			best = n
+		}
+	}
+
+	o.mu.Lock()
+	o.refresh()
+	o.centroid = best
+	o.haveCentroid = true
+	o.mu.Unlock()
+	return best
+}
+
+// sweep runs a full single-source Dijkstra into o.d. Callers hold o.mu.
+// The relaxation and heap discipline mirror the original container/heap
+// implementation exactly so tie-breaking (and hence every derived path)
+// is byte-identical to the pre-oracle code.
+func (o *PathOracle) sweep(src NodeID, w Weight) {
+	t := o.t
+	for i := range o.d {
+		o.d[i] = math.Inf(1)
+		o.pos[i] = -1
+	}
+	o.d[src] = 0
+	o.h = o.h[:0]
+	o.hPush(src, 0)
+	for len(o.h) > 0 {
+		cur := o.hPop()
+		for _, ad := range t.adj[cur.node] {
+			alt := cur.dist + t.edgeWeight(t.links[ad.link], w)
+			if alt < o.d[ad.neighbor] {
+				o.d[ad.neighbor] = alt
+				if o.pos[ad.neighbor] >= 0 {
+					o.hFix(ad.neighbor, alt)
+				} else {
+					o.hPush(ad.neighbor, alt)
+				}
+			}
+		}
+	}
+}
+
+// spurPath runs Dijkstra from src toward dst, skipping the given nodes
+// and directed edges, and reconstructs the path into a fresh slice.
+// Callers hold o.mu.
+func (o *PathOracle) spurPath(src, dst NodeID, w Weight,
+	blockedNodes map[NodeID]bool, blockedEdges map[[2]NodeID]bool) ([]NodeID, float64) {
+
+	if src == dst {
+		return []NodeID{src}, 0
+	}
+	t := o.t
+	for i := range o.d {
+		o.d[i] = math.Inf(1)
+		o.prev[i] = -1
+		o.pos[i] = -1
+	}
+	o.d[src] = 0
+	o.h = o.h[:0]
+	o.hPush(src, 0)
+	for len(o.h) > 0 {
+		cur := o.hPop()
+		if cur.node == dst {
+			break
+		}
+		for _, ad := range t.adj[cur.node] {
+			if blockedNodes[ad.neighbor] || blockedEdges[[2]NodeID{cur.node, ad.neighbor}] {
+				continue
+			}
+			alt := cur.dist + t.edgeWeight(t.links[ad.link], w)
+			if alt < o.d[ad.neighbor] {
+				o.d[ad.neighbor] = alt
+				o.prev[ad.neighbor] = cur.node
+				if o.pos[ad.neighbor] >= 0 {
+					o.hFix(ad.neighbor, alt)
+				} else {
+					o.hPush(ad.neighbor, alt)
+				}
+			}
+		}
+	}
+	if math.IsInf(o.d[dst], 1) {
+		return nil, math.Inf(1)
+	}
+	n := 0
+	for v := dst; v != -1; v = o.prev[v] {
+		n++
+	}
+	path := make([]NodeID, n)
+	for v, i := dst, n-1; v != -1; v, i = o.prev[v], i-1 {
+		path[i] = v
+	}
+	return path, o.d[dst]
+}
+
+// hashAvoid hashes an avoid set deterministically (FNV-1a over the
+// sorted members). The empty set hashes to 0.
+func hashAvoid(nodes map[NodeID]bool, edges map[[2]NodeID]bool) uint64 {
+	if len(nodes) == 0 && len(edges) == 0 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	ns := make([]NodeID, 0, len(nodes))
+	for n := range nodes {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	for _, n := range ns {
+		mix(uint64(uint32(n)))
+	}
+	mix(0xffffffffffffffff) // separator between node and edge members
+	es := make([][2]NodeID, 0, len(edges))
+	for e := range edges {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	for _, e := range es {
+		mix(uint64(uint32(e[0]))<<32 | uint64(uint32(e[1])))
+	}
+	return h
+}
+
+// The heap helpers below replicate container/heap's sift discipline
+// (including its tie behaviour) over a value-typed slice with a
+// position index, so pop order — and therefore deterministic
+// tie-breaking in derived paths — matches the original pointer-heap
+// implementation bit for bit.
+
+func (o *PathOracle) hLess(i, j int) bool { return o.h[i].dist < o.h[j].dist }
+
+func (o *PathOracle) hSwap(i, j int) {
+	o.h[i], o.h[j] = o.h[j], o.h[i]
+	o.pos[o.h[i].node] = int32(i)
+	o.pos[o.h[j].node] = int32(j)
+}
+
+func (o *PathOracle) hPush(node NodeID, dist float64) {
+	o.h = append(o.h, oracleItem{node: node, dist: dist})
+	o.pos[node] = int32(len(o.h) - 1)
+	o.hUp(len(o.h) - 1)
+}
+
+func (o *PathOracle) hPop() oracleItem {
+	n := len(o.h) - 1
+	o.hSwap(0, n)
+	it := o.h[n]
+	o.h = o.h[:n]
+	o.pos[it.node] = -1
+	if n > 0 {
+		o.hDown(0, n)
+	}
+	return it
+}
+
+// hFix restores heap order after node's key changed to dist.
+func (o *PathOracle) hFix(node NodeID, dist float64) {
+	i := int(o.pos[node])
+	o.h[i].dist = dist
+	if !o.hDown(i, len(o.h)) {
+		o.hUp(i)
+	}
+}
+
+func (o *PathOracle) hUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !o.hLess(i, p) {
+			break
+		}
+		o.hSwap(i, p)
+		i = p
+	}
+}
+
+func (o *PathOracle) hDown(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && o.hLess(j2, j1) {
+			j = j2
+		}
+		if !o.hLess(j, i) {
+			break
+		}
+		o.hSwap(i, j)
+		i = j
+	}
+	return i > i0
+}

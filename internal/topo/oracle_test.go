@@ -1,0 +1,116 @@
+package topo
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func oracleLine(n int) *Topology {
+	g := New("line")
+	for i := 0; i < n; i++ {
+		g.AddNode("", 0, 0)
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddLink(NodeID(i), NodeID(i+1), time.Millisecond, 100)
+	}
+	return g
+}
+
+func TestOracleMemoizesDistances(t *testing.T) {
+	g := oracleLine(5)
+	d1 := g.Distances(0, ByHops)
+	d2 := g.Distances(0, ByHops)
+	if &d1[0] != &d2[0] {
+		t.Fatal("repeated Distances did not return the memoized slice")
+	}
+	if d1[4] != 4 {
+		t.Fatalf("dist to node 4 = %v, want 4", d1[4])
+	}
+	// Different weight is a different cache entry.
+	dl := g.Distances(0, ByLatency)
+	if &dl[0] == &d1[0] {
+		t.Fatal("ByLatency shares the ByHops cache entry")
+	}
+}
+
+func TestOracleInvalidatedByMutation(t *testing.T) {
+	g := oracleLine(5)
+	before := g.Distances(0, ByHops)
+	if before[4] != 4 {
+		t.Fatalf("dist = %v, want 4", before[4])
+	}
+	p := g.ShortestPath(0, 4, ByHops)
+	if len(p) != 5 {
+		t.Fatalf("path = %v, want 5 hops", p)
+	}
+	v := g.Version()
+	g.AddLink(0, 4, time.Millisecond, 100) // shortcut
+	if g.Version() == v {
+		t.Fatal("AddLink did not bump the topology version")
+	}
+	after := g.Distances(0, ByHops)
+	if after[4] != 1 {
+		t.Fatalf("post-mutation dist = %v, want 1 (stale cache?)", after[4])
+	}
+	if p2 := g.ShortestPath(0, 4, ByHops); len(p2) != 2 {
+		t.Fatalf("post-mutation path = %v, want [0 4]", p2)
+	}
+	if g.Centroid() != 2 && g.Centroid() != g.Centroid() {
+		t.Fatal("Centroid unstable after mutation")
+	}
+}
+
+func TestOracleShortestPathCopies(t *testing.T) {
+	g := oracleLine(5)
+	p1 := g.ShortestPath(0, 4, ByHops)
+	p1[0] = 99 // caller owns the copy; must not poison the cache
+	p2 := g.ShortestPath(0, 4, ByHops)
+	if p2[0] != 0 {
+		t.Fatalf("cache poisoned by caller mutation: %v", p2)
+	}
+}
+
+func TestOracleSpurCacheDistinguishesAvoidSets(t *testing.T) {
+	g := New("diamond")
+	for i := 0; i < 4; i++ {
+		g.AddNode("", 0, 0)
+	}
+	g.AddLink(0, 1, time.Millisecond, 100)
+	g.AddLink(1, 3, time.Millisecond, 100)
+	g.AddLink(0, 2, time.Millisecond, 100)
+	g.AddLink(2, 3, time.Millisecond, 100)
+	free, _ := g.shortestPathAvoiding(0, 3, ByHops, nil, nil)
+	blocked, _ := g.shortestPathAvoiding(0, 3, ByHops, map[NodeID]bool{free[1]: true}, nil)
+	if reflect.DeepEqual(free, blocked) {
+		t.Fatalf("avoid set ignored: both paths %v", free)
+	}
+	// Re-querying each must hit the right entry.
+	free2, _ := g.shortestPathAvoiding(0, 3, ByHops, nil, nil)
+	blocked2, _ := g.shortestPathAvoiding(0, 3, ByHops, map[NodeID]bool{free[1]: true}, nil)
+	if !reflect.DeepEqual(free, free2) || !reflect.DeepEqual(blocked, blocked2) {
+		t.Fatal("cached avoid-set queries diverge from fresh ones")
+	}
+}
+
+// TestOracleConcurrentReaders exercises the mutex: parallel workers
+// share prebuilt topologies, so concurrent queries must be safe.
+func TestOracleConcurrentReaders(t *testing.T) {
+	g := oracleLine(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				src := NodeID((seed + j) % 16)
+				dst := NodeID((seed * j) % 16)
+				g.Distances(src, ByLatency)
+				g.ShortestPath(src, dst, ByHops)
+			}
+			g.Centroid()
+		}(i)
+	}
+	wg.Wait()
+}

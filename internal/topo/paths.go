@@ -1,27 +1,9 @@
 package topo
 
 import (
-	"container/heap"
-	"math"
 	"sort"
 	"time"
 )
-
-// pqItem is a Dijkstra frontier entry.
-type pqItem struct {
-	node NodeID
-	dist float64
-	idx  int
-}
-
-type pq []*pqItem
-
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
-func (q *pq) Push(x any)        { it := x.(*pqItem); it.idx = len(*q); *q = append(*q, it) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
-func (q *pq) update(it *pqItem) { heap.Fix(q, it.idx) }
 
 // Weight selects the edge metric used for path computation.
 type Weight int
@@ -41,102 +23,35 @@ func (t *Topology) edgeWeight(l Link, w Weight) float64 {
 }
 
 // ShortestPath returns the minimum-weight path from src to dst, or nil if
-// unreachable. Ties are broken deterministically by neighbor order.
+// unreachable. Ties are broken deterministically by neighbor order. The
+// computation is memoized in the topology's PathOracle; the caller owns
+// the returned slice (it is a copy of the cached path).
 func (t *Topology) ShortestPath(src, dst NodeID, w Weight) []NodeID {
 	path, _ := t.shortestPathAvoiding(src, dst, w, nil, nil)
 	return path
 }
 
 // Distances returns minimum weights from src to every node (math.Inf(1)
-// for unreachable nodes).
+// for unreachable nodes). The result is memoized in the topology's
+// PathOracle and shared between callers: treat it as read-only.
 func (t *Topology) Distances(src NodeID, w Weight) []float64 {
-	dist := make([]float64, len(t.nodes))
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	dist[src] = 0
-	items := make([]*pqItem, len(t.nodes))
-	q := &pq{}
-	it := &pqItem{node: src, dist: 0}
-	items[src] = it
-	heap.Push(q, it)
-	for q.Len() > 0 {
-		cur := heap.Pop(q).(*pqItem)
-		items[cur.node] = nil
-		for _, ad := range t.adj[cur.node] {
-			alt := cur.dist + t.edgeWeight(t.links[ad.link], w)
-			if alt < dist[ad.neighbor] {
-				dist[ad.neighbor] = alt
-				if items[ad.neighbor] != nil {
-					items[ad.neighbor].dist = alt
-					q.update(items[ad.neighbor])
-				} else {
-					ni := &pqItem{node: ad.neighbor, dist: alt}
-					items[ad.neighbor] = ni
-					heap.Push(q, ni)
-				}
-			}
-		}
-	}
-	return dist
+	return t.Oracle().Distances(src, w)
 }
 
 // shortestPathAvoiding runs Dijkstra while skipping the given nodes and
 // directed edges; used as the spur-path primitive of Yen's algorithm.
+// It consults the PathOracle cache and copies the cached path so the
+// caller gets an owned slice, as it always has.
 func (t *Topology) shortestPathAvoiding(src, dst NodeID, w Weight,
 	blockedNodes map[NodeID]bool, blockedEdges map[[2]NodeID]bool) ([]NodeID, float64) {
 
-	if src == dst {
-		return []NodeID{src}, 0
+	p, cost := t.Oracle().shortestAvoiding(src, dst, w, blockedNodes, blockedEdges)
+	if p == nil {
+		return nil, cost
 	}
-	dist := make([]float64, len(t.nodes))
-	prev := make([]NodeID, len(t.nodes))
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
-	dist[src] = 0
-	items := make([]*pqItem, len(t.nodes))
-	q := &pq{}
-	it := &pqItem{node: src, dist: 0}
-	items[src] = it
-	heap.Push(q, it)
-	for q.Len() > 0 {
-		cur := heap.Pop(q).(*pqItem)
-		items[cur.node] = nil
-		if cur.node == dst {
-			break
-		}
-		for _, ad := range t.adj[cur.node] {
-			if blockedNodes[ad.neighbor] || blockedEdges[[2]NodeID{cur.node, ad.neighbor}] {
-				continue
-			}
-			alt := cur.dist + t.edgeWeight(t.links[ad.link], w)
-			if alt < dist[ad.neighbor] {
-				dist[ad.neighbor] = alt
-				prev[ad.neighbor] = cur.node
-				if items[ad.neighbor] != nil {
-					items[ad.neighbor].dist = alt
-					q.update(items[ad.neighbor])
-				} else {
-					ni := &pqItem{node: ad.neighbor, dist: alt}
-					items[ad.neighbor] = ni
-					heap.Push(q, ni)
-				}
-			}
-		}
-	}
-	if math.IsInf(dist[dst], 1) {
-		return nil, math.Inf(1)
-	}
-	var path []NodeID
-	for n := dst; n != -1; n = prev[n] {
-		path = append(path, n)
-	}
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
-	}
-	return path, dist[dst]
+	out := make([]NodeID, len(p))
+	copy(out, p)
+	return out, cost
 }
 
 type candidate struct {
@@ -229,23 +144,9 @@ func equalPath(a, b []NodeID) bool {
 
 // Centroid returns the node minimizing the worst-case latency-weighted
 // distance to all other nodes (the paper places the controller there).
+// The result is memoized per topology generation.
 func (t *Topology) Centroid() NodeID {
-	best := NodeID(0)
-	bestWorst := math.Inf(1)
-	for _, n := range t.Nodes() {
-		dist := t.Distances(n, ByLatency)
-		worst := 0.0
-		for _, d := range dist {
-			if d > worst {
-				worst = d
-			}
-		}
-		if worst < bestWorst {
-			bestWorst = worst
-			best = n
-		}
-	}
-	return best
+	return t.Oracle().Centroid()
 }
 
 // ControlLatencies returns the control-channel latency from the controller
