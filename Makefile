@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check clean
+.PHONY: all build vet test race bench bench-smoke check clean
 
 all: check
 
@@ -14,16 +14,25 @@ test:
 	$(GO) test ./...
 
 # The trial runner is the concurrent subsystem; the sim and topo
-# packages carry the pooled engine and the shared path oracle, so all
-# three run under the race detector.
+# packages carry the pooled engine and the shared path oracle, the
+# plancache serves all trial workers concurrently, so all four run
+# under the race detector.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/...
 
 # Hot-path microbenchmarks (engine schedule/step) plus the end-to-end
-# Fig. 7 trial benchmark. Results are tracked in BENCH_hotpath.json.
+# Fig. 7 trial benchmark. Results are tracked in BENCH_hotpath.json and
+# BENCH_shared_plan.json.
 bench:
 	$(GO) test -bench=BenchmarkEngine -benchmem -run=^$$ ./internal/sim/
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Quick regression sweep of the perf-critical benchmarks (10 iterations
+# each): the pooled engine hot path, one Fig. 7 trial, the shared-vs-
+# per-trial setup comparison, and a 500-flow scale trial.
+bench-smoke:
+	$(GO) test -bench=BenchmarkEngine -benchmem -benchtime=10x -run=^$$ ./internal/sim/
+	$(GO) test -bench='BenchmarkFig7Trial|BenchmarkTrialSetup|BenchmarkManyFlowsTrial' -benchmem -benchtime=10x -run=^$$ .
 
 check: vet build test race
 

@@ -2,13 +2,16 @@ package p4update_test
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"p4update"
 	"p4update/internal/controlplane"
 	"p4update/internal/experiments"
+	"p4update/internal/plancache"
 	"p4update/internal/topo"
 	"p4update/internal/traffic"
+	"p4update/internal/wiring"
 )
 
 // runSyntheticOnce runs one forced-strategy update on the synthetic
@@ -70,4 +73,129 @@ func runFig7TrialOnce(kind experiments.SystemKind, seed int64) (time.Duration, e
 // internal imports into the benchmark file proper.
 func planForBench(g *topo.Topology, oldP, newP []topo.NodeID, version uint32) (*controlplane.Plan, error) {
 	return controlplane.PreparePlan(g, 1, oldP, newP, version, 1000, nil)
+}
+
+// setupTrialFresh pays the full pre-cache per-trial construction bill
+// of one fig7b-style multi-flow trial: a fresh fat-tree build (private,
+// cold path oracle), the run's workload regenerated from scratch
+// (shortest + 2nd-shortest queries per pair — pre-cache every system's
+// trial redid this for the same run), fresh wiring, and a from-scratch
+// update plan per flow.
+func setupTrialFresh(seed int64) error {
+	g := topo.FatTree(4)
+	tcfg := traffic.DefaultConfig()
+	tcfg.Candidates = topo.EdgeSwitches(g)
+	flows, err := traffic.MultiFlowWorkload(g, rand.New(rand.NewSource(seed)), tcfg)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultBedConfig()
+	cfg.Congestion = true
+	cfg.FatTreeControl = true
+	_ = wiring.New(g, cfg.WiringConfig(experiments.KindP4Update, 1))
+	for _, f := range flows {
+		if _, err := controlplane.PreparePlan(g, f.ID(), f.Old, f.New, 2, f.SizeK, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sharedSetup is the figure-scoped state every trial of a grid now
+// shares: one frozen topology snapshot, one warm plan cache, and the
+// run's memoized workload.
+type sharedSetup struct {
+	g     *topo.Topology
+	plans *plancache.Cache
+	flows []traffic.FlowSpec
+}
+
+func newSharedSetup(seed int64) (*sharedSetup, error) {
+	g := topo.FatTree(4)
+	g.Freeze()
+	tcfg := traffic.DefaultConfig()
+	tcfg.Candidates = topo.EdgeSwitches(g)
+	flows, err := traffic.MultiFlowWorkload(g, rand.New(rand.NewSource(seed)), tcfg)
+	if err != nil {
+		return nil, err
+	}
+	plans := plancache.New(g)
+	// Warm the cache the way a grid's first trial does.
+	for _, f := range flows {
+		if _, err := plans.P4().Prepare(g, f.ID(), f.Old, f.New, 2, f.SizeK, nil); err != nil {
+			return nil, err
+		}
+	}
+	return &sharedSetup{g: g, plans: plans, flows: flows}, nil
+}
+
+// setupTrial is the post-cache per-trial construction bill for the same
+// trial: wire a bed over the shared frozen snapshot, take the memoized
+// workload, and fetch each flow's memoized plan.
+func (s *sharedSetup) setupTrial() error {
+	cfg := experiments.DefaultBedConfig()
+	cfg.Congestion = true
+	cfg.FatTreeControl = true
+	wcfg := cfg.WiringConfig(experiments.KindP4Update, 1)
+	wcfg.Plans = s.plans
+	_ = wiring.New(s.g, wcfg)
+	for _, f := range s.flows {
+		if _, err := s.plans.P4().Prepare(s.g, f.ID(), f.Old, f.New, 2, f.SizeK, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// manyFlowsBench holds the shared state of the scale scenario: one
+// frozen fat-tree K=8, its plan cache, and one pre-generated workload.
+type manyFlowsBench struct {
+	g     *topo.Topology
+	plans *plancache.Cache
+	flows []traffic.FlowSpec
+}
+
+func newManyFlowsBench(nFlows int) (*manyFlowsBench, error) {
+	g := topo.FatTree(8)
+	g.Freeze()
+	flows, err := traffic.ManyFlowWorkload(g, rand.New(rand.NewSource(1)), nFlows, topo.EdgeSwitches(g))
+	if err != nil {
+		return nil, err
+	}
+	return &manyFlowsBench{g: g, plans: plancache.New(g), flows: flows}, nil
+}
+
+// run executes one many-flow trial end to end — wire the bed, register
+// and trigger every flow, run the simulation to quiescence — and returns
+// the completion time of the last flow.
+func (mb *manyFlowsBench) run(kind experiments.SystemKind, seed int64) (time.Duration, error) {
+	cfg := experiments.DefaultBedConfig()
+	cfg.FatTreeControl = true
+	wcfg := cfg.WiringConfig(kind, seed)
+	wcfg.Plans = mb.plans
+	bed := &experiments.Bed{Kind: kind, System: wiring.New(mb.g, wcfg)}
+	if err := bed.Register(mb.flows); err != nil {
+		return 0, err
+	}
+	updates := make([]*controlplane.UpdateStatus, 0, len(mb.flows))
+	for _, f := range mb.flows {
+		u, err := bed.Trigger(f.ID(), f.New)
+		if err != nil {
+			return 0, err
+		}
+		if u != nil {
+			updates = append(updates, u)
+		}
+	}
+	bed.Eng.Run()
+	var last time.Duration
+	for _, u := range updates {
+		if !u.Done() {
+			return 0, fmt.Errorf("%v: update did not complete", kind)
+		}
+		if u.Completed > last {
+			last = u.Completed
+		}
+	}
+	return last, nil
 }

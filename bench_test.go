@@ -210,6 +210,65 @@ func BenchmarkFig7Trial(b *testing.B) {
 	}
 }
 
+// BenchmarkTrialSetup isolates the per-trial construction cost the
+// shared-snapshot + plan-cache path removes from the fig7 grid:
+// "perTrial" rebuilds the topology (with its private path oracle), the
+// wiring and the update plan from scratch — the pre-cache inner loop —
+// while "shared" wires a bed over one frozen snapshot and fetches the
+// memoized plan, which is all a trial pays now.
+func BenchmarkTrialSetup(b *testing.B) {
+	b.Run("perTrial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := setupTrialFresh(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		sh, err := newSharedSetup(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sh.setupTrial(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkManyFlowsTrial runs one many-flow scale trial — 500
+// simultaneous flow updates on a fat-tree K=8 over a shared frozen
+// snapshot and warm plan cache — and reports allocations. This is the
+// trial body whose switch-state churn the dense per-switch slices are
+// meant to flatten.
+func BenchmarkManyFlowsTrial(b *testing.B) {
+	mb, err := newManyFlowsBench(500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []experiments.SystemKind{
+		experiments.KindP4Update, experiments.KindEZSegway,
+	} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := mb.run(kind, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d <= 0 {
+					b.Fatal("no update completed")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPreparePlan measures the raw control-plane preparation
 // throughput (the per-update cost behind Fig. 8a).
 func BenchmarkPreparePlan(b *testing.B) {

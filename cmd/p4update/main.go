@@ -29,11 +29,13 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig8|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig8|scale|all")
 		runs       = flag.Int("runs", 30, "runs per series (the paper uses 30)")
 		preps      = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
 		seed       = flag.Int64("seed", 1, "base simulation seed")
 		cdf        = flag.Bool("cdf", false, "dump full CDF series for plotting")
+		scaleFlows = flag.Int("scale-flows", 500, "simultaneous flow updates per scale trial (100–1000)")
+		topoSel    = flag.String("topo", "all", "scale-experiment topology: fattree8|b4|all")
 		workers    = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		jsonPath   = flag.String("json", "", "write per-trial metrics to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -79,6 +81,8 @@ func main() {
 		trials = append(trials, runFig7(*runs, *seed, *cdf, opt)...)
 	case "fig8":
 		trials = append(trials, runFig8(*preps, *seed, opt)...)
+	case "scale":
+		trials = append(trials, runScale(*scaleFlows, *topoSel, *runs, *seed, *cdf, opt)...)
 	case "all":
 		runFig2(*seed)
 		runFig4(*runs, *seed)
@@ -157,6 +161,45 @@ func runFig7(runs int, seed int64, cdf bool, opt experiments.RunOptions) []p4upd
 		r, err := j.run()
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", j.name, err))
+		}
+		fmt.Print(r)
+		if cdf {
+			fmt.Print(r.CDFSeries())
+		}
+		fmt.Println()
+		trials = append(trials, r.Trials...)
+	}
+	return trials
+}
+
+// runScale runs the many-flow scale experiment (Fig7ManyFlows): nFlows
+// simultaneous flow updates per trial on the selected topologies.
+func runScale(nFlows int, topoSel string, runs int, seed int64, cdf bool, opt experiments.RunOptions) []p4update.TrialResult {
+	type job struct {
+		mk      func() *topo.Topology
+		label   string
+		fatTree bool
+	}
+	var jobs []job
+	switch topoSel {
+	case "fattree8":
+		jobs = []job{{func() *topo.Topology { return topo.FatTree(8) }, "fat-tree K=8", true}}
+	case "b4":
+		jobs = []job{{topo.B4, "B4", false}}
+	case "all":
+		jobs = []job{
+			{func() *topo.Topology { return topo.FatTree(8) }, "fat-tree K=8", true},
+			{topo.B4, "B4", false},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q (want fattree8|b4|all)\n", topoSel)
+		os.Exit(2)
+	}
+	var trials []p4update.TrialResult
+	for _, j := range jobs {
+		r, err := experiments.Fig7ManyFlowsOpts(j.mk, j.label, j.fatTree, nFlows, runs, seed, opt)
+		if err != nil {
+			fail(fmt.Errorf("scale %s: %w", j.label, err))
 		}
 		fmt.Print(r)
 		if cdf {

@@ -84,6 +84,19 @@ type Controller struct {
 	// MaxRetriggers bounds §11 failure recovery: how many times a stalled
 	// update's indications are re-sent (0 disables recovery).
 	MaxRetriggers int
+	// Plans, when set, memoizes plan preparation across trials that
+	// share a frozen topology (see internal/plancache). Plans returned
+	// from it are shared and must be treated as immutable — which they
+	// are: the controller only serializes UIMs, never mutates them.
+	Plans Planner
+}
+
+// Planner prepares (or returns a memoized) update plan. PreparePlan is
+// a pure function of its arguments, so a cache keyed on them returns
+// byte-identical plans.
+type Planner interface {
+	Prepare(t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
+		version, sizeK uint32, force *packet.UpdateType) (*Plan, error)
 }
 
 type updateKey struct {
@@ -116,16 +129,26 @@ func (c *Controller) Flow(f packet.FlowID) (*FlowRecord, bool) {
 // RegisterFlow records a flow in the Flow DB and seeds its rules in the
 // data plane (version 1 initial deployment).
 func (c *Controller) RegisterFlow(src, dst topo.NodeID, path []topo.NodeID, sizeK uint32) (packet.FlowID, error) {
+	f := packet.HashFlow(uint16(src), uint16(dst))
+	if err := c.RegisterFlowID(f, src, dst, path, sizeK); err != nil {
+		return 0, err
+	}
+	return f, nil
+}
+
+// RegisterFlowID is RegisterFlow with a caller-chosen flow identifier:
+// salted workloads carry several flows per (src, dst) pair, each with
+// its own wire ID (traffic.FlowSpec.ID).
+func (c *Controller) RegisterFlowID(f packet.FlowID, src, dst topo.NodeID, path []topo.NodeID, sizeK uint32) error {
 	if err := c.Topo.ValidatePath(path); err != nil {
-		return 0, fmt.Errorf("controlplane: RegisterFlow: %w", err)
+		return fmt.Errorf("controlplane: RegisterFlow: %w", err)
 	}
 	if path[0] != src || path[len(path)-1] != dst {
-		return 0, fmt.Errorf("controlplane: path endpoints do not match flow")
+		return fmt.Errorf("controlplane: path endpoints do not match flow")
 	}
-	f := packet.HashFlow(uint16(src), uint16(dst))
 	c.flows[f] = &FlowRecord{ID: f, Src: src, Dst: dst, Path: path, Version: 1, SizeK: sizeK}
 	c.Net.InstallPath(f, path, 1, sizeK)
-	return f, nil
+	return nil
 }
 
 // Status returns the tracking record of (flow, version).
@@ -152,7 +175,13 @@ func (c *Controller) TriggerUpdate(f packet.FlowID, newPath []topo.NodeID, force
 		return nil, fmt.Errorf("controlplane: unknown flow %d", f)
 	}
 	version := rec.Version + 1
-	plan, err := PreparePlan(c.Topo, f, rec.Path, newPath, version, rec.SizeK, force)
+	var plan *Plan
+	var err error
+	if c.Plans != nil {
+		plan, err = c.Plans.Prepare(c.Topo, f, rec.Path, newPath, version, rec.SizeK, force)
+	} else {
+		plan, err = PreparePlan(c.Topo, f, rec.Path, newPath, version, rec.SizeK, force)
+	}
 	if err != nil {
 		return nil, err
 	}

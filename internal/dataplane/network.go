@@ -55,6 +55,13 @@ type Network struct {
 	// method value bound once so scheduling a delivery allocates nothing.
 	freeDeliv []*delivery
 	deliverFn func(any)
+
+	// flowIdx interns flow IDs into dense indexes shared by every switch
+	// of the fabric: a flow's index is its first-touch order, which is
+	// deterministic because trial execution is single-threaded over a
+	// deterministic event order. flowIDs is the inverse mapping.
+	flowIdx map[packet.FlowID]int32
+	flowIDs []packet.FlowID
 }
 
 // delivery is a pooled in-flight frame: switch-bound (ctrl false, via
@@ -72,13 +79,30 @@ type delivery struct {
 // NewNetwork builds a switch per topology node. Control latency defaults
 // to zero until configured.
 func NewNetwork(eng *sim.Engine, t *topo.Topology) *Network {
-	n := &Network{Eng: eng, Topo: t}
+	n := &Network{Eng: eng, Topo: t, flowIdx: make(map[packet.FlowID]int32)}
 	n.deliverFn = n.deliver
 	n.switches = make([]*Switch, t.NumNodes())
 	for _, id := range t.Nodes() {
 		n.switches[id] = newSwitch(id, n)
 	}
 	return n
+}
+
+// flowSlot interns f, returning its dense fabric-wide index.
+func (n *Network) flowSlot(f packet.FlowID) int32 {
+	if i, ok := n.flowIdx[f]; ok {
+		return i
+	}
+	i := int32(len(n.flowIDs))
+	n.flowIdx[f] = i
+	n.flowIDs = append(n.flowIDs, f)
+	return i
+}
+
+// peekFlowSlot returns f's dense index without interning it.
+func (n *Network) peekFlowSlot(f packet.FlowID) (int32, bool) {
+	i, ok := n.flowIdx[f]
+	return i, ok
 }
 
 // Pool returns the network's message/buffer pool.

@@ -90,6 +90,11 @@ type FlowState struct {
 	// and holds the version being installed.
 	Applying        bool
 	ApplyingVersion uint32
+
+	// uimSlot is the flow's slot in the switch's UIM-waiter table plus
+	// one (0 = not assigned yet); assigned on first ParkOnUIM so the
+	// table stays as small as the set of flows that ever parked.
+	uimSlot int32
 }
 
 // CurrentDistance returns the node's effective distance under its applied
@@ -109,9 +114,9 @@ type PendingReservation struct {
 	Version uint32
 }
 
-// newFlowState returns the fresh-node state (no rule, version 0).
-func newFlowState() *FlowState {
-	return &FlowState{
+// freshFlowState is the fresh-node state (no rule, version 0).
+func freshFlowState() FlowState {
+	return FlowState{
 		EgressPort:        topo.InvalidPort,
 		EgressPortUpdated: topo.InvalidPort,
 		NewDistance:       FreshDistance,

@@ -26,14 +26,26 @@ type MessageHandler interface {
 // resubmitLatency models one pass through the BMv2 resubmission path.
 const resubmitLatency = 100 * time.Microsecond
 
-// Switch is one P4 forwarding device.
+// Switch is one P4 forwarding device. Its per-flow and per-port state
+// lives in dense slices instead of maps: flows are indexed by the
+// fabric-wide interned flow index (Network.flowSlot), ports by their
+// slot (real ports map to themselves, PortLocal to one extra trailing
+// slot), so the busiest lookups of the simulation are array loads.
 type Switch struct {
 	ID  topo.NodeID
 	net *Network
+	// degree is the node's port count; port slots are 0..degree-1 for
+	// real ports plus slot degree for PortLocal.
+	degree int
 
-	flows    map[packet.FlowID]*FlowState
-	reserved map[topo.PortID]uint64 // kbps reserved per egress port
-	handler  Handler
+	flowStates []*FlowState // dense by flow index; nil = no state yet
+	// stateChunks slab-allocates FlowState values in fixed-capacity
+	// blocks: pointers into a block never move (blocks are appended, not
+	// regrown), and a fresh-flow touch costs one allocation per block
+	// instead of one per flow.
+	stateChunks [][]FlowState
+	reserved    []uint64 // kbps reserved per real egress port
+	handler     Handler
 
 	// InstallDelay samples the time a forwarding-rule change takes to
 	// commit (the per-node update slowness of §9.1). Nil means instant.
@@ -54,14 +66,16 @@ type Switch struct {
 	DataTap func(sw *Switch, d *packet.Data, inPort topo.PortID)
 
 	// capWaiters holds work parked on insufficient capacity or on the
-	// priority gate, keyed by the egress port it waits for.
-	capWaiters map[topo.PortID][]parked
+	// priority gate, indexed by the slot of the egress port it waits for.
+	capWaiters [][]parked
 	// uimWaiters holds work parked until an indication arrives
-	// (Alg. 1 line 10 / Alg. 2 line 5), keyed by flow.
-	uimWaiters map[packet.FlowID][]parked
-	// moveWaiters tracks, per egress port, how many HIGH priority flows
-	// currently wait to move onto that port (§7.4 gate).
-	highWaiting map[topo.PortID]map[packet.FlowID]bool
+	// (Alg. 1 line 10 / Alg. 2 line 5), indexed by the flow's lazily
+	// assigned FlowState.uimSlot.
+	uimWaiters [][]parked
+	// highWaiting tracks, per egress-port slot, the HIGH priority flows
+	// currently waiting to move onto that port (§7.4 gate). The sets are
+	// tiny, so membership is a linear scan.
+	highWaiting [][]packet.FlowID
 
 	Stats Stats
 }
@@ -72,15 +86,61 @@ type parked struct {
 
 // newSwitch wires a switch into its network.
 func newSwitch(id topo.NodeID, net *Network) *Switch {
+	deg := net.Topo.Degree(id)
 	return &Switch{
 		ID:          id,
 		net:         net,
-		flows:       make(map[packet.FlowID]*FlowState),
-		reserved:    make(map[topo.PortID]uint64),
-		capWaiters:  make(map[topo.PortID][]parked),
-		uimWaiters:  make(map[packet.FlowID][]parked),
-		highWaiting: make(map[topo.PortID]map[packet.FlowID]bool),
+		degree:      deg,
+		reserved:    make([]uint64, deg),
+		capWaiters:  make([][]parked, deg+1),
+		highWaiting: make([][]packet.FlowID, deg+1),
 	}
+}
+
+// portSlot maps an egress port to its dense slot: real ports map to
+// themselves, PortLocal to the extra trailing slot, and any other
+// sentinel (topo.InvalidPort) to -1, meaning no slot — no capacity, no
+// waiters.
+func (sw *Switch) portSlot(port topo.PortID) int {
+	if port >= 0 && int(port) < sw.degree {
+		return int(port)
+	}
+	if port == PortLocal {
+		return sw.degree
+	}
+	return -1
+}
+
+// growFlows extends the per-flow slices to hold index i.
+func (sw *Switch) growFlows(i int) {
+	if i < len(sw.flowStates) {
+		return
+	}
+	sw.flowStates = append(sw.flowStates, make([]*FlowState, i+1-len(sw.flowStates))...)
+}
+
+// maxStateChunk caps the FlowState slab block size. Blocks double from
+// 4 up to this cap, so a single-flow trial pays one tiny block while a
+// many-flow trial amortizes to one allocation per 64 flows.
+const maxStateChunk = 64
+
+// allocState hands out a pointer into the current slab block, opening a
+// new block when it is full. In-block appends never relocate (capacity
+// is fixed), so the returned pointer is stable for the switch's
+// lifetime.
+func (sw *Switch) allocState() *FlowState {
+	k := len(sw.stateChunks)
+	if k == 0 || len(sw.stateChunks[k-1]) == cap(sw.stateChunks[k-1]) {
+		size := 4 << k
+		if size > maxStateChunk {
+			size = maxStateChunk
+		}
+		sw.stateChunks = append(sw.stateChunks, make([]FlowState, 0, size))
+		k++
+	}
+	c := &sw.stateChunks[k-1]
+	*c = append(*c, freshFlowState())
+	return &(*c)[len(*c)-1]
 }
 
 // SetHandler installs the update-protocol handler.
@@ -93,27 +153,37 @@ func (sw *Switch) Network() *Network { return sw.net }
 func (sw *Switch) Now() time.Duration { return sw.net.Eng.Now() }
 
 // State returns the flow's register slice, allocating fresh-node state on
-// first touch.
+// first touch. The returned pointer stays stable for the flow's lifetime
+// (handlers capture it in closures), only the index slice relocates.
 func (sw *Switch) State(f packet.FlowID) *FlowState {
-	st, ok := sw.flows[f]
-	if !ok {
-		st = newFlowState()
-		sw.flows[f] = st
+	i := int(sw.net.flowSlot(f))
+	sw.growFlows(i)
+	st := sw.flowStates[i]
+	if st == nil {
+		st = sw.allocState()
+		sw.flowStates[i] = st
 	}
 	return st
 }
 
 // PeekState returns the flow's register slice without allocating.
 func (sw *Switch) PeekState(f packet.FlowID) (*FlowState, bool) {
-	st, ok := sw.flows[f]
-	return st, ok
+	if i, ok := sw.net.peekFlowSlot(f); ok && int(i) < len(sw.flowStates) {
+		if st := sw.flowStates[i]; st != nil {
+			return st, true
+		}
+	}
+	return nil, false
 }
 
-// Flows returns the IDs of all flows with state on this switch.
+// Flows returns the IDs of all flows with state on this switch, in
+// deterministic fabric-interning order.
 func (sw *Switch) Flows() []packet.FlowID {
-	out := make([]packet.FlowID, 0, len(sw.flows))
-	for f := range sw.flows {
-		out = append(out, f)
+	out := make([]packet.FlowID, 0, len(sw.flowStates))
+	for i, st := range sw.flowStates {
+		if st != nil {
+			out = append(out, sw.net.flowIDs[i])
+		}
 	}
 	return out
 }
@@ -173,7 +243,7 @@ func (sw *Switch) handleData(d *packet.Data, inPort topo.PortID) {
 	if sw.DataTap != nil {
 		sw.DataTap(sw, d, inPort)
 	}
-	st, ok := sw.flows[d.Flow]
+	st, ok := sw.PeekState(d.Flow)
 	if !ok || !st.HasRule {
 		if sw.FRMEnabled {
 			sw.net.SendToController(sw.ID, &packet.FRM{Flow: d.Flow})
@@ -226,7 +296,7 @@ func (sw *Switch) handleData(d *packet.Data, inPort topo.PortID) {
 // and not covered by a pending indication are removed; their capacity is
 // released.
 func (sw *Switch) handleCleanup(m *packet.CLN) {
-	st, ok := sw.flows[m.Flow]
+	st, ok := sw.PeekState(m.Flow)
 	if !ok || !st.HasRule {
 		return
 	}
@@ -276,16 +346,27 @@ func (sw *Switch) Alarm(f packet.FlowID, version uint32, reason packet.AlarmReas
 // ParkOnUIM stores work until a (newer) indication for the flow arrives;
 // the P4 prototype realizes this wait by packet resubmission.
 func (sw *Switch) ParkOnUIM(f packet.FlowID, fire func()) {
-	sw.uimWaiters[f] = append(sw.uimWaiters[f], parked{fire: fire})
+	st := sw.State(f)
+	if st.uimSlot == 0 {
+		sw.uimWaiters = append(sw.uimWaiters, nil)
+		st.uimSlot = int32(len(sw.uimWaiters))
+	}
+	sw.uimWaiters[st.uimSlot-1] = append(sw.uimWaiters[st.uimSlot-1], parked{fire: fire})
 }
 
 // WakeUIMWaiters re-injects work parked on the flow's indication.
 func (sw *Switch) WakeUIMWaiters(f packet.FlowID) {
-	waiters := sw.uimWaiters[f]
+	st, ok := sw.PeekState(f)
+	if !ok || st.uimSlot == 0 {
+		return
+	}
+	waiters := sw.uimWaiters[st.uimSlot-1]
 	if len(waiters) == 0 {
 		return
 	}
-	delete(sw.uimWaiters, f)
+	// Reset before scheduling so the backing array is reused by the next
+	// park; the fires run later, off the engine, never reentrantly here.
+	sw.uimWaiters[st.uimSlot-1] = waiters[:0]
 	for _, w := range waiters {
 		sw.Stats.Resubmissions++
 		sw.net.Eng.Schedule(resubmitLatency, w.fire)
@@ -295,16 +376,22 @@ func (sw *Switch) WakeUIMWaiters(f packet.FlowID) {
 // ParkOnCapacity stores work until capacity conditions on port change
 // (release or waiter-set shrink).
 func (sw *Switch) ParkOnCapacity(port topo.PortID, fire func()) {
-	sw.capWaiters[port] = append(sw.capWaiters[port], parked{fire: fire})
+	if s := sw.portSlot(port); s >= 0 {
+		sw.capWaiters[s] = append(sw.capWaiters[s], parked{fire: fire})
+	}
 }
 
 // wakeCapacityWaiters re-injects work parked on port.
 func (sw *Switch) wakeCapacityWaiters(port topo.PortID) {
-	waiters := sw.capWaiters[port]
+	s := sw.portSlot(port)
+	if s < 0 {
+		return
+	}
+	waiters := sw.capWaiters[s]
 	if len(waiters) == 0 {
 		return
 	}
-	delete(sw.capWaiters, port)
+	sw.capWaiters[s] = waiters[:0]
 	for _, w := range waiters {
 		sw.Stats.Resubmissions++
 		sw.net.Eng.Schedule(resubmitLatency, w.fire)
@@ -325,12 +412,17 @@ func (sw *Switch) CapacityK(port topo.PortID) uint64 {
 }
 
 // ReservedK returns the kbps currently reserved on port.
-func (sw *Switch) ReservedK(port topo.PortID) uint64 { return sw.reserved[port] }
+func (sw *Switch) ReservedK(port topo.PortID) uint64 {
+	if port < 0 || int(port) >= len(sw.reserved) {
+		return 0
+	}
+	return sw.reserved[port]
+}
 
 // RemainingK returns the unreserved kbps on port.
 func (sw *Switch) RemainingK(port topo.PortID) uint64 {
 	c := sw.CapacityK(port)
-	r := sw.reserved[port]
+	r := sw.ReservedK(port)
 	if r >= c {
 		return 0
 	}
@@ -339,7 +431,7 @@ func (sw *Switch) RemainingK(port topo.PortID) uint64 {
 
 // Reserve books sizeK on port (no-op for local delivery).
 func (sw *Switch) Reserve(port topo.PortID, sizeK uint32) {
-	if port < 0 {
+	if port < 0 || int(port) >= len(sw.reserved) {
 		return
 	}
 	sw.reserved[port] += uint64(sizeK)
@@ -347,11 +439,11 @@ func (sw *Switch) Reserve(port topo.PortID, sizeK uint32) {
 
 // Release frees sizeK on port and wakes capacity waiters.
 func (sw *Switch) Release(port topo.PortID, sizeK uint32) {
-	if port < 0 {
+	if port < 0 || int(port) >= len(sw.reserved) {
 		return
 	}
 	if sw.reserved[port] <= uint64(sizeK) {
-		delete(sw.reserved, port)
+		sw.reserved[port] = 0
 	} else {
 		sw.reserved[port] -= uint64(sizeK)
 	}
@@ -361,7 +453,8 @@ func (sw *Switch) Release(port topo.PortID, sizeK uint32) {
 // HasCapacityWaiters reports whether any message is parked waiting for
 // capacity on port (input to the dynamic priority rule of §7.4).
 func (sw *Switch) HasCapacityWaiters(port topo.PortID) bool {
-	return len(sw.capWaiters[port]) > 0
+	s := sw.portSlot(port)
+	return s >= 0 && len(sw.capWaiters[s]) > 0
 }
 
 // StageReservation books capacity for an in-flight rule install of flow f
@@ -375,28 +468,43 @@ func (sw *Switch) StageReservation(f packet.FlowID, port topo.PortID, sizeK uint
 // MarkHighWaiting records that flow f (high priority) waits to move onto
 // port; the §7.4 gate blocks low-priority flows while the set is nonempty.
 func (sw *Switch) MarkHighWaiting(port topo.PortID, f packet.FlowID) {
-	if sw.highWaiting[port] == nil {
-		sw.highWaiting[port] = make(map[packet.FlowID]bool)
+	s := sw.portSlot(port)
+	if s < 0 {
+		return
 	}
-	sw.highWaiting[port][f] = true
+	for _, g := range sw.highWaiting[s] {
+		if g == f {
+			return
+		}
+	}
+	sw.highWaiting[s] = append(sw.highWaiting[s], f)
 }
 
 // ClearHighWaiting removes f from port's high-priority waiter set and
 // wakes parked flows.
 func (sw *Switch) ClearHighWaiting(port topo.PortID, f packet.FlowID) {
-	if set := sw.highWaiting[port]; set != nil && set[f] {
-		delete(set, f)
-		if len(set) == 0 {
-			delete(sw.highWaiting, port)
+	s := sw.portSlot(port)
+	if s < 0 {
+		return
+	}
+	set := sw.highWaiting[s]
+	for i, g := range set {
+		if g == f {
+			sw.highWaiting[s] = append(set[:i], set[i+1:]...)
+			sw.wakeCapacityWaiters(port)
+			return
 		}
-		sw.wakeCapacityWaiters(port)
 	}
 }
 
 // HighWaitingOn reports whether any high-priority flow other than f waits
 // to move onto port.
 func (sw *Switch) HighWaitingOn(port topo.PortID, f packet.FlowID) bool {
-	for g := range sw.highWaiting[port] {
+	s := sw.portSlot(port)
+	if s < 0 {
+		return false
+	}
+	for _, g := range sw.highWaiting[s] {
 		if g != f {
 			return true
 		}
@@ -406,10 +514,11 @@ func (sw *Switch) HighWaitingOn(port topo.PortID, f packet.FlowID) bool {
 
 // RaisePriorityOfMoversFrom marks every flow that currently occupies port
 // and has a pending move away from it as high priority (§7.4: "all flows
-// that desire to move away from e obtain high priority").
+// that desire to move away from e obtain high priority"). Iteration is in
+// fabric-interning order, so the marking order is deterministic.
 func (sw *Switch) RaisePriorityOfMoversFrom(port topo.PortID) {
-	for f, st := range sw.flows {
-		if !st.HasRule || st.EgressPort != port {
+	for i, st := range sw.flowStates {
+		if st == nil || !st.HasRule || st.EgressPort != port {
 			continue
 		}
 		if st.UIM != nil && st.UIM.Version > st.NewVersion {
@@ -418,7 +527,7 @@ func (sw *Switch) RaisePriorityOfMoversFrom(port topo.PortID) {
 			if st.UIM.EgressPort == packet.NoPort {
 				dest = PortLocal
 			}
-			sw.MarkHighWaiting(dest, f)
+			sw.MarkHighWaiting(dest, sw.net.flowIDs[i])
 		}
 	}
 }

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"p4update/internal/controlplane"
@@ -137,14 +138,51 @@ func NewBed(kind SystemKind, g *topo.Topology, seed int64, cfg BedConfig) *Bed {
 	return &Bed{Kind: kind, System: wiring.New(g, cfg.WiringConfig(kind, seed))}
 }
 
-// Register installs the workload's flows (version 1 state).
+// Register installs the workload's flows (version 1 state). Flow IDs
+// come from the specs themselves so salted scale workloads register
+// distinct flows over repeated (src, dst) pairs.
 func (b *Bed) Register(flows []traffic.FlowSpec) error {
 	for _, f := range flows {
-		if _, err := b.Ctl.RegisterFlow(f.Src, f.Dst, f.Old, f.SizeK); err != nil {
+		if err := b.Ctl.RegisterFlowID(f.ID(), f.Src, f.Dst, f.Old, f.SizeK); err != nil {
 			return fmt.Errorf("register %d->%d: %w", f.Src, f.Dst, err)
 		}
 	}
 	return nil
+}
+
+// workloadCache memoizes per-run workloads shared by all systems of a
+// figure: the same (seed, run) workload is generated exactly once —
+// even when parallel trial workers race for it — and handed read-only
+// to every trial. FlowSpecs are never mutated after generation, so
+// sharing is safe.
+type workloadCache struct {
+	mu      sync.Mutex
+	entries map[int64]*workloadEntry
+}
+
+type workloadEntry struct {
+	once  sync.Once
+	flows []traffic.FlowSpec
+	err   error
+}
+
+func newWorkloadCache() *workloadCache {
+	return &workloadCache{entries: make(map[int64]*workloadEntry)}
+}
+
+// get returns the workload for key, generating it via gen on first use
+// (single-flight: concurrent callers of the same key block on the one
+// generation).
+func (c *workloadCache) get(key int64, gen func() ([]traffic.FlowSpec, error)) ([]traffic.FlowSpec, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &workloadEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.flows, e.err = gen() })
+	return e.flows, e.err
 }
 
 // Trigger starts the flow's update under the bed's system.

@@ -7,6 +7,7 @@ import (
 
 	"p4update/internal/controlplane"
 	"p4update/internal/metrics"
+	"p4update/internal/plancache"
 	"p4update/internal/runner"
 	"p4update/internal/topo"
 	"p4update/internal/traffic"
@@ -121,16 +122,24 @@ func Fig7SingleFlow(mk func() *topo.Topology, label string, runs int, seed int64
 // Fig7SingleFlowOpts is Fig7SingleFlow with explicit execution options.
 func Fig7SingleFlowOpts(mk func() *topo.Topology, label string, runs int, seed int64, opt RunOptions) (*Fig7Result, error) {
 	res := &Fig7Result{Label: label + " – single flow"}
-	spec, err := singleFlowSpec(mk()) // deterministic; shared across runs
+	// One topology for the whole grid: frozen so all trial workers share
+	// it (and its snapshot path oracle) read-only, and the flow spec is
+	// derived from the same instance instead of a throwaway build.
+	g := mk()
+	g.Freeze()
+	spec, err := singleFlowSpec(g) // deterministic; shared across runs
 	if err != nil {
 		return nil, err
 	}
+	plans := plancache.New(g)
 	runFig7Grid(res, runs, opt, func(kind SystemKind, run int) runner.Trial {
 		cfg := DefaultBedConfig()
 		cfg.NodeDelayMean = 100 * time.Millisecond
+		wcfg := cfg.WiringConfig(kind, seed+int64(run))
+		wcfg.Plans = plans
 		return runner.BedTrial(
 			fmt.Sprintf("%s/%s/run%02d", label, kind, run), kind.String(),
-			mk, cfg.WiringConfig(kind, seed+int64(run)),
+			g, wcfg,
 			func(sys *wiring.System) (runner.Metrics, error) {
 				b := &Bed{Kind: kind, System: sys}
 				if err := b.Register([]traffic.FlowSpec{spec}); err != nil {
@@ -163,24 +172,33 @@ func Fig7MultiFlow(mk func() *topo.Topology, label string, fatTree bool, runs in
 // Fig7MultiFlowOpts is Fig7MultiFlow with explicit execution options.
 func Fig7MultiFlowOpts(mk func() *topo.Topology, label string, fatTree bool, runs int, seed int64, opt RunOptions) (*Fig7Result, error) {
 	res := &Fig7Result{Label: label + " – multiple flows"}
+	g := mk()
+	g.Freeze()
+	var candidates []topo.NodeID
+	if fatTree {
+		candidates = topo.EdgeSwitches(g)
+	}
+	plans := plancache.New(g)
+	workloads := newWorkloadCache()
 	runFig7Grid(res, runs, opt, func(kind SystemKind, run int) runner.Trial {
 		cfg := DefaultBedConfig()
 		cfg.Congestion = true
 		cfg.FatTreeControl = fatTree
+		wcfg := cfg.WiringConfig(kind, seed+int64(run))
+		wcfg.Plans = plans
 		return runner.BedTrial(
 			fmt.Sprintf("%s/%s/run%02d", label, kind, run), kind.String(),
-			mk, cfg.WiringConfig(kind, seed+int64(run)),
+			g, wcfg,
 			func(sys *wiring.System) (runner.Metrics, error) {
 				b := &Bed{Kind: kind, System: sys}
-				g := sys.Topo
-				tcfg := traffic.DefaultConfig()
-				if fatTree {
-					tcfg.Candidates = topo.EdgeSwitches(g)
-				}
 				// Workload depends only on the run index so each system
-				// sees the identical scenario.
-				wrng := newWorkloadRand(seed + int64(run))
-				flows, err := traffic.MultiFlowWorkload(g, wrng, tcfg)
+				// sees the identical scenario; the cache generates it once
+				// per run and shares it (read-only) across the systems.
+				flows, err := workloads.get(int64(run), func() ([]traffic.FlowSpec, error) {
+					tcfg := traffic.DefaultConfig()
+					tcfg.Candidates = candidates
+					return traffic.MultiFlowWorkload(g, newWorkloadRand(seed+int64(run)), tcfg)
+				})
 				if err != nil {
 					return runner.Metrics{}, err
 				}

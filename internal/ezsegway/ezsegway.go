@@ -360,6 +360,20 @@ type Controller struct {
 	// PrepTime accumulates pure control-plane preparation time across
 	// triggered updates (measured with the wall clock, as in Fig. 8).
 	PrepTime time.Duration
+	// Plans, when set, memoizes plan and dependency-graph preparation
+	// across trials that share a frozen topology (internal/plancache).
+	// Cached plans are shared and immutable; the handlers copy EZI/EZN
+	// state before mutating, so sharing is safe.
+	Plans Planner
+}
+
+// Planner prepares (or returns memoized) ez-Segway plans and congestion
+// dependency graphs. Both PreparePlanDep and
+// ComputeCongestionDependencies are pure functions of their arguments.
+type Planner interface {
+	Prepare(t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
+		version, sizeK uint32, prio uint8, dep packet.FlowID) (*Plan, error)
+	Dependencies(t *topo.Topology, updates []FlowUpdate) (map[packet.FlowID]uint8, map[packet.FlowID]packet.FlowID)
 }
 
 type queuedUpdate struct {
@@ -427,11 +441,23 @@ func (c *Controller) launch(f packet.FlowID, newPath []topo.NodeID, pre *control
 		// The dependency edges pick the first qualifying flow in set
 		// order; sort so the choice is stable across runs.
 		sort.Slice(set, func(i, j int) bool { return set[i].Flow < set[j].Flow })
-		classes, edges := ComputeCongestionDependencies(c.Ctl.Topo, set)
+		var classes map[packet.FlowID]uint8
+		var edges map[packet.FlowID]packet.FlowID
+		if c.Plans != nil {
+			classes, edges = c.Plans.Dependencies(c.Ctl.Topo, set)
+		} else {
+			classes, edges = ComputeCongestionDependencies(c.Ctl.Topo, set)
+		}
 		prio = classes[f]
 		dep = edges[f]
 	}
-	plan, err := PreparePlanDep(c.Ctl.Topo, f, oldPath, newPath, version, rec.SizeK, prio, dep)
+	var plan *Plan
+	var err error
+	if c.Plans != nil {
+		plan, err = c.Plans.Prepare(c.Ctl.Topo, f, oldPath, newPath, version, rec.SizeK, prio, dep)
+	} else {
+		plan, err = PreparePlanDep(c.Ctl.Topo, f, oldPath, newPath, version, rec.SizeK, prio, dep)
+	}
 	c.PrepTime += time.Since(start)
 	if err != nil {
 		return nil, err

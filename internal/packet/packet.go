@@ -61,6 +61,24 @@ func HashFlow(src, dst uint16) FlowID {
 	return FlowID(h.Sum32())
 }
 
+// HashFlowSalt computes the FlowID for a source-destination pair plus a
+// disambiguating salt — scale workloads carry more simultaneous flows
+// than a topology has distinct (src, dst) pairs, and the salt models the
+// transport 5-tuple fields the ingress hash would also cover. Salt 0
+// reduces to HashFlow, so unsalted flows keep their historical IDs.
+func HashFlowSalt(src, dst, salt uint16) FlowID {
+	if salt == 0 {
+		return HashFlow(src, dst)
+	}
+	h := fnv.New32a()
+	var b [6]byte
+	binary.BigEndian.PutUint16(b[0:2], src)
+	binary.BigEndian.PutUint16(b[2:4], dst)
+	binary.BigEndian.PutUint16(b[4:6], salt)
+	h.Write(b[:])
+	return FlowID(h.Sum32())
+}
+
 // UpdateType tags an update as single-layer or dual-layer (register "t"
 // of Table 1).
 type UpdateType uint8

@@ -1,0 +1,122 @@
+package plancache
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"p4update/internal/controlplane"
+	"p4update/internal/ezsegway"
+	"p4update/internal/topo"
+	"p4update/internal/traffic"
+)
+
+func TestCacheReturnsIdenticalPlans(t *testing.T) {
+	g := topo.B4()
+	g.Freeze()
+	ref := topo.B4()
+	spec, err := traffic.SegmentedSingleFlow(ref, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(g)
+
+	direct, err := controlplane.PreparePlan(ref, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached1, err := c.P4().Prepare(g, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached2, err := c.P4().Prepare(g, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached1 != cached2 {
+		t.Error("second Prepare did not return the memoized plan pointer")
+	}
+	if !reflect.DeepEqual(direct.Seg, cached1.Seg) || !reflect.DeepEqual(direct.Targets, cached1.Targets) {
+		t.Error("cached plan differs from direct preparation")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+
+	ezDirect, err := ezsegway.PreparePlanDep(ref, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ezCached, err := c.EZ().Prepare(g, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ezDirect.Changed, ezCached.Changed) || !reflect.DeepEqual(ezDirect.Targets, ezCached.Targets) {
+		t.Error("cached ez-Segway plan differs from direct preparation")
+	}
+
+	set := []ezsegway.FlowUpdate{{Flow: spec.ID(), Old: spec.Old, New: spec.New, SizeK: spec.SizeK}}
+	dc, de := ezsegway.ComputeCongestionDependencies(ref, set)
+	cc, ce := c.EZ().Dependencies(g, set)
+	if !reflect.DeepEqual(dc, cc) || !reflect.DeepEqual(de, ce) {
+		t.Error("cached dependency graph differs from direct computation")
+	}
+}
+
+// TestCacheForeignTopologyFallsThrough ensures a cache never answers for
+// a topology it is not bound to.
+func TestCacheForeignTopologyFallsThrough(t *testing.T) {
+	g := topo.B4()
+	g.Freeze()
+	other := topo.Internet2()
+	c := New(g)
+	spec, err := traffic.SegmentedSingleFlow(other, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.P4().Prepare(other, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, nil); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("foreign-topology query touched the cache: %d hits / %d misses", hits, misses)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from 8 goroutines (run under
+// -race): all workers request the same small key set, so lookups,
+// single-flight waits and stores all interleave.
+func TestCacheConcurrent(t *testing.T) {
+	g := topo.Internet2()
+	g.Freeze()
+	c := New(g)
+	n := topo.NodeID(g.NumNodes() - 1)
+	paths := g.KShortestPaths(0, n, 4, topo.ByLatency)
+	if len(paths) < 2 {
+		t.Skip("topology without alternative paths")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				old := paths[i%len(paths)]
+				nw := paths[(i+1)%len(paths)]
+				p, err := c.P4().Prepare(g, 42, old, nw, 2, 1, nil)
+				if err != nil || p == nil {
+					t.Errorf("Prepare: %v", err)
+					return
+				}
+				ep, err := c.EZ().Prepare(g, 42, old, nw, 2, 1, 0, 0)
+				if err != nil || ep == nil {
+					t.Errorf("EZ Prepare: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hits, misses := c.Stats(); misses == 0 || hits == 0 {
+		t.Errorf("expected both hits and misses, got %d/%d", hits, misses)
+	}
+}

@@ -44,6 +44,48 @@ func TestFig7DeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestManyFlowsDeterministicAcrossWorkerCounts runs the many-flow scale
+// experiment — hundreds of simultaneous updates per trial over one
+// shared frozen snapshot, plan cache and workload cache — at several
+// worker counts and requires byte-identical merged results. 150 flows
+// on B4 exceeds its 132 distinct (src, dst) pairs, so the salted
+// flow-ID path is exercised too.
+func TestManyFlowsDeterministicAcrossWorkerCounts(t *testing.T) {
+	cases := []struct {
+		name    string
+		mk      func() *topo.Topology
+		fatTree bool
+		flows   int
+		runs    int
+	}{
+		{"b4", topo.B4, false, 150, 4},
+		{"fattree8", func() *topo.Topology { return topo.FatTree(8) }, true, 200, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(workers int) []runner.Result {
+				r, err := experiments.Fig7ManyFlowsOpts(tc.mk, tc.name, tc.fatTree, tc.flows, tc.runs, 1,
+					experiments.RunOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return stripHost(r.Trials)
+			}
+			seq := run(1)
+			for i, r := range seq {
+				if r.Failed {
+					t.Fatalf("trial %d (%s) failed: %s", i, r.Label, r.Err)
+				}
+			}
+			for _, workers := range []int{2, 4, 8} {
+				if par := run(workers); !reflect.DeepEqual(seq, par) {
+					t.Fatalf("manyflows %s workers=%d produced different merged results", tc.name, workers)
+				}
+			}
+		})
+	}
+}
+
 // TestFig8DeterministicAcrossWorkerCounts checks the fig8 grid's
 // deterministic skeleton — trial order, labels, systems, seeds,
 // failure status — across worker counts. The measured Values are

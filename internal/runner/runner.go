@@ -69,17 +69,23 @@ type Trial struct {
 }
 
 // BedTrial builds a Trial that wires a full system from the shared
-// construction path — mk builds the topology, cfg carries the system
-// kind, seed and bed configuration — and hands it to body. VirtualTime
-// and Events are captured from the engine after body returns.
-func BedTrial(label, system string, mk func() *topo.Topology, cfg wiring.Config,
+// construction path — g is the (typically frozen, figure-shared)
+// topology, cfg carries the system kind, seed and bed configuration —
+// and hands it to body. VirtualTime and Events are captured from the
+// engine after body returns.
+//
+// All trials of a grid share g read-only: freezing it (topo.Freeze)
+// makes concurrent path queries safe and routes them through the shared
+// snapshot oracle, so per-trial setup no longer rebuilds the topology
+// or re-warms a private path cache.
+func BedTrial(label, system string, g *topo.Topology, cfg wiring.Config,
 	body func(*wiring.System) (Metrics, error)) Trial {
 	return Trial{
 		Label:  label,
 		System: system,
 		Seed:   cfg.Seed,
 		Run: func() (Metrics, error) {
-			sys := wiring.New(mk(), cfg)
+			sys := wiring.New(g, cfg)
 			m, err := body(sys)
 			m.VirtualTime = sys.Eng.Now()
 			m.Events = sys.Eng.Steps()
@@ -132,8 +138,9 @@ func (p *Pool) Run(trials []Trial) []Result {
 		workers = len(trials)
 	}
 	if workers <= 1 {
+		sc := newScratch()
 		for i, t := range trials {
-			results[i] = p.runOne(i, t)
+			results[i] = p.runOne(i, t, sc)
 		}
 		return results
 	}
@@ -143,8 +150,11 @@ func (p *Pool) Run(trials []Trial) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker reuses one scratch (outcome channel + timeout
+			// timer) across all the trials it executes.
+			sc := newScratch()
 			for i := range jobs {
-				results[i] = p.runOne(i, trials[i])
+				results[i] = p.runOne(i, trials[i], sc)
 			}
 		}()
 	}
@@ -156,13 +166,32 @@ func (p *Pool) Run(trials []Trial) []Result {
 	return results
 }
 
+// outcome is one trial's raw return, passed from the execution
+// goroutine to the supervising worker.
+type outcome struct {
+	m   Metrics
+	err error
+}
+
+// scratch is per-worker reusable trial-supervision state: the outcome
+// channel and the timeout timer survive across trials, so supervising a
+// trial allocates nothing beyond the execution goroutine itself.
+type scratch struct {
+	done  chan outcome
+	timer *time.Timer
+}
+
+func newScratch() *scratch {
+	return &scratch{done: make(chan outcome, 1)}
+}
+
 // runOne executes a single trial with panic recovery and the pool's
-// per-trial timeout.
-func (p *Pool) runOne(index int, t Trial) Result {
+// per-trial timeout, reusing the worker's scratch.
+func (p *Pool) runOne(index int, t Trial, sc *scratch) Result {
 	res := Result{Index: index, Label: t.Label, System: t.System, Seed: t.Seed}
 	start := time.Now()
 	allocs0, bytes0 := readAllocs()
-	m, err := p.execute(t)
+	m, err := p.execute(t, sc)
 	m.WallClock = time.Since(start)
 	allocs1, bytes1 := readAllocs()
 	m.Allocs = allocs1 - allocs0
@@ -175,28 +204,40 @@ func (p *Pool) runOne(index int, t Trial) Result {
 	return res
 }
 
-func (p *Pool) execute(t Trial) (Metrics, error) {
+func (p *Pool) execute(t Trial, sc *scratch) (Metrics, error) {
 	if t.Run == nil {
 		return Metrics{}, fmt.Errorf("runner: trial %q has no Run function", t.Label)
 	}
 	if p == nil || p.Timeout <= 0 {
 		return recoverRun(t)
 	}
-	type outcome struct {
-		m   Metrics
-		err error
-	}
-	done := make(chan outcome, 1)
+	done := sc.done
 	go func() {
 		m, err := recoverRun(t)
 		done <- outcome{m, err}
 	}()
-	timer := time.NewTimer(p.Timeout)
-	defer timer.Stop()
+	if sc.timer == nil {
+		sc.timer = time.NewTimer(p.Timeout)
+	} else {
+		sc.timer.Reset(p.Timeout)
+	}
 	select {
 	case o := <-done:
+		if !sc.timer.Stop() {
+			// The timer fired concurrently with the outcome; drain it so
+			// the next trial's Reset starts from a clean channel.
+			select {
+			case <-sc.timer.C:
+			default:
+			}
+		}
 		return o.m, o.err
-	case <-timer.C:
+	case <-sc.timer.C:
+		// The abandoned goroutine still owns sc.done and will write its
+		// late outcome there; hand the worker a fresh scratch so a stale
+		// result can never be attributed to a later trial.
+		sc.done = make(chan outcome, 1)
+		sc.timer = nil
 		return Metrics{}, fmt.Errorf("runner: trial %q timed out after %v", t.Label, p.Timeout)
 	}
 }

@@ -146,7 +146,7 @@ func TestPoolNilRunIsFailure(t *testing.T) {
 
 func TestBedTrialWiresFullSystem(t *testing.T) {
 	oldP, newP := topo.SyntheticPaths()
-	trial := BedTrial("bed", "p4update-auto", topo.Synthetic,
+	trial := BedTrial("bed", "p4update-auto", topo.Synthetic(),
 		wiring.Config{Seed: 1, MaxEvents: 1_000_000},
 		func(sys *wiring.System) (Metrics, error) {
 			f, err := sys.Ctl.RegisterFlow(0, 7, oldP, 1000)

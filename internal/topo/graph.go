@@ -79,6 +79,12 @@ type Topology struct {
 	version uint64
 	oracle  *PathOracle
 	once    sync.Once
+
+	// frozen marks the topology immutable (set by Freeze); snap is the
+	// shared read-only view handed to concurrent trial workers.
+	frozen   bool
+	snap     *Snapshot
+	snapOnce sync.Once
 }
 
 // New returns an empty topology with the given name.
@@ -86,8 +92,10 @@ func New(name string) *Topology {
 	return &Topology{Name: name}
 }
 
-// AddNode appends a node and returns its ID.
+// AddNode appends a node and returns its ID. It panics on a frozen
+// topology.
 func (t *Topology) AddNode(name string, lat, lon float64) NodeID {
+	t.mustNotBeFrozen("AddNode")
 	id := NodeID(len(t.nodes))
 	t.nodes = append(t.nodes, Node{ID: id, Name: name, Lat: lat, Lon: lon})
 	t.adj = append(t.adj, nil)
@@ -98,6 +106,7 @@ func (t *Topology) AddNode(name string, lat, lon float64) NodeID {
 // AddLink connects a and b with the given latency and per-direction
 // capacity, allocating the next free port at each endpoint.
 func (t *Topology) AddLink(a, b NodeID, latency time.Duration, capacity float64) LinkID {
+	t.mustNotBeFrozen("AddLink")
 	if a == b {
 		panic(fmt.Sprintf("topo: self-loop at node %d", a))
 	}
@@ -152,8 +161,12 @@ func (t *Topology) Nodes() []NodeID {
 	return ids
 }
 
-// NodeByName returns the first node with the given name.
+// NodeByName returns the first node with the given name. On a frozen
+// topology the lookup uses the snapshot's index table.
 func (t *Topology) NodeByName(name string) (NodeID, bool) {
+	if s := t.snapshot(); s != nil {
+		return s.NodeByName(name)
+	}
 	for _, n := range t.nodes {
 		if n.Name == name {
 			return n.ID, true

@@ -35,6 +35,9 @@ func (t *Topology) ShortestPath(src, dst NodeID, w Weight) []NodeID {
 // for unreachable nodes). The result is memoized in the topology's
 // PathOracle and shared between callers: treat it as read-only.
 func (t *Topology) Distances(src NodeID, w Weight) []float64 {
+	if s := t.snapshot(); s != nil {
+		return s.Oracle().Distances(src, w)
+	}
 	return t.Oracle().Distances(src, w)
 }
 
@@ -45,7 +48,13 @@ func (t *Topology) Distances(src NodeID, w Weight) []float64 {
 func (t *Topology) shortestPathAvoiding(src, dst NodeID, w Weight,
 	blockedNodes map[NodeID]bool, blockedEdges map[[2]NodeID]bool) ([]NodeID, float64) {
 
-	p, cost := t.Oracle().shortestAvoiding(src, dst, w, blockedNodes, blockedEdges)
+	var p []NodeID
+	var cost float64
+	if s := t.snapshot(); s != nil {
+		p, cost = s.Oracle().shortestAvoiding(src, dst, w, blockedNodes, blockedEdges)
+	} else {
+		p, cost = t.Oracle().shortestAvoiding(src, dst, w, blockedNodes, blockedEdges)
+	}
 	if p == nil {
 		return nil, cost
 	}
@@ -146,12 +155,20 @@ func equalPath(a, b []NodeID) bool {
 // distance to all other nodes (the paper places the controller there).
 // The result is memoized per topology generation.
 func (t *Topology) Centroid() NodeID {
+	if s := t.snapshot(); s != nil {
+		return s.Oracle().Centroid()
+	}
 	return t.Oracle().Centroid()
 }
 
 // ControlLatencies returns the control-channel latency from the controller
-// node to every switch: the latency-weighted shortest-path distance.
+// node to every switch: the latency-weighted shortest-path distance. On a
+// frozen topology the result is memoized and shared: treat it as
+// read-only.
 func (t *Topology) ControlLatencies(controller NodeID) []time.Duration {
+	if s := t.snapshot(); s != nil {
+		return s.Oracle().ControlLatencies(controller)
+	}
 	dist := t.Distances(controller, ByLatency)
 	out := make([]time.Duration, len(dist))
 	for i, d := range dist {

@@ -21,11 +21,15 @@ type FlowSpec struct {
 	Src, Dst topo.NodeID
 	Old, New []topo.NodeID
 	SizeK    uint32
+	// Salt disambiguates multiple flows over the same (src, dst) pair
+	// (the scale workload exceeds a small topology's pair count); 0
+	// keeps the historical pair-hash identifier.
+	Salt uint16
 }
 
 // ID returns the flow's wire identifier.
 func (f FlowSpec) ID() packet.FlowID {
-	return packet.HashFlow(uint16(f.Src), uint16(f.Dst))
+	return packet.HashFlowSalt(uint16(f.Src), uint16(f.Dst), f.Salt)
 }
 
 // GravityWeights draws one positive weight per node (exponential, mean 1).
@@ -156,6 +160,73 @@ func sampleWorkload(t *topo.Topology, rng *rand.Rand, cfg Config, nodes []topo.N
 		return nil, false
 	}
 	return flows, true
+}
+
+// ManyFlowWorkload builds the scale scenario: n simultaneous flow
+// updates between uniform-random candidate pairs, old = shortest path,
+// new = 2nd-shortest (hop count, as in the multi-flow scenario), unit
+// flow sizes so link capacity never binds — the scale regime measures
+// coordination cost across hundreds of concurrent updates, not
+// congestion resolution. When n exceeds the number of distinct pairs,
+// pairs repeat with an increasing Salt so every flow keeps a distinct
+// wire ID. Path pairs are memoized per (src, dst), so on a frozen
+// topology the whole workload costs two Dijkstra-backed queries per
+// distinct pair — once per grid, not per trial.
+func ManyFlowWorkload(t *topo.Topology, rng *rand.Rand, n int, candidates []topo.NodeID) ([]FlowSpec, error) {
+	nodes := candidates
+	if nodes == nil {
+		nodes = t.Nodes()
+	}
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("traffic: need at least two candidate nodes")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("traffic: need a positive flow count, got %d", n)
+	}
+	type pathPair struct {
+		old, new []topo.NodeID
+		ok       bool
+	}
+	memo := make(map[[2]topo.NodeID]pathPair)
+	salts := make(map[[2]topo.NodeID]uint16)
+	used := make(map[packet.FlowID]bool, n)
+	flows := make([]FlowSpec, 0, n)
+	maxAttempts := 50*n + 1000
+	for attempts := 0; len(flows) < n; attempts++ {
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("traffic: only %d of %d flows in %d attempts (too few pairs with alternative paths in %s)",
+				len(flows), n, maxAttempts, t.Name)
+		}
+		src := nodes[rng.Intn(len(nodes))]
+		dst := nodes[rng.Intn(len(nodes))]
+		if dst == src {
+			continue
+		}
+		key := [2]topo.NodeID{src, dst}
+		pp, seen := memo[key]
+		if !seen {
+			if paths := t.KShortestPaths(src, dst, 2, topo.ByHops); len(paths) >= 2 {
+				pp = pathPair{old: paths[0], new: paths[1], ok: true}
+			}
+			memo[key] = pp
+		}
+		if !pp.ok {
+			continue
+		}
+		salt := salts[key]
+		id := packet.HashFlowSalt(uint16(src), uint16(dst), salt)
+		for used[id] {
+			// Skip over 32-bit hash collisions with already-issued IDs.
+			salt++
+			id = packet.HashFlowSalt(uint16(src), uint16(dst), salt)
+		}
+		salts[key] = salt + 1
+		used[id] = true
+		flows = append(flows, FlowSpec{
+			Src: src, Dst: dst, Old: pp.old, New: pp.new, SizeK: 1, Salt: salt,
+		})
+	}
+	return flows, nil
 }
 
 // Transitionable reports whether some sequential order of atomic per-flow

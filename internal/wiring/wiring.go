@@ -17,6 +17,7 @@ import (
 	"p4update/internal/dataplane"
 	"p4update/internal/ezsegway"
 	"p4update/internal/packet"
+	"p4update/internal/plancache"
 	"p4update/internal/sim"
 	"p4update/internal/topo"
 )
@@ -100,6 +101,12 @@ type Config struct {
 	// (§9.1, Jarschel et al.). Both only matter under Central.
 	CtrlProcDelay time.Duration
 	CtrlQueueMean time.Duration
+
+	// Plans, when set, memoizes control-plane plan preparation across
+	// the trials sharing a frozen topology (internal/plancache): each
+	// distinct (flow, paths, version, ...) plan is computed once per
+	// grid and cloned cheaply — shared immutably — into every trial.
+	Plans *plancache.Cache
 }
 
 // System is a fully wired system under one update strategy: engine,
@@ -162,12 +169,18 @@ func New(g *topo.Topology, cfg Config) *System {
 	}
 	ctl := controlplane.NewController(net, node)
 	ctl.MaxRetriggers = cfg.MaxRetriggers
+	if cfg.Plans != nil {
+		ctl.Plans = cfg.Plans.P4()
+	}
 
 	s := &System{Cfg: cfg, Topo: g, Eng: eng, Net: net, Ctl: ctl}
 	switch cfg.Strategy {
 	case EZSegway:
 		s.EZ = ezsegway.NewController(ctl)
 		s.EZ.Congestion = cfg.Congestion
+		if cfg.Plans != nil {
+			s.EZ.Plans = cfg.Plans.EZ()
+		}
 	case Central:
 		s.CO = central.NewCoordinator(ctl, cfg.CtrlProcDelay)
 		s.CO.Congestion = cfg.Congestion
