@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke check clean
+.PHONY: all build vet test race bench bench-smoke fuzz-smoke faults-smoke check clean
 
 all: check
 
@@ -16,9 +16,10 @@ test:
 # The trial runner is the concurrent subsystem; the sim and topo
 # packages carry the pooled engine and the shared path oracle, the
 # plancache serves all trial workers concurrently, so all four run
-# under the race detector.
+# under the race detector — as do faults and audit, whose per-trial
+# injectors and auditors execute inside concurrently sharded trials.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/...
 
 # Hot-path microbenchmarks (engine schedule/step) plus the end-to-end
 # Fig. 7 trial benchmark. Results are tracked in BENCH_hotpath.json and
@@ -33,6 +34,16 @@ bench:
 bench-smoke:
 	$(GO) test -bench=BenchmarkEngine -benchmem -benchtime=10x -run=^$$ ./internal/sim/
 	$(GO) test -bench='BenchmarkFig7Trial|BenchmarkTrialSetup|BenchmarkManyFlowsTrial' -benchmem -benchtime=10x -run=^$$ .
+
+# Short native-fuzzing pass over the wire decoder — the surface the
+# fault injector's corrupt path hammers in every chaotic trial.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/packet/
+
+# Quick chaos sweep: all three systems under 10% loss + reorder with
+# the invariant auditor sweeping every engine step.
+faults-smoke:
+	$(GO) run ./cmd/p4update -exp faults -runs 2 -loss 0,0.1 -reorder 0.1 -audit-every 1
 
 check: vet build test race
 

@@ -20,6 +20,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"p4update"
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig8|scale|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig8|scale|faults|all")
 		runs       = flag.Int("runs", 30, "runs per series (the paper uses 30)")
 		preps      = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
 		seed       = flag.Int64("seed", 1, "base simulation seed")
@@ -37,6 +39,10 @@ func main() {
 		scaleFlows = flag.Int("scale-flows", 500, "simultaneous flow updates per scale trial (100–1000)")
 		topoSel    = flag.String("topo", "all", "scale-experiment topology: fattree8|b4|all")
 		workers    = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		loss       = flag.String("loss", "0,0.05,0.1,0.2", "faults: comma-separated frame-loss rates")
+		reorder    = flag.String("reorder", "0,0.1", "faults: comma-separated reorder rates")
+		crash      = flag.Int("crash", 0, "faults: scheduled switch crash/restart cycles per trial")
+		auditEvery = flag.Int("audit-every", 1, "faults: invariant-audit period in engine steps")
 		jsonPath   = flag.String("json", "", "write per-trial metrics to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -83,6 +89,8 @@ func main() {
 		trials = append(trials, runFig8(*preps, *seed, opt)...)
 	case "scale":
 		trials = append(trials, runScale(*scaleFlows, *topoSel, *runs, *seed, *cdf, opt)...)
+	case "faults":
+		trials = append(trials, runFaults(*loss, *reorder, *crash, *auditEvery, *runs, *seed, opt)...)
 	case "all":
 		runFig2(*seed)
 		runFig4(*runs, *seed)
@@ -209,6 +217,47 @@ func runScale(nFlows int, topoSel string, runs int, seed int64, cdf bool, opt ex
 		trials = append(trials, r.Trials...)
 	}
 	return trials
+}
+
+// runFaults runs the deterministic chaos sweep: loss × reorder fault
+// cells across all three systems with the continuous invariant auditor
+// attached.
+func runFaults(loss, reorder string, crash, auditEvery, runs int, seed int64, opt experiments.RunOptions) []p4update.TrialResult {
+	lossRates, err := parseRates(loss)
+	if err != nil {
+		fail(fmt.Errorf("-loss: %w", err))
+	}
+	reorderRates, err := parseRates(reorder)
+	if err != nil {
+		fail(fmt.Errorf("-reorder: %w", err))
+	}
+	r, err := experiments.FaultSweep(lossRates, reorderRates, crash, auditEvery, runs, seed, opt)
+	if err != nil {
+		fail(fmt.Errorf("faults: %w", err))
+	}
+	fmt.Print(r)
+	fmt.Println()
+	return r.Trials
+}
+
+// parseRates parses a comma-separated list of [0,1] rates.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("rate %v out of [0,1]", v)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
 }
 
 func runFig8(updates int, seed int64, opt experiments.RunOptions) []p4update.TrialResult {

@@ -1,0 +1,329 @@
+// Package audit is the continuous invariant auditor of the test bed: a
+// read-only observer that, every N engine steps, walks the live per-flow
+// forwarding state of a fabric and asserts the consistency properties
+// P4Update claims to preserve through every update (§11, Alg. 1/2):
+//
+//   - no blackhole: tracing a flow from its ingress always reaches its
+//     destination's local-delivery rule;
+//   - no loop: the trace never revisits a node;
+//   - no link over-capacity: the actual traced load on a link never
+//     exceeds its capacity (only meaningful when the congestion gate is
+//     on — unconstrained setups disable it via Config.NoCapacity);
+//   - version monotonicity: a node's applied version for a flow never
+//     decreases.
+//
+// The auditor hooks sim.Engine.AfterStep and only reads state — it
+// never schedules events, mutates registers, or draws randomness — so
+// an audited run is step-for-step identical to an unaudited one, and
+// violations it records are attributable purely to the system under
+// test. It audits all three evaluated systems through the same shared
+// switch substrate, which is what turns the paper's §11 comparison into
+// a reproducible experiment.
+package audit
+
+import (
+	"fmt"
+	"time"
+
+	"p4update/internal/controlplane"
+	"p4update/internal/dataplane"
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// Kind classifies a violation.
+type Kind uint8
+
+// Violation kinds.
+const (
+	Blackhole Kind = iota
+	Loop
+	OverCapacity
+	VersionRegress
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Blackhole:
+		return "blackhole"
+	case Loop:
+		return "loop"
+	case OverCapacity:
+		return "over-capacity"
+	case VersionRegress:
+		return "version-regress"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Violation is one recorded invariant breach.
+type Violation struct {
+	Kind Kind
+	// Step and Time locate the breach in the trial's event sequence.
+	Step   uint64
+	Time   time.Duration
+	Flow   packet.FlowID
+	Node   topo.NodeID
+	Detail string
+}
+
+// Config tunes the auditor.
+type Config struct {
+	// Every is the sweep period in engine steps (<=0 means every step).
+	Every int
+	// MaxExamples bounds the retained example violations (0 means 8).
+	MaxExamples int
+	// NoCapacity disables the link-capacity invariant — required for
+	// setups that never enforce capacity (Congestion off), where links
+	// are legitimately overbooked.
+	NoCapacity bool
+}
+
+// Report summarizes a trial's audit: total violation counts per kind,
+// the number of distinct flows (or links) involved, and a bounded set
+// of example violations.
+type Report struct {
+	Sweeps uint64
+
+	Blackholes         uint64
+	Loops              uint64
+	OverCapacity       uint64
+	VersionRegressions uint64
+
+	BlackholeFlows int
+	LoopFlows      int
+	OverCapLinks   int
+	RegressFlows   int
+
+	Examples []Violation
+}
+
+// Total returns the summed violation count across kinds.
+func (r *Report) Total() uint64 {
+	return r.Blackholes + r.Loops + r.OverCapacity + r.VersionRegressions
+}
+
+// portRef identifies one directed link endpoint in the load scratch.
+type portRef struct {
+	node topo.NodeID
+	port topo.PortID
+}
+
+// Auditor holds the sweep state for one attached fabric. All scratch is
+// reused across sweeps, so steady-state sweeping allocates only when a
+// violation is recorded.
+type Auditor struct {
+	cfg Config
+	net *dataplane.Network
+	ctl *controlplane.Controller
+
+	step   uint64
+	sweeps uint64
+
+	counts   [numKinds]uint64
+	flowSets [numKinds]map[packet.FlowID]struct{}
+	linkSet  map[portRef]struct{}
+	examples []Violation
+
+	// visited marks trace membership by generation, so loop detection
+	// needs no per-flow clearing.
+	visited []uint32
+	visGen  uint32
+	// load accumulates traced kbps per (node, egress port); touched
+	// lists the entries to reset before the next sweep.
+	load    [][]uint64
+	touched []portRef
+	// lastVer tracks the highest applied version seen per (node, flow
+	// index) for the monotonicity invariant.
+	lastVer [][]uint32
+}
+
+// Attach installs a continuous auditor on the network's engine and
+// returns it. The controller supplies flow endpoints (Flow DB).
+func Attach(net *dataplane.Network, ctl *controlplane.Controller, cfg Config) *Auditor {
+	if cfg.Every <= 0 {
+		cfg.Every = 1
+	}
+	if cfg.MaxExamples <= 0 {
+		cfg.MaxExamples = 8
+	}
+	n := net.Topo.NumNodes()
+	a := &Auditor{
+		cfg:     cfg,
+		net:     net,
+		ctl:     ctl,
+		visited: make([]uint32, n),
+		load:    make([][]uint64, n),
+		lastVer: make([][]uint32, n),
+	}
+	for _, id := range net.Topo.Nodes() {
+		a.load[id] = make([]uint64, net.Topo.Degree(id))
+	}
+	net.Eng.AfterStep = a.afterStep
+	return a
+}
+
+// afterStep is the engine hook: it counts steps and sweeps every
+// cfg.Every-th one.
+func (a *Auditor) afterStep() {
+	a.step++
+	if a.step%uint64(a.cfg.Every) != 0 {
+		return
+	}
+	a.Sweep()
+}
+
+// Report returns the audit summary accumulated so far.
+func (a *Auditor) Report() Report {
+	return Report{
+		Sweeps:             a.sweeps,
+		Blackholes:         a.counts[Blackhole],
+		Loops:              a.counts[Loop],
+		OverCapacity:       a.counts[OverCapacity],
+		VersionRegressions: a.counts[VersionRegress],
+		BlackholeFlows:     len(a.flowSets[Blackhole]),
+		LoopFlows:          len(a.flowSets[Loop]),
+		OverCapLinks:       len(a.linkSet),
+		RegressFlows:       len(a.flowSets[VersionRegress]),
+		Examples:           a.examples,
+	}
+}
+
+// Sweep audits the fabric's current state once. It is exported so tests
+// (and one-shot audits) can drive it without the engine hook.
+func (a *Auditor) Sweep() {
+	a.sweeps++
+	for _, pr := range a.touched {
+		a.load[pr.node][pr.port] = 0
+	}
+	a.touched = a.touched[:0]
+
+	flows := a.net.FlowIDs()
+	for idx, f := range flows {
+		rec, ok := a.ctl.Flow(f)
+		if !ok {
+			continue
+		}
+		a.checkVersions(idx, f)
+		a.traceFlow(f, rec)
+	}
+	if !a.cfg.NoCapacity {
+		a.checkCapacity()
+	}
+}
+
+// traceFlow follows the flow's active forwarding state from its ingress,
+// reporting loops and blackholes and charging traced load to each
+// crossed link. A trace that meets a crashed switch is abandoned
+// without a report: a physical outage is not a protocol fault.
+func (a *Auditor) traceFlow(f packet.FlowID, rec *controlplane.FlowRecord) {
+	a.visGen++
+	cur := rec.Src
+	maxHops := a.net.Topo.NumNodes() + 1
+	for hop := 0; hop <= maxHops; hop++ {
+		if a.visited[cur] == a.visGen {
+			a.report(Loop, f, cur, "forwarding loop revisits node")
+			return
+		}
+		a.visited[cur] = a.visGen
+		sw := a.net.Switch(cur)
+		if sw.Down() {
+			return
+		}
+		st, ok := sw.PeekState(f)
+		if !ok || !st.HasRule {
+			a.report(Blackhole, f, cur, "no forwarding rule")
+			return
+		}
+		if st.EgressPort == dataplane.PortLocal {
+			if cur != rec.Dst {
+				a.report(Blackhole, f, cur, "local delivery at non-destination")
+			}
+			return
+		}
+		next, ok := a.net.Topo.NeighborAt(cur, st.EgressPort)
+		if !ok {
+			a.report(Blackhole, f, cur, "egress port has no link")
+			return
+		}
+		a.addLoad(cur, st.EgressPort, st.FlowSizeK)
+		cur = next
+	}
+	a.report(Loop, f, cur, "trace exceeded hop bound")
+}
+
+// addLoad charges sizeK to the directed link (node, port).
+func (a *Auditor) addLoad(node topo.NodeID, port topo.PortID, sizeK uint32) {
+	if port < 0 || int(port) >= len(a.load[node]) {
+		return
+	}
+	if a.load[node][port] == 0 {
+		a.touched = append(a.touched, portRef{node, port})
+	}
+	a.load[node][port] += uint64(sizeK)
+}
+
+// checkCapacity compares traced load on every touched link against its
+// capacity.
+func (a *Auditor) checkCapacity() {
+	for _, pr := range a.touched {
+		c := a.net.Switch(pr.node).CapacityK(pr.port)
+		if c > 0 && a.load[pr.node][pr.port] > c {
+			a.counts[OverCapacity]++
+			if a.linkSet == nil {
+				a.linkSet = make(map[portRef]struct{})
+			}
+			a.linkSet[pr] = struct{}{}
+			if len(a.examples) < a.cfg.MaxExamples {
+				a.examples = append(a.examples, Violation{
+					Kind: OverCapacity, Step: a.step, Time: a.net.Eng.Now(),
+					Node: pr.node,
+					Detail: fmt.Sprintf("port %d carries %d kbps, capacity %d kbps",
+						pr.port, a.load[pr.node][pr.port], c),
+				})
+			}
+		}
+	}
+}
+
+// checkVersions asserts the flow's applied version never decreases on
+// any node.
+func (a *Auditor) checkVersions(idx int, f packet.FlowID) {
+	for _, sw := range a.net.Switches() {
+		st := sw.FlowStateAt(idx)
+		if st == nil || !st.HasRule {
+			continue
+		}
+		lv := a.lastVer[sw.ID]
+		if idx >= len(lv) {
+			grown := make([]uint32, idx+1)
+			copy(grown, lv)
+			lv = grown
+			a.lastVer[sw.ID] = lv
+		}
+		if st.NewVersion < lv[idx] {
+			a.report(VersionRegress, f, sw.ID, fmt.Sprintf(
+				"applied version %d after %d", st.NewVersion, lv[idx]))
+		} else {
+			lv[idx] = st.NewVersion
+		}
+	}
+}
+
+// report records one violation.
+func (a *Auditor) report(k Kind, f packet.FlowID, node topo.NodeID, detail string) {
+	a.counts[k]++
+	if a.flowSets[k] == nil {
+		a.flowSets[k] = make(map[packet.FlowID]struct{})
+	}
+	a.flowSets[k][f] = struct{}{}
+	if len(a.examples) < a.cfg.MaxExamples {
+		a.examples = append(a.examples, Violation{
+			Kind: k, Step: a.step, Time: a.net.Eng.Now(),
+			Flow: f, Node: node, Detail: detail,
+		})
+	}
+}

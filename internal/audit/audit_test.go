@@ -1,0 +1,146 @@
+package audit_test
+
+import (
+	"testing"
+	"time"
+
+	"p4update/internal/audit"
+	"p4update/internal/controlplane"
+	"p4update/internal/dataplane"
+	"p4update/internal/packet"
+	"p4update/internal/sim"
+	"p4update/internal/topo"
+)
+
+// bed builds a 4-node line fabric with a controller and one registered
+// flow 0 -> 3.
+func bed(t *testing.T) (*dataplane.Network, *controlplane.Controller, packet.FlowID) {
+	t.Helper()
+	g := topo.New("line")
+	for i := 0; i < 4; i++ {
+		g.AddNode("", 0, 0)
+	}
+	for i := 0; i+1 < 4; i++ {
+		g.AddLink(topo.NodeID(i), topo.NodeID(i+1), time.Millisecond, 100)
+	}
+	eng := sim.New(1)
+	eng.MaxEvents = 100_000
+	net := dataplane.NewNetwork(eng, g)
+	ctl := controlplane.NewController(net, 0)
+	f, err := ctl.RegisterFlow(0, 3, []topo.NodeID{0, 1, 2, 3}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, ctl, f
+}
+
+func TestCleanStateAuditsClean(t *testing.T) {
+	net, ctl, _ := bed(t)
+	a := audit.Attach(net, ctl, audit.Config{})
+	a.Sweep()
+	if r := a.Report(); r.Total() != 0 || r.Sweeps != 1 {
+		t.Fatalf("clean fabric reported violations: %+v", r)
+	}
+}
+
+// TestAuditorDetectsBlackhole checks the checker itself: deleting a
+// mid-path rule must surface as a blackhole at that node.
+func TestAuditorDetectsBlackhole(t *testing.T) {
+	net, ctl, f := bed(t)
+	a := audit.Attach(net, ctl, audit.Config{})
+	st, ok := net.Switch(2).PeekState(f)
+	if !ok {
+		t.Fatal("no state at node 2")
+	}
+	st.HasRule = false
+	a.Sweep()
+	r := a.Report()
+	if r.Blackholes != 1 || r.BlackholeFlows != 1 {
+		t.Fatalf("Blackholes = %d (%d flows), want 1", r.Blackholes, r.BlackholeFlows)
+	}
+	if len(r.Examples) != 1 || r.Examples[0].Kind != audit.Blackhole || r.Examples[0].Node != 2 {
+		t.Fatalf("example = %+v, want blackhole at node 2", r.Examples)
+	}
+}
+
+// TestAuditorDetectsLoop points node 1 back at node 0 and expects a
+// loop report.
+func TestAuditorDetectsLoop(t *testing.T) {
+	net, ctl, f := bed(t)
+	a := audit.Attach(net, ctl, audit.Config{})
+	back := net.Topo.PortTo(1, 0)
+	net.Switch(1).InstallInitialRule(f, back, 2, 1, 500)
+	a.Sweep()
+	r := a.Report()
+	if r.Loops != 1 || r.LoopFlows != 1 {
+		t.Fatalf("Loops = %d (%d flows), want 1: %+v", r.Loops, r.LoopFlows, r)
+	}
+}
+
+// TestAuditorDetectsOverCapacity overbooks one link past its 100 Mbps
+// (100000 kbps) capacity.
+func TestAuditorDetectsOverCapacity(t *testing.T) {
+	net, ctl, _ := bed(t)
+	if _, err := ctl.RegisterFlow(1, 2, []topo.NodeID{1, 2}, 120_000); err != nil {
+		t.Fatal(err)
+	}
+	a := audit.Attach(net, ctl, audit.Config{})
+	a.Sweep()
+	r := a.Report()
+	if r.OverCapacity != 1 || r.OverCapLinks != 1 {
+		t.Fatalf("OverCapacity = %d (%d links), want 1: %+v", r.OverCapacity, r.OverCapLinks, r)
+	}
+	// The same fabric with the capacity invariant off must stay clean.
+	b := audit.Attach(net, ctl, audit.Config{NoCapacity: true})
+	b.Sweep()
+	if r := b.Report(); r.Total() != 0 {
+		t.Fatalf("NoCapacity sweep still reported: %+v", r)
+	}
+}
+
+// TestAuditorDetectsVersionRegress rolls a node's applied version
+// backwards between sweeps.
+func TestAuditorDetectsVersionRegress(t *testing.T) {
+	net, ctl, f := bed(t)
+	a := audit.Attach(net, ctl, audit.Config{})
+	fwd := net.Topo.PortTo(1, 2)
+	net.Switch(1).InstallInitialRule(f, fwd, 5, 2, 500)
+	a.Sweep()
+	net.Switch(1).InstallInitialRule(f, fwd, 3, 2, 500)
+	a.Sweep()
+	r := a.Report()
+	if r.VersionRegressions != 1 || r.RegressFlows != 1 {
+		t.Fatalf("VersionRegressions = %d, want 1: %+v", r.VersionRegressions, r)
+	}
+}
+
+// TestCrashedSwitchIsNotABlackhole: a trace meeting a down switch is a
+// physical outage, not a protocol violation.
+func TestCrashedSwitchIsNotABlackhole(t *testing.T) {
+	net, ctl, _ := bed(t)
+	a := audit.Attach(net, ctl, audit.Config{})
+	net.Switch(2).Crash()
+	a.Sweep()
+	if r := a.Report(); r.Total() != 0 {
+		t.Fatalf("down switch charged as violation: %+v", r)
+	}
+	net.Switch(2).Restore()
+	a.Sweep()
+	if r := a.Report(); r.Total() != 0 {
+		t.Fatalf("restored switch audits dirty: %+v", r)
+	}
+}
+
+// TestAfterStepPeriod wires the auditor to the engine and checks the
+// sweep cadence.
+func TestAfterStepPeriod(t *testing.T) {
+	net, ctl, _ := bed(t)
+	a := audit.Attach(net, ctl, audit.Config{Every: 2})
+	for i := 0; i < 10; i++ {
+		net.Eng.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	net.Eng.Run()
+	if r := a.Report(); r.Sweeps != 5 {
+		t.Fatalf("Sweeps = %d after 10 steps at Every=2, want 5", r.Sweeps)
+	}
+}

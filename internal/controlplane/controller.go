@@ -84,6 +84,15 @@ type Controller struct {
 	// MaxRetriggers bounds §11 failure recovery: how many times a stalled
 	// update's indications are re-sent (0 disables recovery).
 	MaxRetriggers int
+	// ProbeTimeout, when nonzero, arms a controller-side watchdog on
+	// every pushed update: if the update has not completed when the
+	// timer fires, the controller re-injects the confirmation probe
+	// (once every node applied — a lost probe otherwise stalls
+	// completion forever) or re-sends the plan's indications (while
+	// nodes are still missing — covering the case where every
+	// switch-side stall report was itself lost). Each firing counts
+	// against MaxRetriggers, so recovery stays bounded.
+	ProbeTimeout time.Duration
 	// Plans, when set, memoizes plan preparation across trials that
 	// share a frozen topology (see internal/plancache). Plans returned
 	// from it are shared and must be treated as immutable — which they
@@ -244,7 +253,45 @@ func (c *Controller) PushMessagesInto(u *UpdateStatus, flow packet.FlowID, versi
 		rec.Path = newPath
 		rec.Version = version
 	}
+	c.armUpdateWatchdog(u)
 	return u
+}
+
+// armUpdateWatchdog schedules one end-to-end completion check for u
+// (see ProbeTimeout). It re-arms itself until the update completes or
+// the retrigger budget is spent.
+func (c *Controller) armUpdateWatchdog(u *UpdateStatus) {
+	if c.ProbeTimeout <= 0 {
+		return
+	}
+	c.Eng.Schedule(c.ProbeTimeout, func() {
+		if u.Done() || u.Retriggers >= c.MaxRetriggers {
+			return
+		}
+		u.Retriggers++
+		switch {
+		case u.AllApplied > 0:
+			// Every node committed but the probe confirmation never came
+			// back: the probe (a data-plane frame) was lost. Re-inject it.
+			c.injectProbe(u)
+		case u.Plan != nil:
+			// Nodes are still missing and no stall report reached us:
+			// re-send the plan's indications.
+			for i, uim := range u.Plan.UIMs {
+				c.Net.SendToSwitch(u.Plan.Targets[i], uim, 0)
+			}
+		}
+		c.armUpdateWatchdog(u)
+	})
+}
+
+// injectProbe launches the §9.1 confirmation traversal from the
+// update's ingress.
+func (c *Controller) injectProbe(u *UpdateStatus) {
+	ingress := u.NewPath[0]
+	c.Net.Switch(ingress).InjectData(&packet.Data{
+		Flow: u.Flow, TTL: 64, Probe: true, ProbeVersion: u.Version,
+	})
 }
 
 // TrackOnly registers completion tracking for (flow, version, newPath)
@@ -267,11 +314,7 @@ func (c *Controller) onApply(node topo.NodeID, f packet.FlowID, version uint32) 
 		return
 	}
 	u.AllApplied = c.Eng.Now()
-	ingress := u.NewPath[0]
-	probe := &packet.Data{
-		Flow: f, TTL: 64, Probe: true, ProbeVersion: version,
-	}
-	c.Net.Switch(ingress).InjectData(probe)
+	c.injectProbe(u)
 }
 
 // receive is the controller's message sink.

@@ -23,9 +23,19 @@ type Protocol struct {
 	// version has not been applied when the timer fires, the switch
 	// assumes the notification was lost in transit and reports
 	// StatusStalled so the controller can re-trigger (§11 "Failures in
-	// the Update Process").
+	// the Update Process"). The watchdog re-arms after firing — a single
+	// report can itself be lost on a lossy control channel — bounded by
+	// MaxStallReports per awaited version.
 	WatchdogTimeout time.Duration
+	// MaxStallReports bounds how many StatusStalled reports a node sends
+	// for one awaited version (0 means the default of 8). The budget
+	// resets whenever the indication is retransmitted, so every
+	// controller retrigger buys a fresh round of local monitoring.
+	MaxStallReports int
 }
+
+// defaultMaxStallReports is the per-version stall-report budget.
+const defaultMaxStallReports = 8
 
 var _ dataplane.Handler = (*Protocol)(nil)
 
@@ -60,6 +70,12 @@ func (p *Protocol) HandleUIM(sw *dataplane.Switch, m *packet.UIM) {
 			p.emit(sw, m.Flow, st, st.UIM, packet.LayerInter)
 		}
 		sw.WakeUIMWaiters(m.Flow)
+		if p.WatchdogTimeout > 0 && (!st.HasRule || st.NewVersion < m.Version) {
+			// A retransmission restarts local monitoring with a fresh
+			// report budget.
+			st.StallReports = 0
+			p.armWatchdog(sw, m.Flow, m.Version)
+		}
 		return
 	}
 	// Flow-size verification: a flow's size bound is immutable (§A.2);
@@ -99,21 +115,40 @@ func (p *Protocol) HandleUIM(sw *dataplane.Switch, m *packet.UIM) {
 	}
 	sw.WakeUIMWaiters(m.Flow)
 	if p.WatchdogTimeout > 0 {
-		version := m.Version
-		flow := m.Flow
-		sw.Network().Eng.Schedule(p.WatchdogTimeout, func() {
-			cur, ok := sw.PeekState(flow)
-			if !ok {
-				return
-			}
-			if cur.UIM != nil && cur.UIM.Version == version &&
-				(!cur.HasRule || cur.NewVersion < version) && !cur.Applying {
-				sw.SendUFM(&packet.UFM{
-					Flow: flow, Version: version, Status: packet.StatusStalled,
-				})
-			}
-		})
+		st.StallReports = 0
+		p.armWatchdog(sw, m.Flow, m.Version)
 	}
+}
+
+// armWatchdog schedules one §11 stall check for (flow, version). If the
+// version is still awaited when the timer fires, the node reports
+// StatusStalled and re-arms — a one-shot report is not enough on a
+// control channel that can also lose the report itself. The per-version
+// budget (FlowState.StallReports, reset on every indication arrival)
+// keeps an abandoned update from reporting forever.
+func (p *Protocol) armWatchdog(sw *dataplane.Switch, flow packet.FlowID, version uint32) {
+	sw.Network().Eng.Schedule(p.WatchdogTimeout, func() {
+		cur, ok := sw.PeekState(flow)
+		if !ok {
+			return
+		}
+		if cur.UIM == nil || cur.UIM.Version != version ||
+			(cur.HasRule && cur.NewVersion >= version) || cur.Applying {
+			return // applied, superseded, or mid-install
+		}
+		limit := p.MaxStallReports
+		if limit <= 0 {
+			limit = defaultMaxStallReports
+		}
+		if int(cur.StallReports) >= limit {
+			return // budget spent; controller-side recovery takes over
+		}
+		cur.StallReports++
+		sw.SendUFM(&packet.UFM{
+			Flow: flow, Version: version, Status: packet.StatusStalled,
+		})
+		p.armWatchdog(sw, flow, version)
+	})
 }
 
 // HandleUNM processes an Update Notification Message per Alg. 1/Alg. 2.

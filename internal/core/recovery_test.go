@@ -5,26 +5,19 @@ import (
 	"time"
 
 	"p4update/internal/core"
+	"p4update/internal/dataplane"
+	"p4update/internal/faults"
 	"p4update/internal/packet"
 	"p4update/internal/topo"
 )
 
-// dropFirstUNM drops the first notification crossing from->to.
-func dropFirstUNM(tb *testbed, from, to topo.NodeID) *bool {
-	dropped := new(bool)
-	tb.net.Drop = func(f, t topo.NodeID, raw []byte) bool {
-		if *dropped || f != from || t != to {
-			return false
-		}
-		if m, err := packet.Decode(raw); err == nil {
-			if _, isUNM := m.(*packet.UNM); isUNM {
-				*dropped = true
-				return true
-			}
-		}
-		return false
-	}
-	return dropped
+// dropFirstUNM installs a fault plan dropping the first notification
+// crossing from->to. The returned injector's RuleHits(0) reports
+// whether the drop fired.
+func dropFirstUNM(tb *testbed, from, to topo.NodeID) *faults.Injector {
+	return faults.Attach(tb.net, faults.Plan{Seed: 1, Rules: []faults.Rule{
+		faults.DropMatching(from, to, packet.TypeUNM, 1),
+	}})
 }
 
 func TestRecoveryFromLostUNM(t *testing.T) {
@@ -35,13 +28,13 @@ func TestRecoveryFromLostUNM(t *testing.T) {
 	tb.ctl.MaxRetriggers = 3
 	oldP, newP := topo.SyntheticPaths()
 	f, _ := tb.ctl.RegisterFlow(0, 7, oldP, 1000)
-	dropped := dropFirstUNM(tb, 5, 4)
+	inj := dropFirstUNM(tb, 5, 4)
 	u, err := tb.ctl.TriggerUpdate(f, newP, forceType(packet.UpdateSingle))
 	if err != nil {
 		t.Fatal(err)
 	}
 	stepAndCheck(t, tb, f, 0) // the invariant must hold during recovery too
-	if !*dropped {
+	if inj.RuleHits(0) != 1 {
 		t.Fatal("drop not exercised")
 	}
 	if !u.Done() {
@@ -62,13 +55,13 @@ func TestRecoveryDualLayer(t *testing.T) {
 	tb.ctl.MaxRetriggers = 3
 	oldP, newP := topo.SyntheticPaths()
 	f, _ := tb.ctl.RegisterFlow(0, 7, oldP, 1000)
-	dropped := dropFirstUNM(tb, 6, 5)
+	inj := dropFirstUNM(tb, 6, 5)
 	u, err := tb.ctl.TriggerUpdate(f, newP, forceType(packet.UpdateDual))
 	if err != nil {
 		t.Fatal(err)
 	}
 	stepAndCheck(t, tb, f, 0)
-	if !*dropped {
+	if inj.RuleHits(0) != 1 {
 		t.Fatal("drop not exercised")
 	}
 	if !u.Done() {
@@ -84,17 +77,9 @@ func TestRecoveryBounded(t *testing.T) {
 	tb.ctl.MaxRetriggers = 2
 	oldP, newP := topo.SyntheticPaths()
 	f, _ := tb.ctl.RegisterFlow(0, 7, oldP, 1000)
-	tb.net.Drop = func(from, to topo.NodeID, raw []byte) bool {
-		if to != 4 {
-			return false
-		}
-		m, err := packet.Decode(raw)
-		if err != nil {
-			return false
-		}
-		_, isUNM := m.(*packet.UNM)
-		return isUNM
-	}
+	faults.Attach(tb.net, faults.Plan{Seed: 1, Rules: []faults.Rule{
+		faults.DropMatching(faults.AnyNode, 4, packet.TypeUNM, 0),
+	}})
 	u, err := tb.ctl.TriggerUpdate(f, newP, forceType(packet.UpdateSingle))
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +90,40 @@ func TestRecoveryBounded(t *testing.T) {
 	}
 	if u.Retriggers != 2 {
 		t.Errorf("retriggers = %d, want exactly MaxRetriggers", u.Retriggers)
+	}
+}
+
+func TestRecoveryFromLostControllerUIM(t *testing.T) {
+	// Regression: SendToSwitch used to bypass the fault hooks entirely,
+	// so a lost controller->switch indication was untestable. Drop the
+	// first UIM into a mid-path node: the node never learns about the
+	// update, its upstream neighbors hold their indications, their §11
+	// watchdogs report the stall, and the controller re-sends the plan.
+	g := topo.Synthetic()
+	tb := newTestbed(g, 25, &core.Protocol{WatchdogTimeout: 500 * time.Millisecond})
+	tb.ctl.MaxRetriggers = 3
+	oldP, newP := topo.SyntheticPaths()
+	f, _ := tb.ctl.RegisterFlow(0, 7, oldP, 1000)
+	inj := faults.Attach(tb.net, faults.Plan{Seed: 1, Rules: []faults.Rule{
+		faults.DropMatching(dataplane.NodeController, newP[len(newP)/2], packet.TypeUIM, 1),
+	}})
+	u, err := tb.ctl.TriggerUpdate(f, newP, forceType(packet.UpdateSingle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepAndCheck(t, tb, f, 0)
+	if inj.RuleHits(0) != 1 {
+		t.Fatal("UIM drop not exercised")
+	}
+	if !u.Done() {
+		t.Fatal("update did not recover from the lost controller UIM")
+	}
+	if u.Retriggers == 0 {
+		t.Error("completion without any re-trigger — stall never reported?")
+	}
+	got, delivered := tb.net.TracePath(f, 0, 20)
+	if !delivered || len(got) != len(newP) {
+		t.Fatalf("final path %v, want %v", got, newP)
 	}
 }
 

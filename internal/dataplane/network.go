@@ -9,6 +9,44 @@ import (
 	"p4update/internal/topo"
 )
 
+// FaultClass classifies a frame for the fault injector: the three
+// transmission paths of the fabric are faultable independently.
+type FaultClass uint8
+
+// Fault classes.
+const (
+	// FaultData is a switch-to-switch frame (SendPort).
+	FaultData FaultClass = iota
+	// FaultControlUp is a switch-to-controller frame (SendToController).
+	FaultControlUp
+	// FaultControlDown is a controller-to-switch frame (SendToSwitch).
+	FaultControlDown
+)
+
+// FaultAction is the injector's verdict on one frame about to be
+// transmitted.
+type FaultAction struct {
+	// Drop discards the frame.
+	Drop bool
+	// Duplicate delivers a second copy one millisecond after the first
+	// (at-least-once delivery).
+	Duplicate bool
+	// Delay adds latency to the frame: small values model jitter, values
+	// above the link latency reorder the frame behind later traffic.
+	Delay time.Duration
+}
+
+// FaultInjector decides the fate of every transmitted frame. It is the
+// seam internal/faults plugs into; the legacy per-hook closures
+// (Drop/Duplicate/Mangle/...) remain as a thin compatibility shim for
+// targeted unit tests and are consulted before the injector.
+type FaultInjector interface {
+	// Inspect may corrupt the frame by rewriting raw in place; a
+	// returned slice must alias raw's allocation (in-place edits or
+	// truncation only) so buffer recycling stays valid.
+	Inspect(class FaultClass, from, to topo.NodeID, raw []byte) ([]byte, FaultAction)
+}
+
 // Network is the fabric connecting the switches of one topology: it
 // serializes messages onto links, applies link latency, and offers
 // failure-injection hooks (drop, corrupt, delay) plus observation hooks
@@ -36,6 +74,13 @@ type Network struct {
 	Mangle func(from, to topo.NodeID, raw []byte) []byte
 	// ExtraDelay, when set, adds latency to a data-plane frame.
 	ExtraDelay func(from, to topo.NodeID, raw []byte) time.Duration
+
+	// Faults, when set, is consulted for every frame on all three
+	// transmission paths — data plane and both control-channel
+	// directions (internal/faults implements it). It runs after the
+	// legacy closures above, so with no injector attached the fabric
+	// behaves byte-identically to earlier revisions.
+	Faults FaultInjector
 
 	// DropControl, when set, may discard a controller<->switch frame.
 	DropControl func(node topo.NodeID, toController bool, raw []byte) bool
@@ -108,6 +153,11 @@ func (n *Network) peekFlowSlot(f packet.FlowID) (int32, bool) {
 // Pool returns the network's message/buffer pool.
 func (n *Network) Pool() *packet.Pool { return &n.pool }
 
+// FlowIDs returns every flow interned by the fabric in deterministic
+// first-touch order. The slice is owned by the network: callers (the
+// invariant auditor) must treat it as read-only.
+func (n *Network) FlowIDs() []packet.FlowID { return n.flowIDs }
+
 // newDelivery pops a delivery record from the free list.
 func (n *Network) newDelivery() *delivery {
 	if k := len(n.freeDeliv); k > 0 {
@@ -127,8 +177,11 @@ func (n *Network) deliver(x any) {
 	dv := x.(*delivery)
 	if dv.ctrl {
 		n.ControllerRx(dv.node, dv.raw)
+	} else if sw := n.switches[dv.node]; sw.down {
+		// Frames addressed to a crashed switch vanish at its port.
+		sw.Stats.CrashDrops++
 	} else {
-		n.switches[dv.node].Receive(dv.raw, dv.inPort)
+		sw.Receive(dv.raw, dv.inPort)
 	}
 	if dv.recycle {
 		n.pool.PutBuf(dv.raw)
@@ -168,6 +221,9 @@ func (n *Network) SendPort(from topo.NodeID, port topo.PortID, m packet.Message)
 		panic(fmt.Sprintf("dataplane: node %d has no port %d", from, port))
 	}
 	to := link.Other(from)
+	if n.switches[from].down {
+		return // a crashed switch transmits nothing
+	}
 	raw := m.SerializeTo(n.pool.GetBuf())
 	if n.Drop != nil && n.Drop(from, to, raw) {
 		n.pool.PutBuf(raw)
@@ -184,8 +240,20 @@ func (n *Network) SendPort(from topo.NodeID, port topo.PortID, m packet.Message)
 	if n.ExtraDelay != nil {
 		delay += n.ExtraDelay(from, to, raw)
 	}
-	inPort := link.PortAt(to)
 	dup := n.Duplicate != nil && n.Duplicate(from, to, raw)
+	if n.Faults != nil {
+		var act FaultAction
+		raw, act = n.Faults.Inspect(FaultData, from, to, raw)
+		if act.Drop {
+			if recycle {
+				n.pool.PutBuf(raw)
+			}
+			return
+		}
+		dup = dup || act.Duplicate
+		delay += act.Delay
+	}
+	inPort := link.PortAt(to)
 	dv := n.newDelivery()
 	*dv = delivery{node: to, inPort: inPort, raw: raw, recycle: recycle && !dup}
 	n.Eng.ScheduleArg(delay, n.deliverFn, dv)
@@ -198,11 +266,18 @@ func (n *Network) SendPort(from topo.NodeID, port topo.PortID, m packet.Message)
 	}
 }
 
+// NodeController is the sentinel NodeID representing the controller end
+// of a control-channel frame in fault-injector callbacks.
+const NodeController topo.NodeID = -1
+
 // SendToController serializes m and delivers it to the controller after
 // the node's control-channel latency.
 func (n *Network) SendToController(from topo.NodeID, m packet.Message) {
 	if n.ControllerRx == nil {
 		return
+	}
+	if n.switches[from].down {
+		return // a crashed switch transmits nothing
 	}
 	raw := m.SerializeTo(n.pool.GetBuf())
 	if n.DropControl != nil && n.DropControl(from, true, raw) {
@@ -216,11 +291,27 @@ func (n *Network) SendToController(from topo.NodeID, m packet.Message) {
 	if n.ExtraControlDelay != nil {
 		delay += n.ExtraControlDelay(from, true, raw)
 	}
+	var dup bool
+	if n.Faults != nil {
+		var act FaultAction
+		raw, act = n.Faults.Inspect(FaultControlUp, from, NodeController, raw)
+		if act.Drop {
+			n.pool.PutBuf(raw)
+			return
+		}
+		dup = act.Duplicate
+		delay += act.Delay
+	}
 	// raw is valid only for the duration of the ControllerRx call; the
 	// controller decodes (copying every field) and must not retain it.
 	dv := n.newDelivery()
-	*dv = delivery{ctrl: true, node: from, raw: raw, recycle: true}
+	*dv = delivery{ctrl: true, node: from, raw: raw, recycle: !dup}
 	n.Eng.ScheduleArg(delay, n.deliverFn, dv)
+	if dup {
+		dv2 := n.newDelivery()
+		*dv2 = delivery{ctrl: true, node: from, raw: raw, recycle: true}
+		n.Eng.ScheduleArg(delay+time.Millisecond, n.deliverFn, dv2)
+	}
 }
 
 // SendToSwitch serializes m at the controller and delivers it to node
@@ -239,9 +330,25 @@ func (n *Network) SendToSwitch(node topo.NodeID, m packet.Message, extraDelay ti
 	if n.ExtraControlDelay != nil {
 		delay += n.ExtraControlDelay(node, false, raw)
 	}
+	var dup bool
+	if n.Faults != nil {
+		var act FaultAction
+		raw, act = n.Faults.Inspect(FaultControlDown, NodeController, node, raw)
+		if act.Drop {
+			n.pool.PutBuf(raw)
+			return
+		}
+		dup = act.Duplicate
+		delay += act.Delay
+	}
 	dv := n.newDelivery()
-	*dv = delivery{node: node, inPort: topo.InvalidPort, raw: raw, recycle: true}
+	*dv = delivery{node: node, inPort: topo.InvalidPort, raw: raw, recycle: !dup}
 	n.Eng.ScheduleArg(delay, n.deliverFn, dv)
+	if dup {
+		dv2 := n.newDelivery()
+		*dv2 = delivery{node: node, inPort: topo.InvalidPort, raw: raw, recycle: true}
+		n.Eng.ScheduleArg(delay+time.Millisecond, n.deliverFn, dv2)
+	}
 }
 
 // InstallPath seeds forwarding rules for flow f along path with the given

@@ -90,6 +90,10 @@ type FlowState struct {
 	// and holds the version being installed.
 	Applying        bool
 	ApplyingVersion uint32
+	// StallReports counts §11 watchdog firings for the currently awaited
+	// version, bounding how often the node re-reports a stalled update.
+	// It is reset whenever the awaited indication (re-)arrives.
+	StallReports uint8
 
 	// uimSlot is the flow's slot in the switch's UIM-waiter table plus
 	// one (0 = not assigned yet); assigned on first ParkOnUIM so the
@@ -138,4 +142,7 @@ type Stats struct {
 	Resubmissions  uint64 // parked messages re-injected into the pipeline
 	RulesApplied   uint64 // committed forwarding-rule changes
 	RulesCleaned   uint64 // stale rules removed by cleanup messages
+	Crashes        uint64 // Crash() transitions
+	Restores       uint64 // Restore() transitions
+	CrashDrops     uint64 // frames dropped at a down switch
 }

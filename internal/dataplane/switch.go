@@ -77,6 +77,13 @@ type Switch struct {
 	// tiny, so membership is a linear scan.
 	highWaiting [][]packet.FlowID
 
+	// down marks the switch crashed (fail-stop): it neither sends nor
+	// receives, and its soft state is gone. epoch counts crashes so that
+	// commits staged before a crash (Apply closures already in the event
+	// queue) recognize they belong to a dead incarnation.
+	down  bool
+	epoch uint32
+
 	Stats Stats
 }
 
@@ -191,6 +198,18 @@ func (sw *Switch) Flows() []packet.FlowID {
 // Pool returns the per-network message/buffer pool, so protocol
 // handlers can draw short-lived messages from it instead of allocating.
 func (sw *Switch) Pool() *packet.Pool { return &sw.net.pool }
+
+// FlowStateAt returns the switch's state block for the fabric-wide flow
+// index i (Network.FlowIDs order), or nil if the flow never touched
+// this switch. It exists so the invariant auditor can scan per-flow
+// state without a map lookup per (node, flow) pair; callers must treat
+// the result as read-only.
+func (sw *Switch) FlowStateAt(i int) *FlowState {
+	if i >= 0 && i < len(sw.flowStates) {
+		return sw.flowStates[i]
+	}
+	return nil
+}
 
 // Receive is the switch's pipeline entry point: it parses the frame and
 // dispatches on message type. inPort is the arrival port, or
@@ -316,7 +335,14 @@ func (sw *Switch) handleCleanup(m *packet.CLN) {
 }
 
 // InjectData delivers a host-originated data packet into the pipeline.
-func (sw *Switch) InjectData(d *packet.Data) { sw.handleData(d, topo.InvalidPort) }
+// A crashed switch drops host traffic at the port.
+func (sw *Switch) InjectData(d *packet.Data) {
+	if sw.down {
+		sw.Stats.CrashDrops++
+		return
+	}
+	sw.handleData(d, topo.InvalidPort)
+}
 
 // SendUNM clones a notification out the given port (the clone-session
 // primitive of §8). Sending to an invalid port is a silent no-op so
@@ -546,8 +572,79 @@ func (sw *Switch) Apply(portChanged bool, commit func()) {
 	if portChanged && sw.InstallDelay != nil {
 		d = sw.InstallDelay()
 	}
+	if sw.net.Faults != nil || sw.epoch > 0 {
+		// Epoch-guard the staged commit: if the switch crashes while the
+		// install is in flight, the commit belonged to the dead
+		// incarnation and must not touch the ASIC. The wrapper is only
+		// built when faults are possible, keeping the zero-allocation
+		// baseline hot path intact.
+		e := sw.epoch
+		sw.net.Eng.Schedule(d, func() {
+			if sw.epoch == e && !sw.down {
+				commit()
+			}
+		})
+		return
+	}
 	sw.net.Eng.Schedule(d, commit)
 }
+
+// Crash takes the switch offline in the fail-stop model §11 assumes:
+// committed forwarding rules and capacity reservations persist (they
+// live in the ASIC), but every piece of in-flight soft state is lost —
+// parked work, staged indications, pending install reservations, and
+// scheduled commits (invalidated via the epoch counter). While down the
+// switch neither transmits nor receives.
+func (sw *Switch) Crash() {
+	if sw.down {
+		return
+	}
+	sw.down = true
+	sw.epoch++
+	sw.Stats.Crashes++
+	// Clear waiter lists before releasing staged reservations so the
+	// releases' wakeCapacityWaiters find nothing to reschedule.
+	for i := range sw.capWaiters {
+		sw.capWaiters[i] = sw.capWaiters[i][:0]
+		sw.highWaiting[i] = sw.highWaiting[i][:0]
+	}
+	for i := range sw.uimWaiters {
+		sw.uimWaiters[i] = sw.uimWaiters[i][:0]
+	}
+	for _, st := range sw.flowStates {
+		if st == nil {
+			continue
+		}
+		for _, pr := range st.PendingRes {
+			sw.Release(pr.Port, pr.SizeK)
+		}
+		st.PendingRes = st.PendingRes[:0]
+		st.UIM = nil
+		st.ChildPorts = nil
+		st.Applying = false
+		st.ApplyingVersion = 0
+		st.Priority = PriorityLow
+		st.StallReports = 0
+		// Indication registers are soft state too: fall back to the
+		// committed version so a retransmitted indication is accepted
+		// afresh after restart.
+		st.IndicatedVersion = st.NewVersion
+	}
+}
+
+// Restore brings a crashed switch back online: committed rules intact,
+// soft state empty. The controller's stall/retrigger machinery is what
+// re-drives any update the crash interrupted.
+func (sw *Switch) Restore() {
+	if !sw.down {
+		return
+	}
+	sw.down = false
+	sw.Stats.Restores++
+}
+
+// Down reports whether the switch is currently crashed.
+func (sw *Switch) Down() bool { return sw.down }
 
 // CommitRule flips the flow's forwarding to the staged configuration from
 // uim: it moves the capacity reservation, updates the Table-1 registers

@@ -314,6 +314,9 @@ func TestTracePathLoopGuard(t *testing.T) {
 	}
 }
 
+// TestSendPortDropAndMangle covers the legacy closure hooks, kept as a
+// thin compatibility shim under the plan-based chaos harness (see
+// faults_integration_test.go for the faults.Plan equivalents).
 func TestSendPortDropAndMangle(t *testing.T) {
 	net, _ := lineNet(t, 1)
 	f := packet.FlowID(3)

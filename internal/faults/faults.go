@@ -1,0 +1,387 @@
+// Package faults is the deterministic chaos harness of the test bed: a
+// seeded fault-injection plan driving per-message-class probabilities
+// for drop, duplicate, corrupt, delay-jitter, and reorder, plus
+// scheduled switch crash/restart and controller-channel partition
+// windows.
+//
+// Determinism is the design center. Every probabilistic fault kind
+// draws from its own splitmix64-derived stream per message class, so
+// enabling one fault kind never perturbs another's draw sequence, and a
+// rate of zero consumes no randomness at all — a plan with all rates
+// zero leaves a trial byte-identical to one with no injector attached.
+// Targeted rules (drop the first UNM from node 5 to node 4, ...) match
+// purely on frame metadata and consume no randomness either, so they
+// compose with rate-based chaos without disturbing it. Trials execute
+// single-threaded on their own engine, which is what makes the whole
+// harness byte-identical across runner worker counts.
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"p4update/internal/dataplane"
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// AnyNode is the wildcard node for Rule and Partition matching. It is
+// distinct from dataplane.NodeController, which names the controller
+// end of a control-channel frame.
+const AnyNode topo.NodeID = -1 << 30
+
+// Rates holds the probabilistic fault intensities for one message
+// class. A zero rate disables the kind and consumes no randomness.
+type Rates struct {
+	// Drop is the per-frame loss probability.
+	Drop float64
+	// Duplicate is the per-frame probability of at-least-once delivery
+	// (a second copy lands one millisecond after the first).
+	Duplicate float64
+	// Corrupt is the per-frame probability of detectable damage: the
+	// frame is truncated or its type byte is mangled in place, so the
+	// receiver counts a decode error — the software analogue of a frame
+	// failing its CRC.
+	Corrupt float64
+	// Reorder is the per-frame probability of an extra hold of up to
+	// ReorderBy, long enough to land the frame behind later traffic.
+	Reorder   float64
+	ReorderBy time.Duration
+	// Jitter, when nonzero, adds a uniform [0, Jitter] delay to every
+	// frame of the class.
+	Jitter time.Duration
+}
+
+// enabled reports whether any fault kind of the class is active.
+func (r Rates) enabled() bool {
+	return r.Drop > 0 || r.Duplicate > 0 || r.Corrupt > 0 || r.Reorder > 0 || r.Jitter > 0
+}
+
+// RuleAction is the deterministic effect of a matched Rule.
+type RuleAction uint8
+
+// Rule actions.
+const (
+	ActDrop RuleAction = iota
+	ActDuplicate
+	ActCorrupt
+)
+
+// Class bits for Rule.Classes.
+const (
+	ClassData uint8 = 1 << dataplane.FaultData
+	ClassUp   uint8 = 1 << dataplane.FaultControlUp
+	ClassDown uint8 = 1 << dataplane.FaultControlDown
+)
+
+// Rule is a targeted, randomness-free fault: it fires on the first
+// Count frames matching its filters (Count 0 = unlimited). Rules are
+// the plan-level replacement for the bespoke Drop/Duplicate/Mangle
+// closures the protocol recovery tests used to wire by hand.
+type Rule struct {
+	// From/To filter the frame's endpoints (AnyNode = wildcard; the
+	// controller end of a control frame is dataplane.NodeController).
+	From, To topo.NodeID
+	// Type filters on the wire message type (TypeInvalid = any).
+	Type packet.MsgType
+	// Classes is a bitmask of Class* values (0 = all classes).
+	Classes uint8
+	Action  RuleAction
+	Count   int
+}
+
+// DropMatching builds a rule dropping the first count matching frames.
+func DropMatching(from, to topo.NodeID, t packet.MsgType, count int) Rule {
+	return Rule{From: from, To: to, Type: t, Action: ActDrop, Count: count}
+}
+
+// DuplicateMatching builds a rule duplicating the first count matching
+// frames.
+func DuplicateMatching(from, to topo.NodeID, t packet.MsgType, count int) Rule {
+	return Rule{From: from, To: to, Type: t, Action: ActDuplicate, Count: count}
+}
+
+// CorruptMatching builds a rule corrupting the first count matching
+// frames (deterministic half-length truncation).
+func CorruptMatching(from, to topo.NodeID, t packet.MsgType, count int) Rule {
+	return Rule{From: from, To: to, Type: t, Action: ActCorrupt, Count: count}
+}
+
+// Crash schedules a fail-stop switch outage: Node goes down at virtual
+// instant At and, if Restore is nonzero, comes back at Restore with its
+// committed rules intact and its soft state lost.
+type Crash struct {
+	Node    topo.NodeID
+	At      time.Duration
+	Restore time.Duration
+}
+
+// Partition is a controller-channel outage window: control frames to
+// and from Node (AnyNode = every switch) are dropped while From <= now
+// < Until.
+type Partition struct {
+	Node        topo.NodeID
+	From, Until time.Duration
+}
+
+// Plan is a complete, self-describing fault schedule for one trial.
+// The zero value injects nothing.
+type Plan struct {
+	// Seed feeds the injector's random streams. Zero means "derive from
+	// the trial seed" (wiring substitutes the trial seed at attach
+	// time), so grid sweeps get independent chaos per trial for free.
+	Seed int64
+
+	// Data, Up, and Down are the probabilistic intensities for
+	// switch-to-switch, switch-to-controller, and controller-to-switch
+	// frames respectively.
+	Data, Up, Down Rates
+
+	Rules      []Rule
+	Crashes    []Crash
+	Partitions []Partition
+}
+
+// Active reports whether the plan can affect a trial at all.
+func (p *Plan) Active() bool {
+	return p.Data.enabled() || p.Up.enabled() || p.Down.enabled() ||
+		len(p.Rules) > 0 || len(p.Crashes) > 0 || len(p.Partitions) > 0
+}
+
+// Stats counts injector decisions, split by origin.
+type Stats struct {
+	Inspected      uint64 // frames offered to the injector
+	Dropped        uint64 // rate-based drops
+	Duplicated     uint64 // rate-based duplicates
+	Corrupted      uint64 // rate-based corruptions
+	Reordered      uint64 // rate-based reorder holds
+	Jittered       uint64 // frames with jitter applied
+	PartitionDrops uint64 // drops inside partition windows
+	RuleDrops      uint64
+	RuleDups       uint64
+	RuleCorrupts   uint64
+	Crashes        uint64 // executed crash events
+	Restores       uint64 // executed restore events
+}
+
+// Faulted reports the total number of frames the injector affected.
+func (s *Stats) Faulted() uint64 {
+	return s.Dropped + s.Duplicated + s.Corrupted + s.Reordered +
+		s.PartitionDrops + s.RuleDrops + s.RuleDups + s.RuleCorrupts
+}
+
+// fault kinds index the per-class stream array.
+const (
+	kindDrop = iota
+	kindDuplicate
+	kindCorrupt
+	kindReorder
+	kindJitter
+	numKinds
+)
+
+// Injector implements dataplane.FaultInjector for one attached network.
+type Injector struct {
+	plan Plan
+	net  *dataplane.Network
+
+	// rng holds one independent stream per (message class, fault kind),
+	// each seeded through splitmix64 so the streams are uncorrelated.
+	rng [3][numKinds]*rand.Rand
+
+	// ruleLeft is the remaining fire budget per rule (-1 = unlimited);
+	// ruleHits counts fires.
+	ruleLeft []int
+	ruleHits []int
+
+	Stats Stats
+}
+
+// splitmix64 is the stream-splitting mixer (Steele et al.): it turns
+// sequential stream indexes into uncorrelated 64-bit seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d649bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Attach installs plan on net and returns the live injector. Crash and
+// restore events are scheduled on the network's engine immediately.
+func Attach(net *dataplane.Network, plan Plan) *Injector {
+	inj := &Injector{plan: plan, net: net}
+	for c := 0; c < 3; c++ {
+		for k := 0; k < numKinds; k++ {
+			seed := splitmix64(uint64(plan.Seed)<<8 | uint64(c*numKinds+k+1))
+			inj.rng[c][k] = rand.New(rand.NewSource(int64(seed)))
+		}
+	}
+	inj.ruleLeft = make([]int, len(plan.Rules))
+	inj.ruleHits = make([]int, len(plan.Rules))
+	for i, r := range plan.Rules {
+		if r.Count == 0 {
+			inj.ruleLeft[i] = -1
+		} else {
+			inj.ruleLeft[i] = r.Count
+		}
+	}
+	net.Faults = inj
+	for _, cr := range plan.Crashes {
+		sw := net.Switch(cr.Node)
+		net.Eng.ScheduleAt(cr.At, func() {
+			if !sw.Down() {
+				inj.Stats.Crashes++
+			}
+			sw.Crash()
+		})
+		if cr.Restore > 0 {
+			net.Eng.ScheduleAt(cr.Restore, func() {
+				if sw.Down() {
+					inj.Stats.Restores++
+				}
+				sw.Restore()
+			})
+		}
+	}
+	return inj
+}
+
+// RuleHits reports how many frames rule i has fired on.
+func (inj *Injector) RuleHits(i int) int { return inj.ruleHits[i] }
+
+// Plan returns the attached plan.
+func (inj *Injector) Plan() *Plan { return &inj.plan }
+
+// classRates returns the plan's rates for a fault class.
+func (inj *Injector) classRates(class dataplane.FaultClass) *Rates {
+	switch class {
+	case dataplane.FaultData:
+		return &inj.plan.Data
+	case dataplane.FaultControlUp:
+		return &inj.plan.Up
+	default:
+		return &inj.plan.Down
+	}
+}
+
+// matchRule reports whether rule i applies to the frame.
+func (inj *Injector) matchRule(i int, class dataplane.FaultClass, from, to topo.NodeID, raw []byte) bool {
+	r := &inj.plan.Rules[i]
+	if inj.ruleLeft[i] == 0 {
+		return false
+	}
+	if r.Classes != 0 && r.Classes&(1<<class) == 0 {
+		return false
+	}
+	if r.From != AnyNode && r.From != from {
+		return false
+	}
+	if r.To != AnyNode && r.To != to {
+		return false
+	}
+	if r.Type != packet.TypeInvalid && (len(raw) == 0 || packet.MsgType(raw[0]) != r.Type) {
+		return false
+	}
+	return true
+}
+
+// inPartition reports whether a control frame touching node is inside a
+// partition window at the current virtual time.
+func (inj *Injector) inPartition(node topo.NodeID) bool {
+	now := inj.net.Eng.Now()
+	for _, p := range inj.plan.Partitions {
+		if p.Node != AnyNode && p.Node != node {
+			continue
+		}
+		if now >= p.From && now < p.Until {
+			return true
+		}
+	}
+	return false
+}
+
+// corruptDetectably damages raw in place so that the receiver's decode
+// is guaranteed to fail — the model of a frame whose CRC catches the
+// damage. Even draws truncate; odd draws set the type byte's high bit
+// (an unknown message type), exercising both decode error paths.
+func corruptDetectably(r *rand.Rand, raw []byte) []byte {
+	if len(raw) == 0 {
+		return raw
+	}
+	if r.Intn(2) == 0 {
+		return raw[:r.Intn(len(raw))]
+	}
+	raw[0] |= 0x80
+	return raw
+}
+
+// Inspect implements dataplane.FaultInjector. Targeted rules run first
+// (consuming no randomness), then partition windows, then the rate
+// draws — each kind from its own stream, each gated on a nonzero rate.
+// All corruption rewrites alias raw's allocation, as the interface
+// requires.
+func (inj *Injector) Inspect(class dataplane.FaultClass, from, to topo.NodeID, raw []byte) ([]byte, dataplane.FaultAction) {
+	inj.Stats.Inspected++
+	var act dataplane.FaultAction
+
+	for i := range inj.plan.Rules {
+		if !inj.matchRule(i, class, from, to, raw) {
+			continue
+		}
+		if inj.ruleLeft[i] > 0 {
+			inj.ruleLeft[i]--
+		}
+		inj.ruleHits[i]++
+		switch inj.plan.Rules[i].Action {
+		case ActDrop:
+			inj.Stats.RuleDrops++
+			act.Drop = true
+			return raw, act
+		case ActDuplicate:
+			inj.Stats.RuleDups++
+			act.Duplicate = true
+		case ActCorrupt:
+			inj.Stats.RuleCorrupts++
+			raw = raw[:len(raw)/2]
+		}
+		break // first matching rule wins
+	}
+
+	if class != dataplane.FaultData && len(inj.plan.Partitions) > 0 {
+		node := from
+		if class == dataplane.FaultControlDown {
+			node = to
+		}
+		if inj.inPartition(node) {
+			inj.Stats.PartitionDrops++
+			act.Drop = true
+			return raw, act
+		}
+	}
+
+	rates := inj.classRates(class)
+	streams := &inj.rng[class]
+	if rates.Drop > 0 && streams[kindDrop].Float64() < rates.Drop {
+		inj.Stats.Dropped++
+		act.Drop = true
+		return raw, act
+	}
+	if rates.Duplicate > 0 && streams[kindDuplicate].Float64() < rates.Duplicate {
+		inj.Stats.Duplicated++
+		act.Duplicate = true
+	}
+	if rates.Corrupt > 0 && streams[kindCorrupt].Float64() < rates.Corrupt {
+		inj.Stats.Corrupted++
+		raw = corruptDetectably(streams[kindCorrupt], raw)
+	}
+	if rates.Reorder > 0 && rates.ReorderBy > 0 && streams[kindReorder].Float64() < rates.Reorder {
+		inj.Stats.Reordered++
+		act.Delay += time.Duration(1 + streams[kindReorder].Int63n(int64(rates.ReorderBy)))
+	}
+	if rates.Jitter > 0 {
+		inj.Stats.Jittered++
+		act.Delay += time.Duration(streams[kindJitter].Int63n(int64(rates.Jitter) + 1))
+	}
+	return raw, act
+}

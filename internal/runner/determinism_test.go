@@ -117,3 +117,33 @@ func TestFig8DeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultSweepDeterministicAcrossWorkerCounts runs the chaos sweep —
+// per-trial fault injection plus the every-step invariant auditor — at
+// several worker counts and requires byte-identical merged results,
+// rendered table included: the injector's split PRNG streams and the
+// auditor's sweeps are strictly per-trial state, so sharding must not
+// leak into them.
+func TestFaultSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) (string, []runner.Result) {
+		r, err := experiments.FaultSweep([]float64{0, 0.1}, []float64{0.1}, 1, 1, 2, 1,
+			experiments.RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r.String(), stripHost(r.Trials)
+	}
+	seqTable, seq := run(1)
+	if len(seq) == 0 {
+		t.Fatal("fault sweep produced no trials")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		parTable, par := run(workers)
+		if parTable != seqTable {
+			t.Fatalf("faults workers=%d rendered a different table:\n%s\nvs\n%s", workers, parTable, seqTable)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("faults workers=%d produced different merged results", workers)
+		}
+	}
+}

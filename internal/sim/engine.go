@@ -98,6 +98,12 @@ type Engine struct {
 	// Strict makes scheduling into the past a panic instead of silently
 	// clamping to now, so protocol bugs surface in tests.
 	Strict bool
+	// AfterStep, when set, runs after every executed event. It is the
+	// observation hook of the continuous invariant auditor
+	// (internal/audit): it must only read simulation state, never
+	// schedule events or draw from the engine's random streams, so an
+	// audited run stays step-for-step identical to an unaudited one.
+	AfterStep func()
 }
 
 // New returns an engine whose random streams are derived from seed.
@@ -235,6 +241,9 @@ func (e *Engine) Step() bool {
 		fn()
 	} else {
 		afn(arg)
+	}
+	if e.AfterStep != nil {
+		e.AfterStep()
 	}
 	return true
 }

@@ -11,11 +11,13 @@ import (
 	"math/rand"
 	"time"
 
+	"p4update/internal/audit"
 	"p4update/internal/central"
 	"p4update/internal/controlplane"
 	"p4update/internal/core"
 	"p4update/internal/dataplane"
 	"p4update/internal/ezsegway"
+	"p4update/internal/faults"
 	"p4update/internal/packet"
 	"p4update/internal/plancache"
 	"p4update/internal/sim"
@@ -107,6 +109,23 @@ type Config struct {
 	// distinct (flow, paths, version, ...) plan is computed once per
 	// grid and cloned cheaply — shared immutably — into every trial.
 	Plans *plancache.Cache
+
+	// Faults, when set, attaches the deterministic chaos harness
+	// (internal/faults) to the fabric. The plan is copied per system; a
+	// zero plan Seed is replaced by this config's Seed so grid sweeps
+	// get independent chaos per trial without spelling it out.
+	Faults *faults.Plan
+	// AuditEvery, when positive, attaches the continuous invariant
+	// auditor (internal/audit) sweeping every AuditEvery engine steps.
+	// The capacity invariant follows Congestion: unconstrained setups
+	// legitimately overbook links.
+	AuditEvery int
+	// ProbeTimeout arms the controller-side end-to-end completion
+	// watchdog (probe re-injection / indication re-send; see
+	// controlplane.Controller.ProbeTimeout). Zero disables it.
+	ProbeTimeout time.Duration
+	// MaxStallReports bounds per-node §11 stall reporting (0 = default).
+	MaxStallReports int
 }
 
 // System is a fully wired system under one update strategy: engine,
@@ -121,6 +140,10 @@ type System struct {
 	// EZ is non-nil under EZSegway, CO under Central.
 	EZ *ezsegway.Controller
 	CO *central.Coordinator
+	// Inj is the attached fault injector (nil without Config.Faults);
+	// Aud the attached invariant auditor (nil without AuditEvery).
+	Inj *faults.Injector
+	Aud *audit.Auditor
 }
 
 // New builds switches for every node of g, wires the fabric and a
@@ -140,6 +163,7 @@ func New(g *topo.Topology, cfg Config) *System {
 			Congestion:      cfg.Congestion,
 			AllowChainedDL:  cfg.ChainedDL,
 			WatchdogTimeout: cfg.WatchdogTimeout,
+			MaxStallReports: cfg.MaxStallReports,
 		})
 	}
 
@@ -169,6 +193,7 @@ func New(g *topo.Topology, cfg Config) *System {
 	}
 	ctl := controlplane.NewController(net, node)
 	ctl.MaxRetriggers = cfg.MaxRetriggers
+	ctl.ProbeTimeout = cfg.ProbeTimeout
 	if cfg.Plans != nil {
 		ctl.Plans = cfg.Plans.P4()
 	}
@@ -212,6 +237,19 @@ func New(g *topo.Topology, cfg Config) *System {
 		for _, sw := range net.Switches() {
 			sw.TwoPhase = true
 		}
+	}
+	if cfg.Faults != nil {
+		plan := *cfg.Faults
+		if plan.Seed == 0 {
+			plan.Seed = cfg.Seed ^ 0xfa17
+		}
+		s.Inj = faults.Attach(net, plan)
+	}
+	if cfg.AuditEvery > 0 {
+		s.Aud = audit.Attach(net, ctl, audit.Config{
+			Every:      cfg.AuditEvery,
+			NoCapacity: !cfg.Congestion,
+		})
 	}
 	return s
 }
