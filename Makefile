@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke fuzz-smoke faults-smoke check clean
+.PHONY: all build vet lint test race bench bench-smoke fuzz-smoke faults-smoke check clean
 
 all: check
 
@@ -10,6 +10,14 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint gates on vet plus canonical formatting: any file gofmt would
+# rewrite fails the build with its name printed.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -17,9 +25,11 @@ test:
 # packages carry the pooled engine and the shared path oracle, the
 # plancache serves all trial workers concurrently, so all four run
 # under the race detector — as do faults and audit, whose per-trial
-# injectors and auditors execute inside concurrently sharded trials.
+# injectors and auditors execute inside concurrently sharded trials,
+# and trace, whose per-trial recorders must stay disjoint across
+# workers.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/... ./internal/trace/...
 
 # Hot-path microbenchmarks (engine schedule/step) plus the end-to-end
 # Fig. 7 trial benchmark. Results are tracked in BENCH_hotpath.json and
@@ -45,7 +55,7 @@ fuzz-smoke:
 faults-smoke:
 	$(GO) run ./cmd/p4update -exp faults -runs 2 -loss 0,0.1 -reorder 0.1 -audit-every 1
 
-check: vet build test race
+check: lint build test race
 
 clean:
 	$(GO) clean ./...

@@ -27,6 +27,7 @@ import (
 	"p4update"
 	"p4update/internal/experiments"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 )
 
 func main() {
@@ -44,10 +45,17 @@ func main() {
 		crash      = flag.Int("crash", 0, "faults: scheduled switch crash/restart cycles per trial")
 		auditEvery = flag.Int("audit-every", 1, "faults: invariant-audit period in engine steps")
 		jsonPath   = flag.String("json", "", "write per-trial metrics to this JSON file")
+		tracePath  = flag.String("trace", "", "record a protocol flight-recorder log of the first trial to this file")
+		traceFmt   = flag.String("trace-format", "jsonl", "trace export format: jsonl|chrome (chrome://tracing / Perfetto)")
+		traceCap   = flag.Int("trace-cap", 0, "flight-recorder ring capacity in events (0 = default 16384)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
+		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (want jsonl|chrome)\n", *traceFmt)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -75,12 +83,18 @@ func main() {
 	}
 
 	opt := experiments.RunOptions{Workers: *workers}
+	var topt *trace.Options
+	if *tracePath != "" {
+		topt = &trace.Options{Cap: *traceCap}
+		opt.Trace = topt
+	}
 	var trials []p4update.TrialResult
+	var traceRec *trace.Recorder
 
 	start := time.Now()
 	switch *exp {
 	case "fig2":
-		runFig2(*seed)
+		traceRec = runFig2(*seed, topt)
 	case "fig4":
 		runFig4(*runs, *seed)
 	case "fig7":
@@ -92,7 +106,7 @@ func main() {
 	case "faults":
 		trials = append(trials, runFaults(*loss, *reorder, *crash, *auditEvery, *runs, *seed, opt)...)
 	case "all":
-		runFig2(*seed)
+		traceRec = runFig2(*seed, topt)
 		runFig4(*runs, *seed)
 		trials = append(trials, runFig7(*runs, *seed, *cdf, opt)...)
 		trials = append(trials, runFig8(*preps, *seed, opt)...)
@@ -110,6 +124,38 @@ func main() {
 		}
 		fmt.Printf("wrote %d trial records to %s\n", len(trials), *jsonPath)
 	}
+	if *tracePath != "" {
+		if traceRec == nil {
+			// Grid experiments: export the first traced trial (index order
+			// is deterministic, so this is always the same trial).
+			for _, t := range trials {
+				if t.TraceRec != nil {
+					traceRec = t.TraceRec
+					break
+				}
+			}
+		}
+		if traceRec == nil {
+			fail(fmt.Errorf("-trace: experiment %q produced no traced trial", *exp))
+		}
+		if err := writeTrace(*tracePath, *traceFmt, traceRec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d trace events to %s (%s)\n", traceRec.Recorded(), *tracePath, *traceFmt)
+	}
+}
+
+// writeTrace exports rec to path in the selected format.
+func writeTrace(path, format string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "chrome" {
+		return rec.WriteChrome(f)
+	}
+	return rec.WriteJSONL(f)
 }
 
 func fail(err error) {
@@ -117,16 +163,27 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func runFig2(seed int64) {
+func runFig2(seed int64, topt *trace.Options) *trace.Recorder {
 	fmt.Println("== Fig. 2: inconsistent updates (config (c) before delayed (b)) ==")
+	var rec *trace.Recorder
 	for _, kind := range []experiments.SystemKind{experiments.KindP4Update, experiments.KindEZSegway} {
-		r, err := experiments.Fig2(kind, seed)
+		// Only the first (P4Update) run is traced — the exported log
+		// covers one trial, like the grid experiments' trial 0.
+		var tr *trace.Options
+		if kind == experiments.KindP4Update {
+			tr = topt
+		}
+		r, trial, err := experiments.Fig2Opts(kind, seed, tr)
 		if err != nil {
 			fail(err)
+		}
+		if trial != nil {
+			rec = trial
 		}
 		fmt.Print(r)
 	}
 	fmt.Println()
+	return rec
 }
 
 func runFig4(runs int, seed int64) {

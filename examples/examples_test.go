@@ -1,0 +1,53 @@
+// Package examples_test smoke-tests every runnable example: each one
+// must build and run to completion with a zero exit status within a
+// short timeout. The examples double as executable documentation, so a
+// broken example is a broken doc.
+package examples_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build real binaries; skipped in -short mode")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := e.Name()
+		if _, err := os.Stat(filepath.Join(dir, "main.go")); err != nil {
+			continue
+		}
+		found++
+		t.Run(dir, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out:\n%s", dir, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", dir)
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no example programs found")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"p4update/internal/dataplane"
 	"p4update/internal/packet"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 )
 
 // Handler is the data-plane agent of the centralized baseline: a plain
@@ -32,12 +33,16 @@ func (h *Handler) HandleUIM(sw *dataplane.Switch, m *packet.UIM) {
 		st.IndicatedVersion = m.Version
 	}
 	if st.HasRule && m.Version <= st.NewVersion {
+		sw.Tracer().Verdict(int32(sw.ID), trace.CodeDuplicate,
+			uint32(m.Flow), m.Version, 0, 0)
 		return
 	}
 	newPort := dataplane.PortLocal
 	if m.EgressPort != packet.NoPort {
 		newPort = topo.PortID(int32(m.EgressPort))
 	}
+	sw.Tracer().Verdict(int32(sw.ID), trace.CodeApplyCentral,
+		uint32(m.Flow), m.Version, uint32(int32(newPort)), 0)
 	portChanged := !st.HasRule || st.EgressPort != newPort
 	sw.Apply(portChanged, func() {
 		if sw.CommitState(m.Flow, dataplane.Commit{
@@ -249,6 +254,7 @@ func (c *Coordinator) pushRound(r *run) {
 	if len(batch) == 0 {
 		return // wait for outstanding ACKs to unlock progress
 	}
+	c.Ctl.Eng.Trace.Round(uint32(r.flow), r.version, uint32(len(batch)))
 	t := c.Ctl.Topo
 	now := c.Ctl.Eng.Now()
 	if c.busyUntil < now {

@@ -8,6 +8,7 @@ import (
 	"p4update/internal/packet"
 	"p4update/internal/sim"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 )
 
 // FlowRecord is one Flow-DB entry.
@@ -269,6 +270,8 @@ func (c *Controller) armUpdateWatchdog(u *UpdateStatus) {
 			return
 		}
 		u.Retriggers++
+		c.Eng.Trace.Watchdog(trace.NodeController,
+			uint32(u.Flow), u.Version, uint32(u.Retriggers))
 		switch {
 		case u.AllApplied > 0:
 			// Every node committed but the probe confirmation never came
@@ -323,6 +326,10 @@ func (c *Controller) receive(from topo.NodeID, raw []byte) {
 	if err != nil {
 		return
 	}
+	if tr := c.Eng.Trace; tr != nil {
+		flow, ver := dataplane.MsgMeta(m)
+		tr.Recv(trace.NodeController, uint8(m.Type()), int32(from), flow, ver)
+	}
 	switch m := m.(type) {
 	case *packet.FRM:
 		if _, known := c.flows[m.Flow]; !known && c.OnNewFlow != nil {
@@ -364,6 +371,8 @@ func (c *Controller) handleUFM(m *packet.UFM) {
 		// the coordination restarts from the egress.
 		if ok && !u.Done() && u.Plan != nil && u.Retriggers < c.MaxRetriggers {
 			u.Retriggers++
+			c.Eng.Trace.Watchdog(trace.NodeController,
+				uint32(u.Flow), u.Version, uint32(u.Retriggers))
 			for i, uim := range u.Plan.UIMs {
 				c.Net.SendToSwitch(u.Plan.Targets[i], uim, 0)
 			}

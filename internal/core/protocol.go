@@ -6,6 +6,7 @@ import (
 	"p4update/internal/dataplane"
 	"p4update/internal/packet"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 )
 
 // Protocol is the P4Update data-plane handler: it wires the verification
@@ -82,6 +83,8 @@ func (p *Protocol) HandleUIM(sw *dataplane.Switch, m *packet.UIM) {
 	// a mismatching indication is discarded and reported.
 	if p.Congestion && st.HasRule && st.FlowSizeK != 0 &&
 		m.FlowSizeK != st.FlowSizeK {
+		sw.Tracer().Verdict(int32(sw.ID), trace.CodeRejectFlowSize,
+			uint32(m.Flow), m.Version, uint32(m.FlowSizeK), uint32(st.FlowSizeK))
 		sw.Alarm(m.Flow, m.Version, packet.ReasonFlowSize)
 		return
 	}
@@ -97,14 +100,19 @@ func (p *Protocol) HandleUIM(sw *dataplane.Switch, m *packet.UIM) {
 		// §7.2: the egress applies directly once the indication is well
 		// formed (new distance 0, newer version).
 		if m.NewDistance != 0 {
+			sw.Tracer().Verdict(int32(sw.ID), trace.CodeRejectDistance,
+				uint32(m.Flow), m.Version, uint32(m.NewDistance), 0)
 			sw.Alarm(m.Flow, m.Version, packet.ReasonDistance)
 			return
 		}
+		sw.Tracer().Verdict(int32(sw.ID), trace.CodeApplyEgress,
+			uint32(m.Flow), m.Version, 0, 0)
 		p.stageApply(sw, m.Flow, st, m, Verdict{
 			Decision:  DecisionApply,
 			OldVer:    st.NewVersion,
 			Inherited: 0, // the egress anchors segment ID 0
 			Counter:   0,
+			Code:      trace.CodeApplyEgress,
 		})
 	case m.UpdateType == packet.UpdateDual && m.Role.Has(packet.RoleGateway):
 		// Dual-layer early emission: every segment egress-gateway
@@ -144,6 +152,8 @@ func (p *Protocol) armWatchdog(sw *dataplane.Switch, flow packet.FlowID, version
 			return // budget spent; controller-side recovery takes over
 		}
 		cur.StallReports++
+		sw.Tracer().Watchdog(int32(sw.ID), uint32(flow), version,
+			uint32(cur.StallReports))
 		sw.SendUFM(&packet.UFM{
 			Flow: flow, Version: version, Status: packet.StatusStalled,
 		})
@@ -164,6 +174,8 @@ func (p *Protocol) HandleUNM(sw *dataplane.Switch, m *packet.UNM, inPort topo.Po
 	} else {
 		v = VerifyDL(st, m, p.AllowChainedDL)
 	}
+	sw.Tracer().Verdict(int32(sw.ID), v.Code,
+		uint32(m.Flow), m.Vn, uint32(m.Dn), uint32(m.Do))
 
 	switch v.Decision {
 	case DecisionWaitUIM:
@@ -186,6 +198,8 @@ func (p *Protocol) HandleUNM(sw *dataplane.Switch, m *packet.UNM, inPort topo.Po
 			// notification may still carry a smaller inherited distance,
 			// so re-verify once the install commits (it will then take
 			// the branch-3 inheritance path).
+			sw.Tracer().Verdict(int32(sw.ID), trace.CodeWaitUIM,
+				uint32(m.Flow), m.Vn, uint32(m.Dn), uint32(m.Do))
 			cp := *m
 			sw.ParkOnUIM(m.Flow, func() { p.HandleUNM(sw, &cp, inPort) })
 			return
@@ -298,11 +312,17 @@ func (p *Protocol) congestionGate(sw *dataplane.Switch, m *packet.UNM, inPort to
 	// capacity this flow currently occupies, this flow's move is what
 	// frees it — it becomes high priority.
 	if st.HasRule && sw.HasCapacityWaiters(st.EgressPort) {
+		if st.Priority != dataplane.PriorityHigh {
+			sw.Tracer().Verdict(int32(sw.ID), trace.CodePriorityPromote,
+				uint32(m.Flow), m.Vn, uint32(int32(st.EgressPort)), uint32(int32(newPort)))
+		}
 		st.Priority = dataplane.PriorityHigh
 	}
 	if sw.RemainingK(newPort) < uint64(uim.FlowSizeK) {
 		// Insufficient capacity: every flow that wants to move away from
 		// this link becomes high priority so it can free the capacity.
+		sw.Tracer().Verdict(int32(sw.ID), trace.CodeCapacityBlock,
+			uint32(m.Flow), m.Vn, uint32(int32(newPort)), uint32(uim.FlowSizeK))
 		sw.RaisePriorityOfMoversFrom(newPort)
 		if st.Priority == dataplane.PriorityHigh {
 			sw.MarkHighWaiting(newPort, m.Flow)
@@ -314,6 +334,8 @@ func (p *Protocol) congestionGate(sw *dataplane.Switch, m *packet.UNM, inPort to
 	// Capacity suffices, but a low-priority flow must let waiting
 	// high-priority flows onto the link first.
 	if st.Priority == dataplane.PriorityLow && sw.HighWaitingOn(newPort, m.Flow) {
+		sw.Tracer().Verdict(int32(sw.ID), trace.CodePriorityYield,
+			uint32(m.Flow), m.Vn, uint32(int32(newPort)), uint32(uim.FlowSizeK))
 		cp := *m
 		sw.ParkOnCapacity(newPort, func() { p.HandleUNM(sw, &cp, inPort) })
 		return false

@@ -17,6 +17,7 @@ package core
 import (
 	"p4update/internal/dataplane"
 	"p4update/internal/packet"
+	"p4update/internal/trace"
 )
 
 // Decision is the outcome class of a verification step.
@@ -76,6 +77,11 @@ type Verdict struct {
 	OldVer    uint32 // old_version to record on apply
 	Inherited uint16 // old_distance (segment ID) to record
 	Counter   uint16 // counter to record
+	// Code labels the exact branch that produced the verdict for the
+	// flight recorder's decision log; it refines Decision (e.g. the two
+	// inherit arms — smaller distance vs. hop-counter symmetry break —
+	// share DecisionInherit but carry distinct codes).
+	Code trace.Code
 }
 
 // appliedVersion returns the node's applied configuration version (0 for
@@ -100,19 +106,19 @@ func VerifySL(st *dataplane.FlowState, m *packet.UNM) Verdict {
 	uim := st.UIM
 	// Line 9-10: the notification is ahead of our indication; wait.
 	if uim == nil || m.Vn > uim.Version {
-		return Verdict{Decision: DecisionWaitUIM}
+		return Verdict{Decision: DecisionWaitUIM, Code: trace.CodeWaitUIM}
 	}
 	// Line 11-12: the notification is outdated; drop and inform.
 	if m.Vn < uim.Version {
-		return Verdict{Decision: DecisionReject, Reason: packet.ReasonOutdated}
+		return Verdict{Decision: DecisionReject, Reason: packet.ReasonOutdated, Code: trace.CodeRejectOutdated}
 	}
 	// Versions match (line 4). Discard echoes for configs we already run.
 	if appliedVersion(st) >= m.Vn {
-		return Verdict{Decision: DecisionDuplicate}
+		return Verdict{Decision: DecisionDuplicate, Code: trace.CodeDuplicate}
 	}
 	// Line 5: the parent's new distance must be exactly one smaller.
 	if !distanceMatches(uim.NewDistance, m.Dn) {
-		return Verdict{Decision: DecisionReject, Reason: packet.ReasonDistance}
+		return Verdict{Decision: DecisionReject, Reason: packet.ReasonDistance, Code: trace.CodeRejectDistance}
 	}
 	// Line 6: verification successful. A single-layer update archives the
 	// previous configuration into the old_* registers.
@@ -121,6 +127,7 @@ func VerifySL(st *dataplane.FlowState, m *packet.UNM) Verdict {
 		OldVer:    appliedVersion(st),
 		Inherited: st.CurrentDistance(),
 		Counter:   0,
+		Code:      trace.CodeApplySL,
 	}
 }
 
@@ -132,11 +139,11 @@ func VerifyDL(st *dataplane.FlowState, m *packet.UNM, allowChainedDL bool) Verdi
 	uim := st.UIM
 	// Lines 4-5: wait until the matching UIM arrives.
 	if uim == nil || m.Vn > uim.Version {
-		return Verdict{Decision: DecisionWaitUIM}
+		return Verdict{Decision: DecisionWaitUIM, Code: trace.CodeWaitUIM}
 	}
 	// Lines 6-7: outdated update; drop and inform.
 	if m.Vn < uim.Version {
-		return Verdict{Decision: DecisionReject, Reason: packet.ReasonOutdated}
+		return Verdict{Decision: DecisionReject, Reason: packet.ReasonOutdated, Code: trace.CodeRejectOutdated}
 	}
 	applied := appliedVersion(st)
 
@@ -145,24 +152,25 @@ func VerifyDL(st *dataplane.FlowState, m *packet.UNM, allowChainedDL bool) Verdi
 		// Lines 9-16: node inside a segment — fresh or lagging by more
 		// than one version. It inherits the parent's old distance.
 		if !distanceMatches(uim.NewDistance, m.Dn) {
-			return Verdict{Decision: DecisionReject, Reason: packet.ReasonDistance}
+			return Verdict{Decision: DecisionReject, Reason: packet.ReasonDistance, Code: trace.CodeRejectDistance}
 		}
 		return Verdict{
 			Decision:  DecisionApply,
 			OldVer:    m.Vn - 1, // line 13
 			Inherited: m.Do,     // line 14
 			Counter:   m.Counter + 1,
+			Code:      trace.CodeApplyDLSegment,
 		}
 
 	case applied+1 == m.Vn && m.Vn == m.Vo+1:
 		// Lines 17-23: gateway node (end/start of a segment).
 		if !distanceMatches(uim.NewDistance, m.Dn) {
-			return Verdict{Decision: DecisionReject, Reason: packet.ReasonDistance}
+			return Verdict{Decision: DecisionReject, Reason: packet.ReasonDistance, Code: trace.CodeRejectDistance}
 		}
 		if st.LastType == packet.UpdateDual && !allowChainedDL {
 			// Base algorithm: a dual-layer update must follow a
 			// single-layer one; drop and await a later configuration.
-			return Verdict{Decision: DecisionWaitDependency}
+			return Verdict{Decision: DecisionWaitDependency, Code: trace.CodeWaitDependency}
 		}
 		// Line 19: the proposed segment ID must be strictly smaller than
 		// the node's current distance, else the move could close a loop.
@@ -172,26 +180,35 @@ func VerifyDL(st *dataplane.FlowState, m *packet.UNM, allowChainedDL bool) Verdi
 				OldVer:    m.Vo, // line 21
 				Inherited: m.Do,
 				Counter:   m.Counter + 1,
+				Code:      trace.CodeApplyDLGateway,
 			}
 		}
-		return Verdict{Decision: DecisionWaitDependency}
+		return Verdict{Decision: DecisionWaitDependency, Code: trace.CodeWaitDependency}
 
 	case applied == m.Vn && st.OldVersion == m.Vo:
 		// Lines 24-28: already updated; pass smaller old distances
 		// upstream (iterative inheritance), counter breaks ties.
 		if st.NewDistance == uim.NewDistance && distanceMatches(uim.NewDistance, m.Dn) {
-			if st.OldDistance > m.Do ||
-				(st.OldDistance == m.Do && st.Counter > m.Counter) {
+			if st.OldDistance > m.Do {
 				return Verdict{
 					Decision:  DecisionInherit,
 					Inherited: m.Do,
 					Counter:   m.Counter + 1,
+					Code:      trace.CodeInherit,
+				}
+			}
+			if st.OldDistance == m.Do && st.Counter > m.Counter {
+				return Verdict{
+					Decision:  DecisionInherit,
+					Inherited: m.Do,
+					Counter:   m.Counter + 1,
+					Code:      trace.CodeInheritCounter,
 				}
 			}
 		}
-		return Verdict{Decision: DecisionDuplicate}
+		return Verdict{Decision: DecisionDuplicate, Code: trace.CodeDuplicate}
 
 	default:
-		return Verdict{Decision: DecisionDuplicate}
+		return Verdict{Decision: DecisionDuplicate, Code: trace.CodeDuplicate}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"p4update/internal/packet"
 	"p4update/internal/sim"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 )
 
 // FaultClass classifies a frame for the fault injector: the three
@@ -153,6 +154,43 @@ func (n *Network) peekFlowSlot(f packet.FlowID) (int32, bool) {
 // Pool returns the network's message/buffer pool.
 func (n *Network) Pool() *packet.Pool { return &n.pool }
 
+// Tracer returns the trial's flight recorder (nil = tracing off). All
+// recorder methods are nil-receiver-safe, so call sites may chain
+// without a guard; hot paths load it once and branch.
+func (n *Network) Tracer() *trace.Recorder { return n.Eng.Trace }
+
+// MsgMeta extracts the (flow, version) pair a protocol message carries,
+// for the flight recorder. Messages without a version report zero.
+func MsgMeta(m packet.Message) (flow uint32, ver uint32) {
+	switch m := m.(type) {
+	case *packet.UIM:
+		return uint32(m.Flow), m.Version
+	case *packet.UNM:
+		return uint32(m.Flow), m.Vn
+	case *packet.UFM:
+		return uint32(m.Flow), m.Version
+	case *packet.FRM:
+		return uint32(m.Flow), 0
+	case *packet.CLN:
+		return uint32(m.Flow), m.Version
+	case *packet.EZI:
+		return uint32(m.Flow), m.Version
+	case *packet.EZN:
+		return uint32(m.Flow), m.Version
+	}
+	return 0, 0
+}
+
+// recordSend logs an outbound protocol frame. Data packets are the
+// per-packet forwarding hot path and are deliberately not traced (probe
+// outcomes surface as StatusProbeOK UFMs).
+func (n *Network) recordSend(tr *trace.Recorder, from, to topo.NodeID, m packet.Message) {
+	if t := m.Type(); t != packet.TypeData {
+		f, v := MsgMeta(m)
+		tr.Send(int32(from), uint8(t), int32(to), f, v)
+	}
+}
+
 // FlowIDs returns every flow interned by the fabric in deterministic
 // first-touch order. The slice is owned by the network: callers (the
 // invariant auditor) must treat it as read-only.
@@ -224,6 +262,9 @@ func (n *Network) SendPort(from topo.NodeID, port topo.PortID, m packet.Message)
 	if n.switches[from].down {
 		return // a crashed switch transmits nothing
 	}
+	if tr := n.Eng.Trace; tr != nil {
+		n.recordSend(tr, from, to, m)
+	}
 	raw := m.SerializeTo(n.pool.GetBuf())
 	if n.Drop != nil && n.Drop(from, to, raw) {
 		n.pool.PutBuf(raw)
@@ -279,6 +320,9 @@ func (n *Network) SendToController(from topo.NodeID, m packet.Message) {
 	if n.switches[from].down {
 		return // a crashed switch transmits nothing
 	}
+	if tr := n.Eng.Trace; tr != nil {
+		n.recordSend(tr, from, NodeController, m)
+	}
 	raw := m.SerializeTo(n.pool.GetBuf())
 	if n.DropControl != nil && n.DropControl(from, true, raw) {
 		n.pool.PutBuf(raw)
@@ -318,6 +362,9 @@ func (n *Network) SendToController(from topo.NodeID, m packet.Message) {
 // after the control-channel latency. The extraDelay parameter lets
 // callers model per-message controller-side queuing.
 func (n *Network) SendToSwitch(node topo.NodeID, m packet.Message, extraDelay time.Duration) {
+	if tr := n.Eng.Trace; tr != nil {
+		n.recordSend(tr, NodeController, node, m)
+	}
 	raw := m.SerializeTo(n.pool.GetBuf())
 	if n.DropControl != nil && n.DropControl(node, false, raw) {
 		n.pool.PutBuf(raw)

@@ -5,6 +5,7 @@ import (
 
 	"p4update/internal/packet"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 )
 
 // Handler implements an update protocol on top of the switch substrate.
@@ -156,6 +157,23 @@ func (sw *Switch) SetHandler(h Handler) { sw.handler = h }
 // Network returns the fabric the switch is attached to.
 func (sw *Switch) Network() *Network { return sw.net }
 
+// Tracer returns the trial's flight recorder (nil = tracing off); the
+// protocol handlers record their verdicts through it.
+func (sw *Switch) Tracer() *trace.Recorder { return sw.net.Eng.Trace }
+
+// recordRecv logs a decoded inbound protocol frame, resolving the
+// arrival port to the peer node (controller frames arrive portless).
+func (sw *Switch) recordRecv(tr *trace.Recorder, m packet.Message, inPort topo.PortID) {
+	peer := int32(NodeController)
+	if inPort >= 0 {
+		if nb, ok := sw.net.Topo.NeighborAt(sw.ID, inPort); ok {
+			peer = int32(nb)
+		}
+	}
+	f, v := MsgMeta(m)
+	tr.Recv(int32(sw.ID), uint8(m.Type()), peer, f, v)
+}
+
 // Now returns the current virtual time.
 func (sw *Switch) Now() time.Duration { return sw.net.Eng.Now() }
 
@@ -223,6 +241,9 @@ func (sw *Switch) Receive(raw []byte, inPort topo.PortID) {
 	if err != nil {
 		sw.Stats.DecodeErrors++
 		return
+	}
+	if tr := sw.net.Eng.Trace; tr != nil && m.Type() != packet.TypeData {
+		sw.recordRecv(tr, m, inPort)
 	}
 	switch m := m.(type) {
 	case *packet.Data:
@@ -364,6 +385,7 @@ func (sw *Switch) SendUFM(m *packet.UFM) {
 // inform controller" arms of Alg. 1/Alg. 2).
 func (sw *Switch) Alarm(f packet.FlowID, version uint32, reason packet.AlarmReason) {
 	sw.Stats.AlarmsSent++
+	sw.net.Eng.Trace.Alarm(int32(sw.ID), uint8(reason), uint32(f), version)
 	sw.SendUFM(&packet.UFM{
 		Flow: f, Version: version, Status: packet.StatusAlarm, Reason: reason,
 	})
@@ -553,6 +575,10 @@ func (sw *Switch) RaisePriorityOfMoversFrom(port topo.PortID) {
 			if st.UIM.EgressPort == packet.NoPort {
 				dest = PortLocal
 			}
+			if tr := sw.net.Eng.Trace; tr != nil {
+				tr.Verdict(int32(sw.ID), trace.CodePriorityPromote,
+					uint32(sw.net.flowIDs[i]), st.UIM.Version, uint32(int32(dest)), uint32(int32(port)))
+			}
 			sw.MarkHighWaiting(dest, sw.net.flowIDs[i])
 		}
 	}
@@ -602,6 +628,7 @@ func (sw *Switch) Crash() {
 	sw.down = true
 	sw.epoch++
 	sw.Stats.Crashes++
+	sw.net.Eng.Trace.Crash(int32(sw.ID), sw.epoch)
 	// Clear waiter lists before releasing staged reservations so the
 	// releases' wakeCapacityWaiters find nothing to reschedule.
 	for i := range sw.capWaiters {
@@ -641,6 +668,7 @@ func (sw *Switch) Restore() {
 	}
 	sw.down = false
 	sw.Stats.Restores++
+	sw.net.Eng.Trace.Restore(int32(sw.ID), sw.epoch)
 }
 
 // Down reports whether the switch is currently crashed.
@@ -740,6 +768,9 @@ func (sw *Switch) CommitState(f packet.FlowID, c Commit) bool {
 	st.Priority = PriorityLow
 	sw.ClearHighWaiting(c.Port, f)
 	sw.Stats.RulesApplied++
+	if tr := sw.net.Eng.Trace; tr != nil {
+		tr.Commit(int32(sw.ID), uint32(f), c.Version, int32(c.Port), uint32(c.Distance))
+	}
 	if sw.net.OnApply != nil {
 		sw.net.OnApply(sw.ID, f, c.Version)
 	}

@@ -15,6 +15,7 @@ import (
 	"p4update/internal/packet"
 	"p4update/internal/runner"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 	"p4update/internal/traffic"
 	"p4update/internal/wiring"
 )
@@ -69,6 +70,11 @@ type RunOptions struct {
 	// Timeout bounds each trial's wall-clock execution (0 = none); a
 	// timed-out trial is recorded as a failed run.
 	Timeout time.Duration
+	// Trace, when set, attaches a flight recorder to every trial of the
+	// grid (one recorder per trial — the pool shares nothing, so traced
+	// parallel runs stay deterministic). Each trial's report then carries
+	// a trace summary, and its Metrics.TraceRec exposes the full log.
+	Trace *trace.Options
 }
 
 // Pool builds the trial pool for these options.

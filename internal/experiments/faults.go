@@ -10,6 +10,7 @@ import (
 	"p4update/internal/plancache"
 	"p4update/internal/runner"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 	"p4update/internal/traffic"
 	"p4update/internal/wiring"
 )
@@ -154,7 +155,7 @@ func FaultSweep(lossRates, reorderRates []float64, crashes, auditEvery, runs int
 	for _, kind := range AllSystems {
 		for _, cell := range cells {
 			for run := 0; run < runs; run++ {
-				trials = append(trials, faultTrial(g, plans, workloads, kind, cell, crashes, auditEvery, run, seed))
+				trials = append(trials, faultTrial(g, plans, workloads, kind, cell, crashes, auditEvery, run, seed, opt.Trace))
 			}
 		}
 	}
@@ -197,10 +198,11 @@ func FaultSweep(lossRates, reorderRates []float64, crashes, auditEvery, runs int
 // under the cell's fault plan with the §11 recovery machinery armed and
 // the auditor attached.
 func faultTrial(g *topo.Topology, plans *plancache.Cache, workloads *workloadCache,
-	kind SystemKind, cell FaultCell, crashes, auditEvery, run int, seed int64) runner.Trial {
+	kind SystemKind, cell FaultCell, crashes, auditEvery, run int, seed int64, tr *trace.Options) runner.Trial {
 	cfg := DefaultBedConfig()
 	wcfg := cfg.WiringConfig(kind, seed+int64(run))
 	wcfg.Plans = plans
+	wcfg.Trace = tr
 	wcfg.WatchdogTimeout = faultWatchdog
 	wcfg.ProbeTimeout = faultWatchdog
 	wcfg.MaxRetriggers = 25

@@ -10,6 +10,8 @@ import (
 	"p4update/internal/ezsegway"
 	"p4update/internal/packet"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
+	"p4update/internal/wiring"
 )
 
 // PacketObs is one observed packet reception.
@@ -56,16 +58,26 @@ func uniqueSeqs(obs []PacketObs) map[uint32]int {
 // v4; configuration (c) deploys at 200 ms, configuration (b)'s delayed
 // messages arrive at 600 ms.
 func Fig2(kind SystemKind, seed int64) (*Fig2Result, error) {
+	res, _, err := Fig2Opts(kind, seed, nil)
+	return res, err
+}
+
+// Fig2Opts is Fig2 with an optional flight recorder attached to the
+// trial (nil tr runs untraced). The recorder is returned alongside the
+// result so callers can export the event log.
+func Fig2Opts(kind SystemKind, seed int64, tr *trace.Options) (*Fig2Result, *trace.Recorder, error) {
 	g, _, _, _ := topo.Fig2Scenario()
 	cfg := DefaultBedConfig()
-	b := NewBed(kind, g, seed, cfg)
+	wcfg := cfg.WiringConfig(kind, seed)
+	wcfg.Trace = tr
+	b := &Bed{Kind: kind, System: wiring.New(g, wcfg)}
 
 	pathA := []topo.NodeID{0, 1, 2, 3, 4}
 	pathB := []topo.NodeID{0, 1, 2, 4}
 	pathC := []topo.NodeID{0, 3, 1, 2, 4}
 	f, err := b.Ctl.RegisterFlow(0, 4, pathA, 1000)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rec, _ := b.Ctl.Flow(f)
 
@@ -91,11 +103,11 @@ func Fig2(kind SystemKind, seed int64) (*Fig2Result, error) {
 	case KindEZSegway:
 		planB, err := ezsegway.PreparePlan(g, f, pathA, pathB, 2, rec.SizeK, 0)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		planC, err := ezsegway.PreparePlan(g, f, pathB, pathC, 3, rec.SizeK, 0)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sendC = func() {
 			for i := range planC.Msgs {
@@ -111,11 +123,11 @@ func Fig2(kind SystemKind, seed int64) (*Fig2Result, error) {
 		sl := packet.UpdateSingle
 		planB, err := controlplane.PreparePlan(g, f, pathA, pathB, 2, rec.SizeK, &sl)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		planC, err := controlplane.PreparePlan(g, f, pathB, pathC, 3, rec.SizeK, &sl)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sendC = func() {
 			for i := range planC.UIMs {
@@ -128,7 +140,7 @@ func Fig2(kind SystemKind, seed int64) (*Fig2Result, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("fig2 compares P4Update and ez-Segway only")
+		return nil, nil, fmt.Errorf("fig2 compares P4Update and ez-Segway only")
 	}
 
 	b.Eng.Schedule(res.WindowStart, sendC)
@@ -162,5 +174,5 @@ func Fig2(kind SystemKind, seed int64) (*Fig2Result, error) {
 			res.LostAtV4++
 		}
 	}
-	return res, nil
+	return res, b.Trace, nil
 }

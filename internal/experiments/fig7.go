@@ -137,6 +137,7 @@ func Fig7SingleFlowOpts(mk func() *topo.Topology, label string, runs int, seed i
 		cfg.NodeDelayMean = 100 * time.Millisecond
 		wcfg := cfg.WiringConfig(kind, seed+int64(run))
 		wcfg.Plans = plans
+		wcfg.Trace = opt.Trace
 		return runner.BedTrial(
 			fmt.Sprintf("%s/%s/run%02d", label, kind, run), kind.String(),
 			g, wcfg,
@@ -186,6 +187,7 @@ func Fig7MultiFlowOpts(mk func() *topo.Topology, label string, fatTree bool, run
 		cfg.FatTreeControl = fatTree
 		wcfg := cfg.WiringConfig(kind, seed+int64(run))
 		wcfg.Plans = plans
+		wcfg.Trace = opt.Trace
 		return runner.BedTrial(
 			fmt.Sprintf("%s/%s/run%02d", label, kind, run), kind.String(),
 			g, wcfg,

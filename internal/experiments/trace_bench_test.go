@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"p4update/internal/plancache"
+	"p4update/internal/topo"
+	"p4update/internal/trace"
+	"p4update/internal/traffic"
+	"p4update/internal/wiring"
+)
+
+// runBenchTrial executes one Fig-7 synthetic single-flow P4Update trial,
+// optionally with a flight recorder attached.
+func runBenchTrial(tb testing.TB, g *topo.Topology, plans *plancache.Cache, spec traffic.FlowSpec, tr *trace.Options) *wiring.System {
+	cfg := DefaultBedConfig()
+	cfg.NodeDelayMean = 100 * time.Millisecond
+	wcfg := cfg.WiringConfig(KindP4Update, 1)
+	wcfg.Plans = plans
+	wcfg.Trace = tr
+	bed := &Bed{Kind: KindP4Update, System: wiring.New(g, wcfg)}
+	if err := bed.Register([]traffic.FlowSpec{spec}); err != nil {
+		tb.Fatal(err)
+	}
+	u, err := bed.Trigger(spec.ID(), spec.New)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bed.Eng.Run()
+	if u == nil || !u.Done() {
+		tb.Fatal("benchmark trial did not complete")
+	}
+	return bed.System
+}
+
+func benchFig7Trial(b *testing.B, tr *trace.Options) {
+	g := topo.Synthetic()
+	g.Freeze()
+	spec, err := singleFlowSpec(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := plancache.New(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBenchTrial(b, g, plans, spec, tr)
+	}
+}
+
+// BenchmarkFig7TrialUntraced is the zero-overhead baseline: the recorder
+// is nil, so every trace call must reduce to a nil check.
+func BenchmarkFig7TrialUntraced(b *testing.B) { benchFig7Trial(b, nil) }
+
+// BenchmarkFig7TrialTraced runs the same trial with the flight recorder
+// attached, bounding the cost of tracing a trial end to end.
+func BenchmarkFig7TrialTraced(b *testing.B) { benchFig7Trial(b, &trace.Options{}) }
+
+// TestTraceZeroVirtualOverhead locks in that attaching the recorder is
+// pure observation: the traced trial must make exactly the same
+// simulation — same quiescence instant, same event count, same update
+// time — as the untraced one.
+func TestTraceZeroVirtualOverhead(t *testing.T) {
+	g := topo.Synthetic()
+	g.Freeze()
+	spec, err := singleFlowSpec(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := plancache.New(g)
+	plain := runBenchTrial(t, g, plans, spec, nil)
+	traced := runBenchTrial(t, g, plans, spec, &trace.Options{})
+	if plain.Trace != nil {
+		t.Error("untraced trial carries a recorder")
+	}
+	if traced.Trace == nil || traced.Trace.Recorded() == 0 {
+		t.Fatal("traced trial recorded no events")
+	}
+	if a, b := plain.Eng.Now(), traced.Eng.Now(); a != b {
+		t.Errorf("virtual quiescence differs: untraced %v, traced %v", a, b)
+	}
+	if a, b := plain.Eng.Steps(), traced.Eng.Steps(); a != b {
+		t.Errorf("event count differs: untraced %d, traced %d", a, b)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"p4update/internal/dataplane"
 	"p4update/internal/packet"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 )
 
 // Plan is a prepared ez-Segway update.
@@ -266,10 +267,14 @@ func (h *Handler) handleEZN(sw *dataplane.Switch, m *packet.EZN) {
 	es := ezState(st)
 	if es.instr == nil || es.instr.Version < m.Version {
 		// Instruction not here yet: wait (resubmission).
+		sw.Tracer().Verdict(int32(sw.ID), trace.CodeWaitUIM,
+			uint32(m.Flow), m.Version, 0, 0)
 		sw.ParkOnUIM(m.Flow, func() { h.handleEZN(sw, m) })
 		return
 	}
 	if es.instr.Version > m.Version || es.applied {
+		sw.Tracer().Verdict(int32(sw.ID), trace.CodeDuplicate,
+			uint32(m.Flow), m.Version, 0, 0)
 		return // stale or duplicate notification
 	}
 	instr := es.instr
@@ -285,6 +290,8 @@ func (h *Handler) handleEZN(sw *dataplane.Switch, m *packet.EZN) {
 		// observe live capacity the way P4Update's dynamic scheduler does.
 		if dep := instr.DepFlow; dep != 0 && !es.depWaived {
 			if dst, ok := sw.PeekState(dep); ok && dst.HasRule && dst.EgressPort == newPort {
+				sw.Tracer().Verdict(int32(sw.ID), trace.CodeWaitDependency,
+					uint32(m.Flow), m.Version, uint32(dep), uint32(int32(newPort)))
 				sw.ParkOnCapacity(newPort, func() { h.handleEZN(sw, m) })
 				// Fallback: the static graph can contain cycles; waive
 				// the dependency after a timeout and retry on capacity
@@ -299,11 +306,15 @@ func (h *Handler) handleEZN(sw *dataplane.Switch, m *packet.EZN) {
 			}
 		}
 		if sw.RemainingK(newPort) < uint64(instr.FlowSizeK) {
+			sw.Tracer().Verdict(int32(sw.ID), trace.CodeCapacityBlock,
+				uint32(m.Flow), m.Version, uint32(int32(newPort)), uint32(instr.FlowSizeK))
 			sw.ParkOnCapacity(newPort, func() { h.handleEZN(sw, m) })
 			return
 		}
 		sw.StageReservation(m.Flow, newPort, instr.FlowSizeK, instr.Version)
 	}
+	sw.Tracer().Verdict(int32(sw.ID), trace.CodeApplyEZ,
+		uint32(m.Flow), m.Version, uint32(int32(newPort)), 0)
 	portChanged := !st.HasRule || st.EgressPort != newPort
 	sw.Apply(portChanged, func() {
 		ok := sw.CommitState(m.Flow, dataplane.Commit{

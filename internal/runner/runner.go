@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 	"p4update/internal/wiring"
 )
 
@@ -53,6 +54,13 @@ type Metrics struct {
 	Samples []time.Duration `json:"samples_ns,omitempty"`
 	// Values holds named scalar metrics (e.g. Fig. 8's "ratio").
 	Values map[string]float64 `json:"values,omitempty"`
+	// Trace summarizes the trial's flight-recorder content (event counts
+	// by kind/class and by node); nil when tracing was off. It sits next
+	// to the alloc counters in the JSON trial report.
+	Trace *trace.Summary `json:"trace,omitempty"`
+	// TraceRec is the trial's recorder itself, for callers that export
+	// the full event log (never serialized into reports).
+	TraceRec *trace.Recorder `json:"-"`
 }
 
 // Trial is one cell of the evaluation grid.
@@ -90,6 +98,10 @@ func BedTrial(label, system string, g *topo.Topology, cfg wiring.Config,
 			m.VirtualTime = sys.Eng.Now()
 			m.Events = sys.Eng.Steps()
 			m.EventsScheduled = sys.Eng.Scheduled()
+			if sys.Trace != nil {
+				m.Trace = sys.Trace.Summarize()
+				m.TraceRec = sys.Trace
+			}
 			return m, err
 		},
 	}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"p4update/internal/trace"
 )
 
 // entry is one element of the value-typed 4-ary event heap. The slot
@@ -104,6 +106,13 @@ type Engine struct {
 	// schedule events or draw from the engine's random streams, so an
 	// audited run stays step-for-step identical to an unaudited one.
 	AfterStep func()
+	// Trace is the trial's flight recorder (nil = tracing off). The
+	// engine is its carrier, not a user: every protocol layer reaches
+	// the recorder through its engine pointer, paying one nil check per
+	// instrumentation site. Like AfterStep, recording is pure
+	// observation, so a traced run is step-for-step identical to an
+	// untraced one.
+	Trace *trace.Recorder
 }
 
 // New returns an engine whose random streams are derived from seed.

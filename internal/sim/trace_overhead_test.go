@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHotPathZeroAllocsNilTrace guards the flight recorder's
+// zero-overhead contract at the engine level: with no recorder attached
+// (Trace == nil, the default), the steady-state Schedule+Step loop must
+// not allocate. Benchmarks report allocs but do not fail on them; this
+// assertion does.
+func TestHotPathZeroAllocsNilTrace(t *testing.T) {
+	e := New(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	e.Run()
+	if e.Trace != nil {
+		t.Fatal("fresh engine unexpectedly carries a recorder")
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		e.Schedule(time.Microsecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("engine hot path allocates %.1f/op with nil recorder, want 0", allocs)
+	}
+}

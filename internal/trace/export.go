@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// MsgName names a wire message type for the exporters. It mirrors the
+// packet package's MsgType values (trace cannot import packet — the
+// dependency runs the other way); a test in trace's external test
+// package pins the two tables together.
+func MsgName(t uint8) string {
+	switch t {
+	case 1:
+		return "DATA"
+	case 2:
+		return "FRM"
+	case 3:
+		return "UIM"
+	case 4:
+		return "UNM"
+	case 5:
+		return "UFM"
+	case 16:
+		return "EZI"
+	case 17:
+		return "EZN"
+	case 18:
+		return "CLN"
+	default:
+		return "T" + strconv.Itoa(int(t))
+	}
+}
+
+// alarmName names an AlarmReason (mirrors packet.AlarmReason, pinned by
+// the same external test).
+func alarmName(r uint8) string {
+	switch r {
+	case 0:
+		return "none"
+	case 1:
+		return "distance"
+	case 2:
+		return "outdated"
+	case 3:
+		return "flow-size"
+	default:
+		return "reason-" + strconv.Itoa(int(r))
+	}
+}
+
+// ClassLabel renders an event's Class symbolically for its Kind.
+func ClassLabel(kind Kind, class uint8) string {
+	switch kind {
+	case KindSend, KindRecv:
+		return MsgName(class)
+	case KindVerdict:
+		return Code(class).String()
+	case KindAlarm:
+		return alarmName(class)
+	default:
+		return ""
+	}
+}
+
+// classKey is ClassLabel prefixed by the kind, the counter key of
+// Summary.ByClass ("send:UIM", "verdict:apply-sl", "commit").
+func classKey(kind Kind, class uint8) string {
+	if l := ClassLabel(kind, class); l != "" {
+		return kind.String() + ":" + l
+	}
+	return kind.String()
+}
+
+// WriteJSONL writes the retained events as deterministic JSONL: one
+// event per line in sequence order with a fixed field order, so two
+// traces are comparable byte-for-byte. Numeric Class values are
+// rendered symbolically (message name, reason code); A carries the
+// peer node for send/recv events and is rendered signed (the
+// controller is -1).
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range r.Events() {
+		var err error
+		switch ev.Kind {
+		case KindSend, KindRecv:
+			_, err = fmt.Fprintf(bw,
+				"{\"seq\":%d,\"at_ns\":%d,\"node\":%d,\"kind\":%q,\"class\":%q,\"peer\":%d,\"flow\":%d,\"ver\":%d}\n",
+				ev.Seq, int64(ev.At), ev.Node, ev.Kind.String(), ClassLabel(ev.Kind, ev.Class),
+				int32(ev.A), ev.Flow, ev.Ver)
+		case KindVerdict, KindAlarm:
+			_, err = fmt.Fprintf(bw,
+				"{\"seq\":%d,\"at_ns\":%d,\"node\":%d,\"kind\":%q,\"class\":%q,\"flow\":%d,\"ver\":%d,\"a\":%d,\"b\":%d}\n",
+				ev.Seq, int64(ev.At), ev.Node, ev.Kind.String(), ClassLabel(ev.Kind, ev.Class),
+				ev.Flow, ev.Ver, ev.A, ev.B)
+		default:
+			_, err = fmt.Fprintf(bw,
+				"{\"seq\":%d,\"at_ns\":%d,\"node\":%d,\"kind\":%q,\"flow\":%d,\"ver\":%d,\"a\":%d,\"b\":%d}\n",
+				ev.Seq, int64(ev.At), ev.Node, ev.Kind.String(), ev.Flow, ev.Ver, ev.A, ev.B)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChrome writes the retained events in Chrome trace_event format
+// (the JSON object form), so a trial opens directly in chrome://tracing
+// or Perfetto: one lane (thread) per switch plus one for the
+// controller, every event an instant marker at its virtual time
+// (microseconds). pid is always 1; tid is node+1 so the controller
+// (node -1) lands on tid 0.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	events := r.Events()
+
+	// Thread-name metadata first: one lane per node that appears.
+	nodes := make(map[int32]bool)
+	for _, ev := range events {
+		nodes[ev.Node] = true
+	}
+	ids := make([]int32, 0, len(nodes))
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	first := true
+	for _, n := range ids {
+		name := "switch " + strconv.Itoa(int(n))
+		if n == NodeController {
+			name = "controller"
+		}
+		if !first {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := fmt.Fprintf(bw,
+			"{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%q}}",
+			n+1, name); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		if !first {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := fmt.Fprintf(bw,
+			"{\"name\":%q,\"cat\":%q,\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,"+
+				"\"args\":{\"seq\":%d,\"flow\":%d,\"ver\":%d,\"a\":%d,\"b\":%d}}",
+			classKey(ev.Kind, ev.Class), ev.Kind.String(), float64(ev.At)/1e3, ev.Node+1,
+			ev.Seq, ev.Flow, ev.Ver, ev.A, ev.B); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(bw, "\n]}\n")
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Summary is the per-trial event accounting exported next to the
+// runner's alloc counters in JSON trial reports. Map keys are symbolic
+// ("send:UIM", "verdict:capacity-block", "n3", "ctl"), and
+// encoding/json sorts them, so reports stay deterministic.
+type Summary struct {
+	// Events counts everything recorded; Dropped how many of those the
+	// ring overwrote (counters keep counting past overflow).
+	Events  uint64 `json:"events"`
+	Dropped uint64 `json:"dropped,omitempty"`
+	// ByClass counts events per kind:class; ByNode per node ("ctl" is
+	// the controller).
+	ByClass map[string]uint64 `json:"by_class,omitempty"`
+	ByNode  map[string]uint64 `json:"by_node,omitempty"`
+}
+
+// Summarize builds the trial summary from the incremental counters
+// (exact even when the ring dropped events).
+func (r *Recorder) Summarize() *Summary {
+	if r == nil {
+		return nil
+	}
+	s := &Summary{Events: r.Recorded(), Dropped: r.Dropped()}
+	for kind := Kind(1); kind < numKinds; kind++ {
+		for class := 0; class < maxClass; class++ {
+			if n := r.counts[kind][class]; n > 0 {
+				if s.ByClass == nil {
+					s.ByClass = make(map[string]uint64)
+				}
+				s.ByClass[classKey(kind, uint8(class))] += n
+			}
+		}
+	}
+	for idx, n := range r.nodeCounts {
+		if n == 0 {
+			continue
+		}
+		if s.ByNode == nil {
+			s.ByNode = make(map[string]uint64)
+		}
+		key := "n" + strconv.Itoa(idx-1)
+		if idx == 0 {
+			key = "ctl"
+		}
+		s.ByNode[key] = n
+	}
+	return s
+}

@@ -22,6 +22,7 @@ import (
 	"p4update/internal/plancache"
 	"p4update/internal/sim"
 	"p4update/internal/topo"
+	"p4update/internal/trace"
 )
 
 // Strategy selects the update system a wired network runs.
@@ -126,6 +127,12 @@ type Config struct {
 	ProbeTimeout time.Duration
 	// MaxStallReports bounds per-node §11 stall reporting (0 = default).
 	MaxStallReports int
+	// Trace, when set, attaches a flight recorder (internal/trace) to the
+	// engine; every protocol layer then logs its sends, receives,
+	// verification verdicts, commits, and recovery events into the
+	// recorder's ring buffer. Nil leaves tracing off — the hot path then
+	// pays only a nil check per site.
+	Trace *trace.Options
 }
 
 // System is a fully wired system under one update strategy: engine,
@@ -144,6 +151,8 @@ type System struct {
 	// Aud the attached invariant auditor (nil without AuditEvery).
 	Inj *faults.Injector
 	Aud *audit.Auditor
+	// Trace is the attached flight recorder (nil without Config.Trace).
+	Trace *trace.Recorder
 }
 
 // New builds switches for every node of g, wires the fabric and a
@@ -151,6 +160,11 @@ type System struct {
 func New(g *topo.Topology, cfg Config) *System {
 	eng := sim.New(cfg.Seed)
 	eng.MaxEvents = cfg.MaxEvents
+	if cfg.Trace != nil {
+		rec := trace.New(*cfg.Trace)
+		rec.Clock = eng.Now
+		eng.Trace = rec
+	}
 	net := dataplane.NewNetwork(eng, g)
 
 	switch cfg.Strategy {
@@ -198,7 +212,7 @@ func New(g *topo.Topology, cfg Config) *System {
 		ctl.Plans = cfg.Plans.P4()
 	}
 
-	s := &System{Cfg: cfg, Topo: g, Eng: eng, Net: net, Ctl: ctl}
+	s := &System{Cfg: cfg, Topo: g, Eng: eng, Net: net, Ctl: ctl, Trace: eng.Trace}
 	switch cfg.Strategy {
 	case EZSegway:
 		s.EZ = ezsegway.NewController(ctl)
