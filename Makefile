@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke fuzz-smoke faults-smoke check clean
+.PHONY: all build vet lint test race bench bench-smoke fuzz-smoke faults-smoke fig7-six check clean
 
 all: check
 
@@ -27,9 +27,11 @@ test:
 # under the race detector — as do faults and audit, whose per-trial
 # injectors and auditors execute inside concurrently sharded trials,
 # and trace, whose per-trial recorders must stay disjoint across
-# workers.
+# workers. The wiring registry and the three registry-added systems run
+# under the detector too: their coordinators execute inside concurrently
+# sharded trials and their plan caches are shared across workers.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/... ./internal/trace/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/... ./internal/trace/... ./internal/wiring/... ./internal/localverify/... ./internal/ppcu/... ./internal/optoracle/...
 
 # Hot-path microbenchmarks (engine schedule/step) plus the end-to-end
 # Fig. 7 trial benchmark. Results are tracked in BENCH_hotpath.json and
@@ -54,6 +56,12 @@ fuzz-smoke:
 # the invariant auditor sweeping every engine step.
 faults-smoke:
 	$(GO) run ./cmd/p4update -exp faults -runs 2 -loss 0,0.1 -reorder 0.1 -audit-every 1
+
+# Six-system optimality-gap smoke: every registered system on B4 with
+# the commit-round tracker attached, scored against the offline oracle's
+# round bound (fixed seeds; bound violations print in the table).
+fig7-six:
+	$(GO) run ./cmd/p4update -exp fig7six -runs 3 -seed 1 -workers 4
 
 check: lint build test race
 

@@ -122,7 +122,7 @@ func newSharedSetup(seed int64) (*sharedSetup, error) {
 	plans := plancache.New(g)
 	// Warm the cache the way a grid's first trial does.
 	for _, f := range flows {
-		if _, err := plans.P4().Prepare(g, f.ID(), f.Old, f.New, 2, f.SizeK, nil); err != nil {
+		if _, err := controlplane.PreparePlanCached(plans, g, f.ID(), f.Old, f.New, 2, f.SizeK, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -140,7 +140,7 @@ func (s *sharedSetup) setupTrial() error {
 	wcfg.Plans = s.plans
 	_ = wiring.New(s.g, wcfg)
 	for _, f := range s.flows {
-		if _, err := s.plans.P4().Prepare(s.g, f.ID(), f.Old, f.New, 2, f.SizeK, nil); err != nil {
+		if _, err := controlplane.PreparePlanCached(s.plans, s.g, f.ID(), f.Old, f.New, 2, f.SizeK, nil); err != nil {
 			return err
 		}
 	}

@@ -28,12 +28,14 @@ import (
 	"p4update/internal/experiments"
 	"p4update/internal/topo"
 	"p4update/internal/trace"
+	"p4update/internal/wiring"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig8|scale|faults|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig7six|fig8|scale|faults|all")
 		runs       = flag.Int("runs", 30, "runs per series (the paper uses 30)")
+		systemsSel = flag.String("systems", "all", "comma-separated registered update systems to evaluate (grid experiments; \"all\" = every registered system)")
 		preps      = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
 		seed       = flag.Int64("seed", 1, "base simulation seed")
 		cdf        = flag.Bool("cdf", false, "dump full CDF series for plotting")
@@ -82,7 +84,13 @@ func main() {
 		}()
 	}
 
-	opt := experiments.RunOptions{Workers: *workers}
+	systems, err := parseSystems(*systemsSel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	opt := experiments.RunOptions{Workers: *workers, Systems: systems}
 	var topt *trace.Options
 	if *tracePath != "" {
 		topt = &trace.Options{Cap: *traceCap}
@@ -99,6 +107,8 @@ func main() {
 		runFig4(*runs, *seed)
 	case "fig7":
 		trials = append(trials, runFig7(*runs, *seed, *cdf, opt)...)
+	case "fig7six":
+		trials = append(trials, runFig7Six(*runs, *seed, opt)...)
 	case "fig8":
 		trials = append(trials, runFig8(*preps, *seed, opt)...)
 	case "scale":
@@ -161,6 +171,29 @@ func writeTrace(path, format string, rec *trace.Recorder) error {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(1)
+}
+
+// parseSystems resolves the -systems selection against the update-system
+// registry. "all" (or empty) keeps the default: every registered primary
+// system.
+func parseSystems(sel string) ([]experiments.SystemKind, error) {
+	sel = strings.TrimSpace(sel)
+	if sel == "" || sel == "all" {
+		return nil, nil
+	}
+	var kinds []experiments.SystemKind
+	for _, part := range strings.Split(sel, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if _, ok := wiring.Lookup(name); !ok {
+			return nil, fmt.Errorf("-systems: unknown update system %q (available systems: %s)",
+				name, strings.Join(wiring.AllNames(), ", "))
+		}
+		kinds = append(kinds, experiments.SystemKind(name))
+	}
+	return kinds, nil
 }
 
 func runFig2(seed int64, topt *trace.Options) *trace.Recorder {
@@ -231,6 +264,36 @@ func runFig7(runs int, seed int64, cdf bool, opt experiments.RunOptions) []p4upd
 		if cdf {
 			fmt.Print(r.CDFSeries())
 		}
+		fmt.Println()
+		trials = append(trials, r.Trials...)
+	}
+	return trials
+}
+
+// runFig7Six runs the optimality-gap evaluation on B4: the Fig. 7c/7d
+// scenarios with every registered system (or the -systems selection),
+// the commit-round tracker attached, and each trial scored against the
+// offline oracle's round bound.
+func runFig7Six(runs int, seed int64, opt experiments.RunOptions) []p4update.TrialResult {
+	type job struct {
+		run  func() (*experiments.OptGapResult, error)
+		name string
+	}
+	jobs := []job{
+		{func() (*experiments.OptGapResult, error) {
+			return experiments.OptGapSingleFlow(topo.B4, "B4", runs, seed, opt)
+		}, "fig7six-single"},
+		{func() (*experiments.OptGapResult, error) {
+			return experiments.OptGapMultiFlow(topo.B4, "B4", runs, seed, opt)
+		}, "fig7six-multi"},
+	}
+	var trials []p4update.TrialResult
+	for _, j := range jobs {
+		r, err := j.run()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", j.name, err))
+		}
+		fmt.Print(r)
 		fmt.Println()
 		trials = append(trials, r.Trials...)
 	}

@@ -217,11 +217,18 @@ func (a *Auditor) Sweep() {
 
 // traceFlow follows the flow's active forwarding state from its ingress,
 // reporting loops and blackholes and charging traced load to each
-// crossed link. A trace that meets a crashed switch is abandoned
-// without a report: a physical outage is not a protocol fault.
+// crossed link. The walk forwards exactly like the data plane: on
+// two-phase switches (§11 / PPCU) it carries the version tag a packet
+// injected now would be stamped with at the ingress, and follows the
+// retained previous rule wherever the tag predates the switch's current
+// configuration — mid-update two-phase state is consistent for tagged
+// packets and must not be reported as a blackhole. A trace that meets a
+// crashed switch is abandoned without a report: a physical outage is
+// not a protocol fault.
 func (a *Auditor) traceFlow(f packet.FlowID, rec *controlplane.FlowRecord) {
 	a.visGen++
 	cur := rec.Src
+	var tag uint32
 	maxHops := a.net.Topo.NumNodes() + 1
 	for hop := 0; hop <= maxHops; hop++ {
 		if a.visited[cur] == a.visGen {
@@ -238,18 +245,27 @@ func (a *Auditor) traceFlow(f packet.FlowID, rec *controlplane.FlowRecord) {
 			a.report(Blackhole, f, cur, "no forwarding rule")
 			return
 		}
-		if st.EgressPort == dataplane.PortLocal {
+		out := st.EgressPort
+		if sw.TwoPhase {
+			if hop == 0 && tag == 0 {
+				tag = st.NewVersion // ingress stamps host traffic
+			}
+			if tag != 0 && tag < st.NewVersion && st.PrevValid {
+				out = st.PrevEgressPort // previous configuration's rule
+			}
+		}
+		if out == dataplane.PortLocal {
 			if cur != rec.Dst {
 				a.report(Blackhole, f, cur, "local delivery at non-destination")
 			}
 			return
 		}
-		next, ok := a.net.Topo.NeighborAt(cur, st.EgressPort)
+		next, ok := a.net.Topo.NeighborAt(cur, out)
 		if !ok {
 			a.report(Blackhole, f, cur, "egress port has no link")
 			return
 		}
-		a.addLoad(cur, st.EgressPort, st.FlowSizeK)
+		a.addLoad(cur, out, st.FlowSizeK)
 		cur = next
 	}
 	a.report(Loop, f, cur, "trace exceeded hop bound")

@@ -79,6 +79,9 @@ type Coordinator struct {
 	// Congestion additionally enforces link capacities in the round
 	// computation.
 	Congestion bool
+	// TotalRounds accumulates dependency rounds across every update the
+	// coordinator drove (reported via the wiring metrics hook).
+	TotalRounds uint64
 
 	// busyUntil models the controller's single-server processing queue.
 	busyUntil time.Duration
@@ -235,6 +238,7 @@ func (r *run) safeNow(n topo.NodeID) bool {
 // pushRound computes the maximal greedily-safe node set and sends it.
 func (c *Coordinator) pushRound(r *run) {
 	r.Rounds++
+	c.TotalRounds++
 	var batch []topo.NodeID
 	// Greedy from the egress end of the new path (downstream first
 	// maximizes per-round progress, as in dependency-graph schedulers).

@@ -51,12 +51,22 @@ type UpdateStatus struct {
 	// Version and Sent stay zero until the update launches; the same
 	// record is then filled in and tracked to completion.
 	Queued bool
+	// Resend, when set by the driving system, re-transmits the update's
+	// outstanding instructions. The §11 recovery watchdog fires it when
+	// nodes are still missing and no plan is attached (systems with a
+	// Plan keep the built-in UIM resend). Each firing counts against
+	// MaxRetriggers.
+	Resend func()
 
 	pending map[topo.NodeID]bool
 }
 
 // Done reports whether the probe confirmed the update.
 func (u *UpdateStatus) Done() bool { return u.Completed > 0 }
+
+// Pending reports whether node n's version-tagged commit is still
+// outstanding for this update.
+func (u *UpdateStatus) Pending(n topo.NodeID) bool { return u.pending[n] }
 
 // Controller is the logically centralized control plane.
 type Controller struct {
@@ -95,18 +105,11 @@ type Controller struct {
 	// against MaxRetriggers, so recovery stays bounded.
 	ProbeTimeout time.Duration
 	// Plans, when set, memoizes plan preparation across trials that
-	// share a frozen topology (see internal/plancache). Plans returned
-	// from it are shared and must be treated as immutable — which they
-	// are: the controller only serializes UIMs, never mutates them.
+	// share a frozen topology (see internal/plancache and the Planner
+	// seam in planner.go). Plans returned from it are shared and must be
+	// treated as immutable — which they are: the controller only
+	// serializes UIMs, never mutates them.
 	Plans Planner
-}
-
-// Planner prepares (or returns a memoized) update plan. PreparePlan is
-// a pure function of its arguments, so a cache keyed on them returns
-// byte-identical plans.
-type Planner interface {
-	Prepare(t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
-		version, sizeK uint32, force *packet.UpdateType) (*Plan, error)
 }
 
 type updateKey struct {
@@ -185,13 +188,7 @@ func (c *Controller) TriggerUpdate(f packet.FlowID, newPath []topo.NodeID, force
 		return nil, fmt.Errorf("controlplane: unknown flow %d", f)
 	}
 	version := rec.Version + 1
-	var plan *Plan
-	var err error
-	if c.Plans != nil {
-		plan, err = c.Plans.Prepare(c.Topo, f, rec.Path, newPath, version, rec.SizeK, force)
-	} else {
-		plan, err = PreparePlan(c.Topo, f, rec.Path, newPath, version, rec.SizeK, force)
-	}
+	plan, err := PreparePlanCached(c.Plans, c.Topo, f, rec.Path, newPath, version, rec.SizeK, force)
 	if err != nil {
 		return nil, err
 	}
@@ -283,6 +280,10 @@ func (c *Controller) armUpdateWatchdog(u *UpdateStatus) {
 			for i, uim := range u.Plan.UIMs {
 				c.Net.SendToSwitch(u.Plan.Targets[i], uim, 0)
 			}
+		case u.Resend != nil:
+			// Plan-less systems (LocalVerify, PPCU, OptOracle) re-send
+			// through their own scheduling loop.
+			u.Resend()
 		}
 		c.armUpdateWatchdog(u)
 	})
@@ -369,12 +370,16 @@ func (c *Controller) handleUFM(m *packet.UFM) {
 		// §11 failure recovery: a switch holds the indication but the
 		// notification chain never arrived — re-send the plan's UIMs so
 		// the coordination restarts from the egress.
-		if ok && !u.Done() && u.Plan != nil && u.Retriggers < c.MaxRetriggers {
+		if ok && !u.Done() && (u.Plan != nil || u.Resend != nil) && u.Retriggers < c.MaxRetriggers {
 			u.Retriggers++
 			c.Eng.Trace.Watchdog(trace.NodeController,
 				uint32(u.Flow), u.Version, uint32(u.Retriggers))
-			for i, uim := range u.Plan.UIMs {
-				c.Net.SendToSwitch(u.Plan.Targets[i], uim, 0)
+			if u.Plan != nil {
+				for i, uim := range u.Plan.UIMs {
+					c.Net.SendToSwitch(u.Plan.Targets[i], uim, 0)
+				}
+			} else {
+				u.Resend()
 			}
 		}
 	}

@@ -1,0 +1,78 @@
+package controlplane
+
+import (
+	"encoding/binary"
+
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// Planner is the unified planning seam shared by every update system: a
+// memoizer for pure plan-preparation functions. Plan preparation —
+// P4Update segment decomposition, ez-Segway message plans and
+// dependency graphs, LocalVerify instruction waves, OptOracle round
+// schedules — is a pure function of (topology, flow, paths, version,
+// ...), so a cache keyed on those arguments returns byte-identical
+// plans. Each system owns a small XxxCached wrapper that builds its key
+// (a KeyBuf with a distinguishing prefix byte) and type-asserts the
+// memoized value; internal/plancache provides the shared
+// implementation.
+type Planner interface {
+	// Memo returns the value stored under key for topology t, computing
+	// it with compute on a miss. Implementations bound to a different
+	// topology must fall through to a direct compute, so a mis-wired
+	// cache can never return plans for the wrong graph. Memoized values
+	// are shared across trials and must be treated as immutable.
+	Memo(t *topo.Topology, key string, compute func() (any, error)) (any, error)
+}
+
+// KeyBuf builds collision-free binary memo keys. Every encoder writes a
+// self-delimiting encoding (fixed width, or length-prefixed for paths),
+// so distinct argument tuples can never serialize to the same key.
+type KeyBuf struct{ b []byte }
+
+// U8 appends one byte (also used as the per-system key prefix).
+func (k *KeyBuf) U8(v uint8) { k.b = append(k.b, v) }
+
+// U32 appends a big-endian uint32.
+func (k *KeyBuf) U32(v uint32) { k.b = binary.BigEndian.AppendUint32(k.b, v) }
+
+// Path appends a length-prefixed node sequence.
+func (k *KeyBuf) Path(p []topo.NodeID) {
+	k.U32(uint32(len(p)))
+	for _, n := range p {
+		k.U32(uint32(n))
+	}
+}
+
+// String returns the accumulated key.
+func (k *KeyBuf) String() string { return string(k.b) }
+
+// PreparePlanCached memoizes PreparePlan through p under a 'p'-prefixed
+// key; a nil planner computes directly. The returned plan is shared
+// across trials and must be treated as immutable — which it is: the
+// controller only serializes UIMs, never mutates them.
+func PreparePlanCached(p Planner, t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
+	version, sizeK uint32, force *packet.UpdateType) (*Plan, error) {
+
+	if p == nil {
+		return PreparePlan(t, flow, oldPath, newPath, version, sizeK, force)
+	}
+	var k KeyBuf
+	k.U8('p')
+	k.U32(uint32(flow))
+	k.U32(version)
+	k.U32(sizeK)
+	if force == nil {
+		k.U8(0xff)
+	} else {
+		k.U8(uint8(*force))
+	}
+	k.Path(oldPath)
+	k.Path(newPath)
+	v, err := p.Memo(t, k.String(), func() (any, error) {
+		return PreparePlan(t, flow, oldPath, newPath, version, sizeK, force)
+	})
+	plan, _ := v.(*Plan)
+	return plan, err
+}

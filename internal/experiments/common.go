@@ -20,45 +20,43 @@ import (
 	"p4update/internal/wiring"
 )
 
-// SystemKind selects the evaluated update system.
-type SystemKind int
+// SystemKind selects the evaluated update system by its wiring registry
+// name; any registered name is a valid kind.
+type SystemKind string
 
-// The three systems of the paper's comparison.
+// The registered systems: the paper's three-way comparison plus the
+// systems added behind the registry.
 const (
-	KindP4Update SystemKind = iota
-	KindEZSegway
-	KindCentral
+	KindP4Update    SystemKind = "p4update"
+	KindEZSegway    SystemKind = "ez-segway"
+	KindCentral     SystemKind = "central"
+	KindLocalVerify SystemKind = "local-verify"
+	KindPPCU        SystemKind = "ppcu"
+	KindOptOracle   SystemKind = "opt-oracle"
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer: the registry display name, or the raw
+// name for unregistered kinds.
 func (k SystemKind) String() string {
-	switch k {
-	case KindP4Update:
-		return "P4Update"
-	case KindEZSegway:
-		return "ez-Segway"
-	case KindCentral:
-		return "Central"
-	default:
+	if sys, ok := wiring.Lookup(string(k)); ok {
+		return sys.DisplayName()
+	}
+	if k == "" {
 		return "unknown"
 	}
+	return string(k)
 }
 
-// Strategy maps the evaluation kind onto the shared wiring strategy
-// (P4Update runs the §7.5 auto policy, as in the paper's comparison).
-func (k SystemKind) Strategy() wiring.Strategy {
-	switch k {
-	case KindEZSegway:
-		return wiring.EZSegway
-	case KindCentral:
-		return wiring.Central
-	default:
-		return wiring.Auto
+// AllSystems lists the registered primary systems in their registration
+// (and plotting) order.
+func AllSystems() []SystemKind {
+	names := wiring.Names()
+	out := make([]SystemKind, len(names))
+	for i, n := range names {
+		out[i] = SystemKind(n)
 	}
+	return out
 }
-
-// AllSystems lists the systems in the paper's plotting order.
-var AllSystems = []SystemKind{KindP4Update, KindEZSegway, KindCentral}
 
 // RunOptions controls how an experiment's trial grid executes. The zero
 // value runs one worker per core with no per-trial timeout; results are
@@ -75,6 +73,17 @@ type RunOptions struct {
 	// parallel runs stay deterministic). Each trial's report then carries
 	// a trace summary, and its Metrics.TraceRec exposes the full log.
 	Trace *trace.Options
+	// Systems, when non-empty, restricts a grid to these systems;
+	// empty runs every registered primary system (AllSystems).
+	Systems []SystemKind
+}
+
+// systems resolves the grid's system list.
+func (o RunOptions) systems() []SystemKind {
+	if len(o.Systems) > 0 {
+		return o.Systems
+	}
+	return AllSystems()
 }
 
 // Pool builds the trial pool for these options.
@@ -120,7 +129,7 @@ func DefaultBedConfig() BedConfig {
 func (cfg BedConfig) WiringConfig(kind SystemKind, seed int64) wiring.Config {
 	return wiring.Config{
 		Seed:             seed,
-		Strategy:         kind.Strategy(),
+		System:           string(kind),
 		Congestion:       cfg.Congestion,
 		MaxEvents:        20_000_000,
 		NodeDelayMean:    cfg.NodeDelayMean,

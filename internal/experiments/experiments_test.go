@@ -154,11 +154,15 @@ func TestSystemKindString(t *testing.T) {
 		{KindP4Update, "P4Update"},
 		{KindEZSegway, "ez-Segway"},
 		{KindCentral, "Central"},
-		{SystemKind(9), "unknown"},
+		{KindLocalVerify, "LocalVerify"},
+		{KindPPCU, "PPCU"},
+		{KindOptOracle, "OptOracle"},
+		{SystemKind(""), "unknown"},
+		{SystemKind("no-such-system"), "no-such-system"},
 	}
 	for _, c := range cases {
 		if got := c.kind.String(); got != c.want {
-			t.Errorf("SystemKind(%d).String() = %q, want %q", int(c.kind), got, c.want)
+			t.Errorf("SystemKind(%q).String() = %q, want %q", string(c.kind), got, c.want)
 		}
 	}
 }

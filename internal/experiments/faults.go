@@ -151,8 +151,9 @@ func FaultSweep(lossRates, reorderRates []float64, crashes, auditEvery, runs int
 			faultSweepFlows, runs, auditEvery),
 	}
 
-	trials := make([]runner.Trial, 0, len(AllSystems)*len(cells)*runs)
-	for _, kind := range AllSystems {
+	systems := opt.systems()
+	trials := make([]runner.Trial, 0, len(systems)*len(cells)*runs)
+	for _, kind := range systems {
 		for _, cell := range cells {
 			for run := 0; run < runs; run++ {
 				trials = append(trials, faultTrial(g, plans, workloads, kind, cell, crashes, auditEvery, run, seed, opt.Trace))
@@ -161,7 +162,7 @@ func FaultSweep(lossRates, reorderRates []float64, crashes, auditEvery, runs int
 	}
 	res.Trials = opt.Pool().Run(trials)
 
-	for ki, kind := range AllSystems {
+	for ki, kind := range systems {
 		for ci, cell := range cells {
 			row := FaultRow{System: kind, Cell: cell, Runs: runs}
 			var doneSum time.Duration

@@ -84,14 +84,15 @@ func singleFlowSpec(g *topo.Topology) (traffic.FlowSpec, error) {
 // — exactly the order the sequential loops produced), so the rendered
 // figure is byte-identical whatever the worker count.
 func runFig7Grid(res *Fig7Result, runs int, opt RunOptions, mkTrial func(kind SystemKind, run int) runner.Trial) {
-	trials := make([]runner.Trial, 0, len(AllSystems)*runs)
-	for _, kind := range AllSystems {
+	systems := opt.systems()
+	trials := make([]runner.Trial, 0, len(systems)*runs)
+	for _, kind := range systems {
 		for run := 0; run < runs; run++ {
 			trials = append(trials, mkTrial(kind, run))
 		}
 	}
 	res.Trials = opt.Pool().Run(trials)
-	for ki, kind := range AllSystems {
+	for ki, kind := range systems {
 		var samples []time.Duration
 		failed := 0
 		for run := 0; run < runs; run++ {

@@ -92,6 +92,33 @@ func TestGoldenTraceFig7B4(t *testing.T) {
 	checkGolden(t, "golden_fig7_b4_p4update.jsonl", jsonl(t, tr.TraceRec))
 }
 
+// TestGoldenTraceFig7B4NewSystems pins the event logs of the three
+// registry-added systems on the same B4 single-flow trial the P4Update
+// golden covers: their instruction waves, verification verdicts, phase
+// flips and round boundaries are locked byte for byte.
+func TestGoldenTraceFig7B4NewSystems(t *testing.T) {
+	kinds := []SystemKind{KindLocalVerify, KindPPCU, KindOptOracle}
+	res, err := Fig7SingleFlowOpts(topo.B4, "B4", 1, 1,
+		RunOptions{Workers: 1, Trace: &trace.Options{}, Systems: kinds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []string{
+		"golden_fig7_b4_localverify.jsonl",
+		"golden_fig7_b4_ppcu.jsonl",
+		"golden_fig7_b4_optoracle.jsonl",
+	}
+	if len(res.Trials) != len(files) {
+		t.Fatalf("%d trials, want %d", len(res.Trials), len(files))
+	}
+	for i, tr := range res.Trials {
+		if tr.System != kinds[i].String() {
+			t.Fatalf("trial %d is %s, want %s", i, tr.System, kinds[i])
+		}
+		checkGolden(t, files[i], jsonl(t, tr.TraceRec))
+	}
+}
+
 // TestTraceDeterministicAcrossWorkers locks in that tracing does not
 // depend on trial scheduling: the same grid run under 1, 2, 4 and 8
 // workers must produce byte-identical event logs for every trial. Each

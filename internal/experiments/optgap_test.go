@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+
+	"p4update/internal/optoracle"
+	"p4update/internal/topo"
+	"p4update/internal/traffic"
+)
+
+// TestOptGapBoundRespected runs the optimality-gap evaluation on B4 —
+// both the single-flow and the congestion-constrained multi-flow
+// scenario — across every registered system and asserts the oracle's
+// contract on every trial: the measured commit rounds of each completed
+// update never undercut the offline schedule's lower bound.
+func TestOptGapBoundRespected(t *testing.T) {
+	single, err := OptGapSingleFlow(topo.B4, "B4", 3, 1, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := OptGapMultiFlow(topo.B4, "B4", 2, 1, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*OptGapResult{single, multi} {
+		if res.Violations != 0 {
+			t.Errorf("%s: %d round-bound violations (measured < oracle)", res.Label, res.Violations)
+		}
+		if len(res.Series) != len(AllSystems()) {
+			t.Fatalf("%s: %d series, want %d", res.Label, len(res.Series), len(AllSystems()))
+		}
+		for _, s := range res.Series {
+			if s.Failed > 0 {
+				t.Errorf("%s/%s: %d failed runs", res.Label, s.System, s.Failed)
+			}
+			if s.Bound <= 0 {
+				t.Errorf("%s/%s: oracle bound %.2f, want > 0", res.Label, s.System, s.Bound)
+			}
+			if s.Rounds < s.Bound {
+				t.Errorf("%s/%s: mean rounds %.2f below bound %.2f", res.Label, s.System, s.Rounds, s.Bound)
+			}
+		}
+	}
+	// Per-trial Extra carries the raw scores for the JSON export.
+	for _, r := range single.Trials {
+		if r.Failed || len(r.Samples) == 0 {
+			continue
+		}
+		if r.Extra["rounds"] < r.Extra["opt_bound"] {
+			t.Errorf("%s: rounds %.0f < bound %.0f", r.Label, r.Extra["rounds"], r.Extra["opt_bound"])
+		}
+	}
+}
+
+// TestOracleScheduleMatchesExecutor cross-checks the bound against the
+// oracle's own live execution on the Fig-1 scenario: the idealized
+// executor must use exactly as many rounds as the offline schedule.
+func TestOracleScheduleMatchesExecutor(t *testing.T) {
+	g := topo.Synthetic()
+	oldP, newP := topo.SyntheticPaths()
+	want := optoracle.Rounds(oldP, newP)
+	if want <= 0 {
+		t.Fatalf("oracle bound %d for the Fig-1 path change, want > 0", want)
+	}
+	b := NewBed(KindOptOracle, g, 1, DefaultBedConfig())
+	spec := traffic.FlowSpec{Src: oldP[0], Dst: oldP[len(oldP)-1], Old: oldP, New: newP, SizeK: 1000}
+	if err := b.Register([]traffic.FlowSpec{spec}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := b.Trigger(spec.ID(), newP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Eng.Run()
+	if !u.Done() {
+		t.Fatal("oracle execution did not complete")
+	}
+	if got := int(b.System.OO.TotalRounds); got != want {
+		t.Errorf("oracle executed %d rounds, schedule has %d", got, want)
+	}
+}

@@ -372,19 +372,68 @@ type Controller struct {
 	// triggered updates (measured with the wall clock, as in Fig. 8).
 	PrepTime time.Duration
 	// Plans, when set, memoizes plan and dependency-graph preparation
-	// across trials that share a frozen topology (internal/plancache).
-	// Cached plans are shared and immutable; the handlers copy EZI/EZN
-	// state before mutating, so sharing is safe.
-	Plans Planner
+	// across trials that share a frozen topology (internal/plancache via
+	// the unified controlplane.Planner seam). Cached plans are shared and
+	// immutable; the handlers copy EZI/EZN state before mutating, so
+	// sharing is safe.
+	Plans controlplane.Planner
 }
 
-// Planner prepares (or returns memoized) ez-Segway plans and congestion
-// dependency graphs. Both PreparePlanDep and
-// ComputeCongestionDependencies are pure functions of their arguments.
-type Planner interface {
-	Prepare(t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
-		version, sizeK uint32, prio uint8, dep packet.FlowID) (*Plan, error)
-	Dependencies(t *topo.Topology, updates []FlowUpdate) (map[packet.FlowID]uint8, map[packet.FlowID]packet.FlowID)
+// PrepareCached memoizes PreparePlanDep through p under an 'e'-prefixed
+// key; a nil planner computes directly.
+func PrepareCached(p controlplane.Planner, t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
+	version, sizeK uint32, prio uint8, dep packet.FlowID) (*Plan, error) {
+
+	if p == nil {
+		return PreparePlanDep(t, flow, oldPath, newPath, version, sizeK, prio, dep)
+	}
+	var k controlplane.KeyBuf
+	k.U8('e')
+	k.U32(uint32(flow))
+	k.U32(version)
+	k.U32(sizeK)
+	k.U8(prio)
+	k.U32(uint32(dep))
+	k.Path(oldPath)
+	k.Path(newPath)
+	v, err := p.Memo(t, k.String(), func() (any, error) {
+		return PreparePlanDep(t, flow, oldPath, newPath, version, sizeK, prio, dep)
+	})
+	plan, _ := v.(*Plan)
+	return plan, err
+}
+
+// depGraph pairs the congestion dependency maps so they fit through the
+// planner's single memoized value.
+type depGraph struct {
+	classes map[packet.FlowID]uint8
+	edges   map[packet.FlowID]packet.FlowID
+}
+
+// DependenciesCached memoizes ComputeCongestionDependencies through p
+// under a 'd'-prefixed key; a nil planner computes directly. The
+// returned maps are shared across trials: read-only. Callers pass the
+// update set in a deterministic (flow-sorted) order, so identical
+// in-flight sets key identically.
+func DependenciesCached(p controlplane.Planner, t *topo.Topology, updates []FlowUpdate) (map[packet.FlowID]uint8, map[packet.FlowID]packet.FlowID) {
+	if p == nil {
+		return ComputeCongestionDependencies(t, updates)
+	}
+	var k controlplane.KeyBuf
+	k.U8('d')
+	k.U32(uint32(len(updates)))
+	for _, u := range updates {
+		k.U32(uint32(u.Flow))
+		k.U32(u.SizeK)
+		k.Path(u.Old)
+		k.Path(u.New)
+	}
+	v, _ := p.Memo(t, k.String(), func() (any, error) {
+		classes, edges := ComputeCongestionDependencies(t, updates)
+		return depGraph{classes, edges}, nil
+	})
+	g, _ := v.(depGraph)
+	return g.classes, g.edges
 }
 
 type queuedUpdate struct {
@@ -452,23 +501,11 @@ func (c *Controller) launch(f packet.FlowID, newPath []topo.NodeID, pre *control
 		// The dependency edges pick the first qualifying flow in set
 		// order; sort so the choice is stable across runs.
 		sort.Slice(set, func(i, j int) bool { return set[i].Flow < set[j].Flow })
-		var classes map[packet.FlowID]uint8
-		var edges map[packet.FlowID]packet.FlowID
-		if c.Plans != nil {
-			classes, edges = c.Plans.Dependencies(c.Ctl.Topo, set)
-		} else {
-			classes, edges = ComputeCongestionDependencies(c.Ctl.Topo, set)
-		}
+		classes, edges := DependenciesCached(c.Plans, c.Ctl.Topo, set)
 		prio = classes[f]
 		dep = edges[f]
 	}
-	var plan *Plan
-	var err error
-	if c.Plans != nil {
-		plan, err = c.Plans.Prepare(c.Ctl.Topo, f, oldPath, newPath, version, rec.SizeK, prio, dep)
-	} else {
-		plan, err = PreparePlanDep(c.Ctl.Topo, f, oldPath, newPath, version, rec.SizeK, prio, dep)
-	}
+	plan, err := PrepareCached(c.Plans, c.Ctl.Topo, f, oldPath, newPath, version, rec.SizeK, prio, dep)
 	c.PrepTime += time.Since(start)
 	if err != nil {
 		return nil, err

@@ -1,39 +1,36 @@
 // Package plancache memoizes control-plane preparation across the
-// trials of one figure. PreparePlan (P4Update segment decomposition +
-// UIM batches), PreparePlanDep (ez-Segway message plans) and
-// ComputeCongestionDependencies (ez-Segway's global dependency graph)
-// are pure functions of (topology, flow, paths, version, size, ...), so
-// when every trial of a grid shares one frozen topology the plans can
-// be computed once and handed — immutable — to each trial instead of
-// being rebuilt per trial.
+// trials of one figure. Plan preparation — P4Update segment
+// decomposition + UIM batches, ez-Segway message plans and congestion
+// dependency graphs, LocalVerify instruction waves, OptOracle round
+// schedules — is a pure function of (topology, flow, paths, version,
+// size, ...), so when every trial of a grid shares one frozen topology
+// the plans can be computed once and handed — immutable — to each trial
+// instead of being rebuilt per trial.
 //
-// A Cache is bound to a single frozen topology. Queries about any other
-// topology fall through to direct computation, so a mis-wired cache can
-// never return plans for the wrong graph. Caches are safe for
-// concurrent use by parallel trial workers: hits take a read lock,
-// misses are single-flighted.
+// Cache implements the unified controlplane.Planner seam: each system's
+// XxxCached wrapper builds a collision-free key (controlplane.KeyBuf
+// with a per-system prefix byte) and calls Memo. A Cache is bound to a
+// single frozen topology; queries about any other topology fall through
+// to direct computation, so a mis-wired cache can never return plans
+// for the wrong graph. Caches are safe for concurrent use by parallel
+// trial workers: hits take a read lock, misses are single-flighted.
 package plancache
 
 import (
-	"encoding/binary"
 	"sync"
 
 	"p4update/internal/controlplane"
-	"p4update/internal/ezsegway"
-	"p4update/internal/packet"
 	"p4update/internal/topo"
 )
 
-// Cache memoizes prepared plans for one shared topology. Use P4() and
-// EZ() to obtain the per-system planner views that plug into
-// controlplane.Controller.Plans and ezsegway.Controller.Plans.
+// Cache memoizes prepared plans for one shared topology. It plugs
+// directly into controlplane.Controller.Plans, ezsegway.Controller.Plans
+// and the other systems' Plans fields as a controlplane.Planner.
 type Cache struct {
 	g *topo.Topology
 
 	mu       sync.RWMutex
-	p4       map[string]p4Entry
-	ez       map[string]ezEntry
-	deps     map[string]depEntry
+	memo     map[string]entry
 	inflight map[string]chan struct{}
 
 	// Hits and Misses are cumulative counters (for benchmarks/tests).
@@ -41,20 +38,12 @@ type Cache struct {
 	misses uint64
 }
 
-type p4Entry struct {
-	plan *controlplane.Plan
-	err  error
+type entry struct {
+	v   any
+	err error
 }
 
-type ezEntry struct {
-	plan *ezsegway.Plan
-	err  error
-}
-
-type depEntry struct {
-	classes map[packet.FlowID]uint8
-	edges   map[packet.FlowID]packet.FlowID
-}
+var _ controlplane.Planner = (*Cache)(nil)
 
 // New returns a cache bound to g. Freezing g first is recommended (the
 // cache is meant to be shared across goroutines, and path computation
@@ -63,9 +52,7 @@ type depEntry struct {
 func New(g *topo.Topology) *Cache {
 	return &Cache{
 		g:        g,
-		p4:       make(map[string]p4Entry),
-		ez:       make(map[string]ezEntry),
-		deps:     make(map[string]depEntry),
+		memo:     make(map[string]entry),
 		inflight: make(map[string]chan struct{}),
 	}
 }
@@ -78,6 +65,21 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.hits, c.misses
+}
+
+// Memo implements controlplane.Planner. Values stored under a key are
+// shared across trials and must be treated as immutable.
+func (c *Cache) Memo(t *topo.Topology, key string, compute func() (any, error)) (any, error) {
+	if t != c.g {
+		return compute()
+	}
+	var e entry
+	c.acquire(key,
+		func() bool { var ok bool; e, ok = c.memo[key]; return ok },
+		func() { e.v, e.err = compute() },
+		func() { c.memo[key] = e },
+	)
+	return e.v, e.err
 }
 
 // acquire single-flights computation of key: lookup runs under a read
@@ -119,118 +121,4 @@ func (c *Cache) acquire(key string, lookup func() bool, compute func(), store fu
 		close(done)
 		return
 	}
-}
-
-// keyBuf builds collision-free binary map keys.
-type keyBuf struct{ b []byte }
-
-func (k *keyBuf) u8(v uint8)   { k.b = append(k.b, v) }
-func (k *keyBuf) u32(v uint32) { k.b = binary.BigEndian.AppendUint32(k.b, v) }
-func (k *keyBuf) path(p []topo.NodeID) {
-	k.u32(uint32(len(p)))
-	for _, n := range p {
-		k.u32(uint32(n))
-	}
-}
-func (k *keyBuf) String() string { return string(k.b) }
-
-// P4 returns the controlplane.Planner view of the cache.
-func (c *Cache) P4() controlplane.Planner { return p4Planner{c} }
-
-// EZ returns the ezsegway.Planner view of the cache.
-func (c *Cache) EZ() ezsegway.Planner { return ezPlanner{c} }
-
-type p4Planner struct{ c *Cache }
-
-// Prepare implements controlplane.Planner. The returned plan is shared
-// across trials and must be treated as immutable.
-func (p p4Planner) Prepare(t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
-	version, sizeK uint32, force *packet.UpdateType) (*controlplane.Plan, error) {
-
-	c := p.c
-	if t != c.g {
-		return controlplane.PreparePlan(t, flow, oldPath, newPath, version, sizeK, force)
-	}
-	var k keyBuf
-	k.u8('p')
-	k.u32(uint32(flow))
-	k.u32(version)
-	k.u32(sizeK)
-	if force == nil {
-		k.u8(0xff)
-	} else {
-		k.u8(uint8(*force))
-	}
-	k.path(oldPath)
-	k.path(newPath)
-	key := k.String()
-
-	var e p4Entry
-	c.acquire(key,
-		func() bool { var ok bool; e, ok = c.p4[key]; return ok },
-		func() { e.plan, e.err = controlplane.PreparePlan(t, flow, oldPath, newPath, version, sizeK, force) },
-		func() { c.p4[key] = e },
-	)
-	return e.plan, e.err
-}
-
-type ezPlanner struct{ c *Cache }
-
-// Prepare implements ezsegway.Planner.
-func (p ezPlanner) Prepare(t *topo.Topology, flow packet.FlowID, oldPath, newPath []topo.NodeID,
-	version, sizeK uint32, prio uint8, dep packet.FlowID) (*ezsegway.Plan, error) {
-
-	c := p.c
-	if t != c.g {
-		return ezsegway.PreparePlanDep(t, flow, oldPath, newPath, version, sizeK, prio, dep)
-	}
-	var k keyBuf
-	k.u8('e')
-	k.u32(uint32(flow))
-	k.u32(version)
-	k.u32(sizeK)
-	k.u8(prio)
-	k.u32(uint32(dep))
-	k.path(oldPath)
-	k.path(newPath)
-	key := k.String()
-
-	var e ezEntry
-	c.acquire(key,
-		func() bool { var ok bool; e, ok = c.ez[key]; return ok },
-		func() {
-			e.plan, e.err = ezsegway.PreparePlanDep(t, flow, oldPath, newPath, version, sizeK, prio, dep)
-		},
-		func() { c.ez[key] = e },
-	)
-	return e.plan, e.err
-}
-
-// Dependencies implements ezsegway.Planner. The returned maps are
-// shared across trials: read-only. Callers pass the update set in a
-// deterministic (flow-sorted) order, so identical in-flight sets key
-// identically.
-func (p ezPlanner) Dependencies(t *topo.Topology, updates []ezsegway.FlowUpdate) (map[packet.FlowID]uint8, map[packet.FlowID]packet.FlowID) {
-	c := p.c
-	if t != c.g {
-		return ezsegway.ComputeCongestionDependencies(t, updates)
-	}
-	var k keyBuf
-	k.u8('d')
-	k.u32(uint32(len(updates)))
-	for _, u := range updates {
-		k.u32(uint32(u.Flow))
-		k.u32(u.SizeK)
-		k.path(u.Old)
-		k.path(u.New)
-	}
-	key := k.String()
-
-	var e depEntry
-	c.acquire(key,
-		func() bool { var ok bool; e, ok = c.deps[key]; return ok },
-		func() { e.classes, e.edges = ezsegway.ComputeCongestionDependencies(t, updates) },
-		func() { c.deps[key] = e },
-	)
-	return e.classes, e.edges
 }

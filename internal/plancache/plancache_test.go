@@ -25,11 +25,11 @@ func TestCacheReturnsIdenticalPlans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached1, err := c.P4().Prepare(g, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, nil)
+	cached1, err := controlplane.PreparePlanCached(c, g, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached2, err := c.P4().Prepare(g, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, nil)
+	cached2, err := controlplane.PreparePlanCached(c, g, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestCacheReturnsIdenticalPlans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ezCached, err := c.EZ().Prepare(g, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, 0, 0)
+	ezCached, err := ezsegway.PrepareCached(c, g, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestCacheReturnsIdenticalPlans(t *testing.T) {
 
 	set := []ezsegway.FlowUpdate{{Flow: spec.ID(), Old: spec.Old, New: spec.New, SizeK: spec.SizeK}}
 	dc, de := ezsegway.ComputeCongestionDependencies(ref, set)
-	cc, ce := c.EZ().Dependencies(g, set)
+	cc, ce := ezsegway.DependenciesCached(c, g, set)
 	if !reflect.DeepEqual(dc, cc) || !reflect.DeepEqual(de, ce) {
 		t.Error("cached dependency graph differs from direct computation")
 	}
@@ -74,7 +74,7 @@ func TestCacheForeignTopologyFallsThrough(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.P4().Prepare(other, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, nil); err != nil {
+	if _, err := controlplane.PreparePlanCached(c, other, spec.ID(), spec.Old, spec.New, 2, spec.SizeK, nil); err != nil {
 		t.Fatal(err)
 	}
 	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
@@ -102,12 +102,12 @@ func TestCacheConcurrent(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				old := paths[i%len(paths)]
 				nw := paths[(i+1)%len(paths)]
-				p, err := c.P4().Prepare(g, 42, old, nw, 2, 1, nil)
+				p, err := controlplane.PreparePlanCached(c, g, 42, old, nw, 2, 1, nil)
 				if err != nil || p == nil {
 					t.Errorf("Prepare: %v", err)
 					return
 				}
-				ep, err := c.EZ().Prepare(g, 42, old, nw, 2, 1, 0, 0)
+				ep, err := ezsegway.PrepareCached(c, g, 42, old, nw, 2, 1, 0, 0)
 				if err != nil || ep == nil {
 					t.Errorf("EZ Prepare: %v", err)
 					return

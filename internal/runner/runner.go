@@ -54,6 +54,11 @@ type Metrics struct {
 	Samples []time.Duration `json:"samples_ns,omitempty"`
 	// Values holds named scalar metrics (e.g. Fig. 8's "ratio").
 	Values map[string]float64 `json:"values,omitempty"`
+	// Extra holds per-system metric extras reported through the update
+	// system's metrics hook (wiring.MetricsReporter) — e.g. Central's
+	// dependency rounds — so the report schema stays stable as systems
+	// are added.
+	Extra map[string]float64 `json:"extra,omitempty"`
 	// Trace summarizes the trial's flight-recorder content (event counts
 	// by kind/class and by node); nil when tracing was off. It sits next
 	// to the alloc counters in the JSON trial report.
@@ -95,6 +100,17 @@ func BedTrial(label, system string, g *topo.Topology, cfg wiring.Config,
 		Run: func() (Metrics, error) {
 			sys := wiring.New(g, cfg)
 			m, err := body(sys)
+			if extra := sys.ExtraMetrics(); len(extra) > 0 {
+				if m.Extra == nil {
+					m.Extra = extra
+				} else {
+					for k, v := range extra {
+						if _, taken := m.Extra[k]; !taken {
+							m.Extra[k] = v
+						}
+					}
+				}
+			}
 			m.VirtualTime = sys.Eng.Now()
 			m.Events = sys.Eng.Steps()
 			m.EventsScheduled = sys.Eng.Scheduled()

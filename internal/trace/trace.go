@@ -133,6 +133,15 @@ const (
 	CodeApplyEZ
 	// CodeApplyCentral: the Central baseline applied a round instruction.
 	CodeApplyCentral
+	// CodeApplyLV: the LocalVerify baseline verified its downstream
+	// confirmation and applied.
+	CodeApplyLV
+	// CodeApplyPPCU: the PPCU baseline applied a per-packet-consistency
+	// phase rule.
+	CodeApplyPPCU
+	// CodeApplyOracle: the OptOracle executor applied a round
+	// instruction.
+	CodeApplyOracle
 
 	numCodes
 )
@@ -174,6 +183,12 @@ func (c Code) String() string {
 		return "apply-ez"
 	case CodeApplyCentral:
 		return "apply-central"
+	case CodeApplyLV:
+		return "apply-lv"
+	case CodeApplyPPCU:
+		return "apply-ppcu"
+	case CodeApplyOracle:
+		return "apply-oracle"
 	default:
 		return "unknown"
 	}

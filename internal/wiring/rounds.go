@@ -1,0 +1,56 @@
+package wiring
+
+import (
+	"time"
+
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// RoundTracker measures per-update "rounds" uniformly across systems:
+// the number of distinct virtual instants at which the update's pending
+// new-path nodes committed. Grouping any consistent execution's commits
+// by instant yields a valid round schedule, so the count is directly
+// comparable to — and never below — the OptOracle schedule bound for
+// the same path pair.
+type RoundTracker struct {
+	now func() time.Duration
+	m   map[roundKey][]time.Duration
+}
+
+type roundKey struct {
+	flow    packet.FlowID
+	version uint32
+}
+
+// attachRoundTracker wraps the network's apply observer; the wrapper
+// runs before the controller's own completion tracking so the pending
+// check still sees the node as outstanding.
+func attachRoundTracker(s *System) *RoundTracker {
+	rt := &RoundTracker{now: s.Eng.Now, m: make(map[roundKey][]time.Duration)}
+	ctl := s.Ctl
+	prev := s.Net.OnApply
+	s.Net.OnApply = func(node topo.NodeID, f packet.FlowID, version uint32) {
+		if u, ok := ctl.Status(f, version); ok && u.Pending(node) {
+			rt.observe(f, version, rt.now())
+		}
+		if prev != nil {
+			prev(node, f, version)
+		}
+	}
+	return rt
+}
+
+func (rt *RoundTracker) observe(f packet.FlowID, version uint32, at time.Duration) {
+	k := roundKey{f, version}
+	s := rt.m[k]
+	if len(s) == 0 || s[len(s)-1] != at {
+		rt.m[k] = append(s, at)
+	}
+}
+
+// Rounds returns the number of distinct commit instants observed for
+// (f, version) — 0 when the update had no pending nodes.
+func (rt *RoundTracker) Rounds(f packet.FlowID, version uint32) int {
+	return len(rt.m[roundKey{f, version}])
+}

@@ -1,0 +1,172 @@
+package wiring
+
+import (
+	"time"
+
+	"p4update/internal/central"
+	"p4update/internal/controlplane"
+	"p4update/internal/core"
+	"p4update/internal/ezsegway"
+	"p4update/internal/localverify"
+	"p4update/internal/optoracle"
+	"p4update/internal/packet"
+	"p4update/internal/ppcu"
+	"p4update/internal/topo"
+)
+
+var (
+	forceSingle = packet.UpdateSingle
+	forceDual   = packet.UpdateDual
+)
+
+func init() {
+	// Registration order is the default evaluation order (and the
+	// figures' series order): the paper's system first, then its two
+	// published baselines, then the systems added on top.
+	Register(&p4updateSystem{name: "p4update", display: "P4Update"})
+	RegisterVariant(&p4updateSystem{name: "p4update-sl", display: "P4Update/SL", force: &forceSingle})
+	RegisterVariant(&p4updateSystem{name: "p4update-dl", display: "P4Update/DL", force: &forceDual})
+	Register(&ezSegwaySystem{})
+	Register(&centralSystem{})
+	Register(&localVerifySystem{})
+	Register(&ppcuSystem{})
+	Register(&optOracleSystem{})
+}
+
+// p4updateSystem adapts the paper's protocol (internal/core +
+// controlplane) to the registry; the variants pin the update layer the
+// §7.5 policy would otherwise choose.
+type p4updateSystem struct {
+	name, display string
+	force         *packet.UpdateType
+}
+
+func (p *p4updateSystem) Name() string        { return p.name }
+func (p *p4updateSystem) DisplayName() string { return p.display }
+
+func (p *p4updateSystem) Build(s *System) {
+	s.Net.SetHandler(&core.Protocol{
+		Congestion:      s.Cfg.Congestion,
+		AllowChainedDL:  s.Cfg.ChainedDL,
+		WatchdogTimeout: s.Cfg.WatchdogTimeout,
+		MaxStallReports: s.Cfg.MaxStallReports,
+	})
+}
+
+func (p *p4updateSystem) Trigger(s *System, f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+	return s.Ctl.TriggerUpdate(f, newPath, p.force)
+}
+
+// ezSegwaySystem adapts the decentralized ez-Segway baseline.
+type ezSegwaySystem struct{}
+
+func (*ezSegwaySystem) Name() string        { return "ez-segway" }
+func (*ezSegwaySystem) DisplayName() string { return "ez-Segway" }
+
+func (*ezSegwaySystem) Build(s *System) {
+	s.Net.SetHandler(&ezsegway.Handler{Congestion: s.Cfg.Congestion})
+	s.EZ = ezsegway.NewController(s.Ctl)
+	s.EZ.Congestion = s.Cfg.Congestion
+	if s.Cfg.Plans != nil {
+		s.EZ.Plans = s.Cfg.Plans
+	}
+}
+
+func (*ezSegwaySystem) Trigger(s *System, f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+	return s.EZ.TriggerUpdate(f, newPath)
+}
+
+// centralSystem adapts the centralized dependency-graph baseline.
+type centralSystem struct{}
+
+func (*centralSystem) Name() string        { return "central" }
+func (*centralSystem) DisplayName() string { return "Central" }
+
+func (*centralSystem) Build(s *System) {
+	s.Net.SetHandler(&central.Handler{})
+	s.CO = central.NewCoordinator(s.Ctl, s.Cfg.CtrlProcDelay)
+	s.CO.Congestion = s.Cfg.Congestion
+	// The controller also serves path setup and monitoring traffic;
+	// every message queues behind it (§9.1, Jarschel et al.).
+	if s.Cfg.CtrlQueueMean > 0 {
+		rng := s.Eng.Rand()
+		mean := float64(s.Cfg.CtrlQueueMean)
+		s.CO.QueueDelay = func() time.Duration {
+			return time.Duration(rng.ExpFloat64() * mean)
+		}
+	}
+}
+
+func (*centralSystem) Trigger(s *System, f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+	return s.CO.TriggerUpdate(f, newPath)
+}
+
+func (*centralSystem) ReportMetrics(s *System, extra map[string]float64) {
+	extra["ctl_rounds"] = float64(s.CO.TotalRounds)
+}
+
+// localVerifySystem adapts the Foerster & Schmid-style decentralized
+// local-verification scheduler.
+type localVerifySystem struct{}
+
+func (*localVerifySystem) Name() string        { return "local-verify" }
+func (*localVerifySystem) DisplayName() string { return "LocalVerify" }
+
+func (*localVerifySystem) Build(s *System) {
+	s.Net.SetHandler(&localverify.Handler{Congestion: s.Cfg.Congestion})
+	s.LV = localverify.NewController(s.Ctl)
+	if s.Cfg.Plans != nil {
+		s.LV.Plans = s.Cfg.Plans
+	}
+}
+
+func (*localVerifySystem) Trigger(s *System, f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+	return s.LV.TriggerUpdate(f, newPath)
+}
+
+// ppcuSystem adapts the two-phase per-packet-consistency baseline. It
+// turns on the data plane's version-tag fallback on every switch — the
+// mechanism its phase flip relies on.
+type ppcuSystem struct{}
+
+func (*ppcuSystem) Name() string        { return "ppcu" }
+func (*ppcuSystem) DisplayName() string { return "PPCU" }
+
+func (*ppcuSystem) Build(s *System) {
+	s.Net.SetHandler(&ppcu.Handler{Congestion: s.Cfg.Congestion})
+	for _, sw := range s.Net.Switches() {
+		sw.TwoPhase = true
+	}
+	s.PP = ppcu.NewCoordinator(s.Ctl)
+}
+
+func (*ppcuSystem) Trigger(s *System, f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+	return s.PP.TriggerUpdate(f, newPath)
+}
+
+func (*ppcuSystem) ReportMetrics(s *System, extra map[string]float64) {
+	extra["phase_flips"] = float64(s.PP.Flips)
+}
+
+// optOracleSystem adapts the offline optimal scheduler's idealized
+// executor.
+type optOracleSystem struct{}
+
+func (*optOracleSystem) Name() string        { return "opt-oracle" }
+func (*optOracleSystem) DisplayName() string { return "OptOracle" }
+
+func (*optOracleSystem) Build(s *System) {
+	s.Net.SetHandler(&optoracle.Handler{})
+	s.OO = optoracle.NewCoordinator(s.Ctl)
+	if s.Cfg.Plans != nil {
+		s.OO.Plans = s.Cfg.Plans
+	}
+}
+
+func (*optOracleSystem) Trigger(s *System, f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
+	return s.OO.TriggerUpdate(f, newPath)
+}
+
+func (*optOracleSystem) ReportMetrics(s *System, extra map[string]float64) {
+	extra["opt_rounds"] = float64(s.OO.TotalRounds)
+}

@@ -1,9 +1,11 @@
 // Package wiring is the single construction path for a fully wired
 // system under test. Both the public facade (p4update.NewNetwork) and
-// the evaluation harness (experiments.NewBed) build their systems here,
-// so the strategy dispatch — which data-plane handler runs, which
-// controller drives updates, how install and controller delays are
-// sampled — exists exactly once.
+// the evaluation harness (experiments.NewBed) build their systems here.
+// Which data-plane handler runs and which controller drives updates is
+// resolved through the UpdateSystem registry (registry.go): systems
+// register themselves by name, construction looks the name up and calls
+// the entry's Build, and triggering dispatches through the same entry —
+// adding a system never touches this file.
 package wiring
 
 import (
@@ -18,14 +20,21 @@ import (
 	"p4update/internal/dataplane"
 	"p4update/internal/ezsegway"
 	"p4update/internal/faults"
+	"p4update/internal/localverify"
+	"p4update/internal/optoracle"
 	"p4update/internal/packet"
 	"p4update/internal/plancache"
+	"p4update/internal/ppcu"
 	"p4update/internal/sim"
 	"p4update/internal/topo"
 	"p4update/internal/trace"
 )
 
 // Strategy selects the update system a wired network runs.
+//
+// Deprecated: select systems by registered name (Config.System /
+// Lookup). The enum remains as a thin alias layer so existing callers
+// keep compiling; it maps onto registry names via SystemName.
 type Strategy int
 
 // Strategies.
@@ -60,13 +69,39 @@ func (s Strategy) String() string {
 	}
 }
 
+// SystemName maps the deprecated enum value onto its registry name (""
+// for unknown values, which Lookup then rejects).
+func (s Strategy) SystemName() string {
+	switch s {
+	case Auto:
+		return "p4update"
+	case SingleLayer:
+		return "p4update-sl"
+	case DualLayer:
+		return "p4update-dl"
+	case EZSegway:
+		return "ez-segway"
+	case Central:
+		return "central"
+	default:
+		return ""
+	}
+}
+
 // Config is the one knob set from which every system is built. The zero
 // value is usable (seed 0, P4Update auto policy, no delays); callers
 // layer their own defaults on top before calling New.
 type Config struct {
 	// Seed fixes the simulation's random streams.
 	Seed int64
+	// System selects the update system by registered name ("p4update",
+	// "ez-segway", "central", "local-verify", "ppcu", "opt-oracle", or a
+	// registered variant). Empty falls back to the deprecated Strategy
+	// enum below.
+	System string
 	// Strategy selects the update system.
+	//
+	// Deprecated: set System to the registry name instead.
 	Strategy Strategy
 	// Congestion enables link-capacity enforcement and each system's
 	// scheduler (P4Update §7.4, ez-Segway's static dependency graph).
@@ -127,6 +162,11 @@ type Config struct {
 	ProbeTimeout time.Duration
 	// MaxStallReports bounds per-node §11 stall reporting (0 = default).
 	MaxStallReports int
+	// TrackRounds attaches a RoundTracker measuring per-update commit
+	// rounds (for the optimality-gap evaluation). Off by default — the
+	// tracker wraps the apply observer, which costs a map lookup per
+	// commit.
+	TrackRounds bool
 	// Trace, when set, attaches a flight recorder (internal/trace) to the
 	// engine; every protocol layer then logs its sends, receives,
 	// verification verdicts, commits, and recovery events into the
@@ -135,25 +175,41 @@ type Config struct {
 	Trace *trace.Options
 }
 
-// System is a fully wired system under one update strategy: engine,
-// data plane, tracking controller, and — depending on the strategy —
-// the baseline coordinator driving it.
+// System is a fully wired system under one update system: engine, data
+// plane, tracking controller, and — depending on the system — the
+// coordinator driving it.
 type System struct {
 	Cfg  Config
 	Topo *topo.Topology
 	Eng  *sim.Engine
 	Net  *dataplane.Network
 	Ctl  *controlplane.Controller
-	// EZ is non-nil under EZSegway, CO under Central.
+	// Driver is the registry entry the system was built from (nil when
+	// the configured name resolves to nothing; Trigger then errors).
+	Driver UpdateSystem
+	// Per-system coordinators, filled by the driver's Build: EZ under
+	// ez-segway, CO under central, LV under local-verify, PP under ppcu,
+	// OO under opt-oracle.
 	EZ *ezsegway.Controller
 	CO *central.Coordinator
+	LV *localverify.Controller
+	PP *ppcu.Coordinator
+	OO *optoracle.Coordinator
 	// Inj is the attached fault injector (nil without Config.Faults);
 	// Aud the attached invariant auditor (nil without AuditEvery).
 	Inj *faults.Injector
 	Aud *audit.Auditor
 	// Trace is the attached flight recorder (nil without Config.Trace).
 	Trace *trace.Recorder
+	// Rounds is the attached round tracker (nil without TrackRounds).
+	Rounds *RoundTracker
+
+	name string
 }
+
+// SystemName returns the resolved registry name the system was
+// configured with (possibly unregistered).
+func (s *System) SystemName() string { return s.name }
 
 // New builds switches for every node of g, wires the fabric and a
 // controller, and installs the configured update protocol.
@@ -166,20 +222,6 @@ func New(g *topo.Topology, cfg Config) *System {
 		eng.Trace = rec
 	}
 	net := dataplane.NewNetwork(eng, g)
-
-	switch cfg.Strategy {
-	case EZSegway:
-		net.SetHandler(&ezsegway.Handler{Congestion: cfg.Congestion})
-	case Central:
-		net.SetHandler(&central.Handler{})
-	default:
-		net.SetHandler(&core.Protocol{
-			Congestion:      cfg.Congestion,
-			AllowChainedDL:  cfg.ChainedDL,
-			WatchdogTimeout: cfg.WatchdogTimeout,
-			MaxStallReports: cfg.MaxStallReports,
-		})
-	}
 
 	var node topo.NodeID
 	switch {
@@ -209,29 +251,29 @@ func New(g *topo.Topology, cfg Config) *System {
 	ctl.MaxRetriggers = cfg.MaxRetriggers
 	ctl.ProbeTimeout = cfg.ProbeTimeout
 	if cfg.Plans != nil {
-		ctl.Plans = cfg.Plans.P4()
+		ctl.Plans = cfg.Plans
 	}
 
-	s := &System{Cfg: cfg, Topo: g, Eng: eng, Net: net, Ctl: ctl, Trace: eng.Trace}
-	switch cfg.Strategy {
-	case EZSegway:
-		s.EZ = ezsegway.NewController(ctl)
-		s.EZ.Congestion = cfg.Congestion
-		if cfg.Plans != nil {
-			s.EZ.Plans = cfg.Plans.EZ()
-		}
-	case Central:
-		s.CO = central.NewCoordinator(ctl, cfg.CtrlProcDelay)
-		s.CO.Congestion = cfg.Congestion
-		// The controller also serves path setup and monitoring traffic;
-		// every message queues behind it (§9.1, Jarschel et al.).
-		if cfg.CtrlQueueMean > 0 {
-			rng := eng.Rand()
-			mean := float64(cfg.CtrlQueueMean)
-			s.CO.QueueDelay = func() time.Duration {
-				return time.Duration(rng.ExpFloat64() * mean)
-			}
-		}
+	name := cfg.System
+	if name == "" {
+		name = cfg.Strategy.SystemName()
+	}
+	s := &System{Cfg: cfg, Topo: g, Eng: eng, Net: net, Ctl: ctl, Trace: eng.Trace, name: name}
+	if drv, ok := Lookup(name); ok {
+		s.Driver = drv
+		drv.Build(s)
+	} else {
+		// Unknown system: leave a functional data plane in place so the
+		// system is still inspectable; Trigger reports the error.
+		net.SetHandler(&core.Protocol{
+			Congestion:      cfg.Congestion,
+			AllowChainedDL:  cfg.ChainedDL,
+			WatchdogTimeout: cfg.WatchdogTimeout,
+			MaxStallReports: cfg.MaxStallReports,
+		})
+	}
+	if cfg.TrackRounds {
+		s.Rounds = attachRoundTracker(s)
 	}
 
 	switch {
@@ -269,24 +311,27 @@ func New(g *topo.Topology, cfg Config) *System {
 }
 
 // Trigger starts a consistent route update of flow f to newPath under
-// the system's strategy. Under EZSegway a second update of a flow whose
-// previous update is still in flight returns a status in the Queued
-// state (it launches when the ongoing update completes).
+// the system's registered driver. Under ez-segway a second update of a
+// flow whose previous update is still in flight returns a status in the
+// Queued state (it launches when the ongoing update completes).
 func (s *System) Trigger(f packet.FlowID, newPath []topo.NodeID) (*controlplane.UpdateStatus, error) {
-	switch s.Cfg.Strategy {
-	case EZSegway:
-		return s.EZ.TriggerUpdate(f, newPath)
-	case Central:
-		return s.CO.TriggerUpdate(f, newPath)
-	case SingleLayer:
-		ut := packet.UpdateSingle
-		return s.Ctl.TriggerUpdate(f, newPath, &ut)
-	case DualLayer:
-		ut := packet.UpdateDual
-		return s.Ctl.TriggerUpdate(f, newPath, &ut)
-	case Auto:
-		return s.Ctl.TriggerUpdate(f, newPath, nil)
-	default:
-		return nil, fmt.Errorf("wiring: unknown strategy %d", s.Cfg.Strategy)
+	if s.Driver == nil {
+		return nil, fmt.Errorf("wiring: unknown update system %q (available: %v)", s.name, AllNames())
 	}
+	return s.Driver.Trigger(s, f, newPath)
+}
+
+// ExtraMetrics collects the driver's per-system metric extras (nil when
+// the driver reports none).
+func (s *System) ExtraMetrics() map[string]float64 {
+	mr, ok := s.Driver.(MetricsReporter)
+	if !ok {
+		return nil
+	}
+	extra := make(map[string]float64)
+	mr.ReportMetrics(s, extra)
+	if len(extra) == 0 {
+		return nil
+	}
+	return extra
 }

@@ -99,9 +99,18 @@ var (
 // Strategy selects the update system a Network runs. It aliases the
 // internal wiring strategy so the facade and the evaluation harness
 // share one construction path.
+//
+// Deprecated: select systems by registered name via WithSystem
+// ("p4update", "ez-segway", "central", "local-verify", "ppcu",
+// "opt-oracle", ...; see Systems). The enum remains a thin alias layer
+// over those names so existing callers keep compiling.
 type Strategy = wiring.Strategy
 
 // Strategies.
+//
+// Deprecated: use WithSystem with the corresponding registry name
+// instead ("p4update", "p4update-sl", "p4update-dl", "ez-segway",
+// "central").
 const (
 	// StrategyAuto runs P4Update with the §7.5 single/dual-layer policy.
 	StrategyAuto = wiring.Auto
@@ -114,6 +123,11 @@ const (
 	// StrategyCentral runs the centralized dependency-graph baseline.
 	StrategyCentral = wiring.Central
 )
+
+// Systems lists every registered update-system name accepted by
+// WithSystem: the primary systems in evaluation order followed by the
+// registered variants.
+func Systems() []string { return wiring.AllNames() }
 
 // TrialResult is the per-trial summary the parallel evaluation runner
 // produces: identity (label, system, seed), wall-clock and virtual
@@ -143,7 +157,15 @@ type Option func(*config)
 func WithSeed(seed int64) Option { return func(c *config) { c.Seed = seed } }
 
 // WithStrategy selects the update system (default StrategyAuto).
+//
+// Deprecated: use WithSystem with a registered name instead.
 func WithStrategy(s Strategy) Option { return func(c *config) { c.Strategy = s } }
+
+// WithSystem selects the update system by its registered name (see
+// Systems for the accepted names; default "p4update"). Building a
+// Network with an unregistered name still yields a functional data
+// plane, but UpdateFlow returns an error naming the available systems.
+func WithSystem(name string) Option { return func(c *config) { c.System = name } }
 
 // WithCongestionFreedom enables link-capacity enforcement and the dynamic
 // inter-flow scheduler (§7.4).
@@ -279,8 +301,10 @@ func (n *Network) AddDestinationTree(root NodeID, tree Tree, rateMbps float64) (
 // UpdateDestinationTree migrates the destination's routing onto newTree
 // with a verified single-layer update fanning out from the root.
 func (n *Network) UpdateDestinationTree(f FlowID, newTree Tree) (*UpdateStatus, error) {
-	if s := n.sys.Cfg.Strategy; s == StrategyEZSegway || s == StrategyCentral {
-		return nil, fmt.Errorf("p4update: destination trees require a P4Update strategy")
+	switch n.sys.SystemName() {
+	case "p4update", "p4update-sl", "p4update-dl":
+	default:
+		return nil, fmt.Errorf("p4update: destination trees require a P4Update system")
 	}
 	return n.sys.Ctl.TriggerTreeUpdate(f, newTree)
 }
