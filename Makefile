@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke fuzz-smoke faults-smoke fig7-six check clean
+.PHONY: all build vet lint test race bench bench-smoke bench-sharded sharded-smoke fuzz-smoke faults-smoke fig7-six check clean
 
 all: check
 
@@ -29,9 +29,14 @@ test:
 # and trace, whose per-trial recorders must stay disjoint across
 # workers. The wiring registry and the three registry-added systems run
 # under the detector too: their coordinators execute inside concurrently
-# sharded trials and their plan caches are shared across workers.
+# sharded trials and their plan caches are shared across workers. The
+# sim, topo and wiring packages cover the sharded event engine, its
+# region partitioner and its attach/fallback gate; the second line adds
+# the end-to-end sequential-vs-sharded equality tests, whose region
+# workers genuinely race without the window/barrier discipline.
 race:
 	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/... ./internal/trace/... ./internal/wiring/... ./internal/localverify/... ./internal/ppcu/... ./internal/optoracle/...
+	$(GO) test -race -run 'Sharded' ./internal/experiments/
 
 # Hot-path microbenchmarks (engine schedule/step) plus the end-to-end
 # Fig. 7 trial benchmark. Results are tracked in BENCH_hotpath.json and
@@ -46,6 +51,18 @@ bench:
 bench-smoke:
 	$(GO) test -bench=BenchmarkEngine -benchmem -benchtime=10x -run=^$$ ./internal/sim/
 	$(GO) test -bench='BenchmarkFig7Trial|BenchmarkTrialSetup|BenchmarkManyFlowsTrial' -benchmem -benchtime=10x -run=^$$ .
+
+# Sharded-engine benchmark: one K=16 scale trial per shard count
+# (sequential vs 2/4/8 region workers). Results are tracked in
+# BENCH_sharded_engine.json.
+bench-sharded:
+	$(GO) test -bench=BenchmarkManyFlowsSharded -benchmem -benchtime=20x -run=^$$ .
+
+# Two-region-worker Fig. 7 smoke: the full six-subfigure grid on the
+# sharded engine (scenarios its fallback matrix keeps sequential run
+# there), exercising the window/barrier runtime end to end.
+sharded-smoke:
+	$(GO) run ./cmd/p4update -exp fig7 -runs 1 -shards 2
 
 # Short native-fuzzing pass over the wire decoder — the surface the
 # fault injector's corrupt path hammers in every chaotic trial.
@@ -63,7 +80,7 @@ faults-smoke:
 fig7-six:
 	$(GO) run ./cmd/p4update -exp fig7six -runs 3 -seed 1 -workers 4
 
-check: lint build test race
+check: lint build test race sharded-smoke
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,10 @@
 //	                             # shard trials across 8 workers and export
 //	                             # per-trial metrics; the merged output is
 //	                             # identical to a -workers 1 run
+//	p4update -exp scale -topo fattree16 -scale-flows 5000 -shards 8
+//	                             # run each trial on 8 region workers of the
+//	                             # sharded event engine; traces and metrics
+//	                             # are byte-identical to -shards 1
 package main
 
 import (
@@ -39,9 +43,10 @@ func main() {
 		preps      = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
 		seed       = flag.Int64("seed", 1, "base simulation seed")
 		cdf        = flag.Bool("cdf", false, "dump full CDF series for plotting")
-		scaleFlows = flag.Int("scale-flows", 500, "simultaneous flow updates per scale trial (100–1000)")
-		topoSel    = flag.String("topo", "all", "scale-experiment topology: fattree8|b4|all")
+		scaleFlows = flag.Int("scale-flows", 500, "simultaneous flow updates per scale trial (100–5000)")
+		topoSel    = flag.String("topo", "all", "scale-experiment topology: fattree8|fattree16|b4|all")
 		workers    = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "region workers per trial (sharded event engine; 1 = sequential, results are identical either way)")
 		loss       = flag.String("loss", "0,0.05,0.1,0.2", "faults: comma-separated frame-loss rates")
 		reorder    = flag.String("reorder", "0,0.1", "faults: comma-separated reorder rates")
 		crash      = flag.Int("crash", 0, "faults: scheduled switch crash/restart cycles per trial")
@@ -90,7 +95,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := experiments.RunOptions{Workers: *workers, Systems: systems}
+	if *scaleFlows < 1 || *scaleFlows > 5000 {
+		fmt.Fprintf(os.Stderr, "-scale-flows %d out of range [1,5000]\n", *scaleFlows)
+		os.Exit(2)
+	}
+
+	opt := experiments.RunOptions{Workers: *workers, Systems: systems, Shards: *shards}
 	var topt *trace.Options
 	if *tracePath != "" {
 		topt = &trace.Options{Cap: *traceCap}
@@ -102,7 +112,7 @@ func main() {
 	start := time.Now()
 	switch *exp {
 	case "fig2":
-		traceRec = runFig2(*seed, topt)
+		traceRec = runFig2(*seed, topt, *shards)
 	case "fig4":
 		runFig4(*runs, *seed)
 	case "fig7":
@@ -116,7 +126,7 @@ func main() {
 	case "faults":
 		trials = append(trials, runFaults(*loss, *reorder, *crash, *auditEvery, *runs, *seed, opt)...)
 	case "all":
-		traceRec = runFig2(*seed, topt)
+		traceRec = runFig2(*seed, topt, *shards)
 		runFig4(*runs, *seed)
 		trials = append(trials, runFig7(*runs, *seed, *cdf, opt)...)
 		trials = append(trials, runFig8(*preps, *seed, opt)...)
@@ -196,7 +206,7 @@ func parseSystems(sel string) ([]experiments.SystemKind, error) {
 	return kinds, nil
 }
 
-func runFig2(seed int64, topt *trace.Options) *trace.Recorder {
+func runFig2(seed int64, topt *trace.Options, shards int) *trace.Recorder {
 	fmt.Println("== Fig. 2: inconsistent updates (config (c) before delayed (b)) ==")
 	var rec *trace.Recorder
 	for _, kind := range []experiments.SystemKind{experiments.KindP4Update, experiments.KindEZSegway} {
@@ -206,7 +216,7 @@ func runFig2(seed int64, topt *trace.Options) *trace.Recorder {
 		if kind == experiments.KindP4Update {
 			tr = topt
 		}
-		r, trial, err := experiments.Fig2Opts(kind, seed, tr)
+		r, trial, err := experiments.Fig2Sharded(kind, seed, tr, shards)
 		if err != nil {
 			fail(err)
 		}
@@ -312,6 +322,8 @@ func runScale(nFlows int, topoSel string, runs int, seed int64, cdf bool, opt ex
 	switch topoSel {
 	case "fattree8":
 		jobs = []job{{func() *topo.Topology { return topo.FatTree(8) }, "fat-tree K=8", true}}
+	case "fattree16":
+		jobs = []job{{func() *topo.Topology { return topo.FatTree(16) }, "fat-tree K=16", true}}
 	case "b4":
 		jobs = []job{{topo.B4, "B4", false}}
 	case "all":
@@ -320,7 +332,7 @@ func runScale(nFlows int, topoSel string, runs int, seed int64, cdf bool, opt ex
 			{topo.B4, "B4", false},
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q (want fattree8|b4|all)\n", topoSel)
+		fmt.Fprintf(os.Stderr, "unknown topology %q (want fattree8|fattree16|b4|all)\n", topoSel)
 		os.Exit(2)
 	}
 	var trials []p4update.TrialResult

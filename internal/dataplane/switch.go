@@ -207,7 +207,7 @@ func (sw *Switch) Flows() []packet.FlowID {
 	out := make([]packet.FlowID, 0, len(sw.flowStates))
 	for i, st := range sw.flowStates {
 		if st != nil {
-			out = append(out, sw.net.flowIDs[i])
+			out = append(out, sw.net.flows.id(int32(i)))
 		}
 	}
 	return out
@@ -577,9 +577,9 @@ func (sw *Switch) RaisePriorityOfMoversFrom(port topo.PortID) {
 			}
 			if tr := sw.net.Eng.Trace; tr != nil {
 				tr.Verdict(int32(sw.ID), trace.CodePriorityPromote,
-					uint32(sw.net.flowIDs[i]), st.UIM.Version, uint32(int32(dest)), uint32(int32(port)))
+					uint32(sw.net.flows.id(int32(i))), st.UIM.Version, uint32(int32(dest)), uint32(int32(port)))
 			}
-			sw.MarkHighWaiting(dest, sw.net.flowIDs[i])
+			sw.MarkHighWaiting(dest, sw.net.flows.id(int32(i)))
 		}
 	}
 }

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"p4update/internal/topo"
+	"p4update/internal/trace"
+)
+
+// These tests are the sharded engine's core contract (see
+// internal/sim/sharded.go): executing a trial across parallel region
+// workers must produce a flight-recorder log and trial metrics
+// byte-identical to the sequential engine, for every registered update
+// system and every shard count.
+
+var shardCounts = []int{2, 4, 8}
+
+// shardedTraceOpts are roomy enough that nothing ring-drops, so the
+// byte comparison covers every recorded event.
+func shardedTraceOpts() *trace.Options {
+	return &trace.Options{Cap: 1 << 18}
+}
+
+func TestFig2ShardedEquality(t *testing.T) {
+	for _, kind := range []SystemKind{KindP4Update, KindEZSegway} {
+		seqRes, seqRec, err := Fig2Sharded(kind, 1, shardedTraceOpts(), 1)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", kind, err)
+		}
+		seqLog := jsonl(t, seqRec)
+		for _, shards := range shardCounts {
+			shRes, shRec, err := Fig2Sharded(kind, 1, shardedTraceOpts(), shards)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", kind, shards, err)
+			}
+			if !reflect.DeepEqual(seqRes, shRes) {
+				t.Errorf("%s shards=%d: result diverged:\nseq: %+v\nsh:  %+v",
+					kind, shards, seqRes, shRes)
+			}
+			shLog := jsonl(t, shRec)
+			if !bytes.Equal(seqLog, shLog) {
+				t.Errorf("%s shards=%d: trace diverged: %s",
+					kind, shards, firstDiffLine(seqLog, shLog))
+			}
+		}
+	}
+}
+
+// fig7Fingerprint is the determinism-relevant slice of one trial's
+// metrics: everything except the host-side and execution-strategy
+// fields (WallClock, Allocs, Shards, Gomaxprocs, ShardEventsScheduled),
+// which legitimately differ between sequential and sharded runs.
+type fig7Fingerprint struct {
+	label           string
+	failed          bool
+	err             string
+	virtualTime     time.Duration
+	events          uint64
+	eventsScheduled uint64
+	samples         []time.Duration
+	traceLog        []byte
+}
+
+func fig7Fingerprints(t *testing.T, res *Fig7Result) []fig7Fingerprint {
+	t.Helper()
+	out := make([]fig7Fingerprint, len(res.Trials))
+	for i, r := range res.Trials {
+		out[i] = fig7Fingerprint{
+			label: r.Label, failed: r.Failed, err: r.Err,
+			virtualTime: r.VirtualTime, events: r.Events,
+			eventsScheduled: r.EventsScheduled, samples: r.Samples,
+		}
+		if r.TraceRec != nil {
+			out[i].traceLog = jsonl(t, r.TraceRec)
+		}
+	}
+	return out
+}
+
+func compareFig7(t *testing.T, tag string, seq, sh []fig7Fingerprint) {
+	t.Helper()
+	if len(seq) != len(sh) {
+		t.Fatalf("%s: trial count diverged: %d vs %d", tag, len(seq), len(sh))
+	}
+	for i := range seq {
+		if seq[i].label != sh[i].label || seq[i].failed != sh[i].failed ||
+			seq[i].err != sh[i].err || seq[i].virtualTime != sh[i].virtualTime ||
+			seq[i].events != sh[i].events || seq[i].eventsScheduled != sh[i].eventsScheduled ||
+			!reflect.DeepEqual(seq[i].samples, sh[i].samples) {
+			t.Errorf("%s: trial %q metrics diverged:\nseq: %+v\nsh:  %+v",
+				tag, seq[i].label, seq[i], sh[i])
+			continue
+		}
+		if !bytes.Equal(seq[i].traceLog, sh[i].traceLog) {
+			t.Errorf("%s: trial %q trace diverged: %s",
+				tag, seq[i].label, firstDiffLine(seq[i].traceLog, sh[i].traceLog))
+		}
+	}
+}
+
+// TestFig7B4ShardedEquality runs the full six-system Fig. 7 B4 grid
+// sequentially and under every shard count, comparing per-trial traces
+// and metrics. The single-flow scenario's per-node random install
+// delays force the sequential fallback (equality is then trivial but
+// still asserts the fallback path); the scale scenario genuinely
+// shards.
+func TestFig7B4ShardedEquality(t *testing.T) {
+	run := func(shards int) []fig7Fingerprint {
+		res, err := Fig7SingleFlowOpts(topo.B4, "b4", 2, 42,
+			RunOptions{Workers: 1, Trace: shardedTraceOpts(), Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return fig7Fingerprints(t, res)
+	}
+	seq := run(1)
+	for _, shards := range shardCounts {
+		compareFig7(t, fmt.Sprintf("b4 single-flow shards=%d", shards), seq, run(shards))
+	}
+}
+
+// TestManyFlowsShardedEquality is the genuinely-parallel grid: the
+// fat-tree scale scenario (constant install delay, sampled control
+// latencies, no congestion) shards for every system.
+func TestManyFlowsShardedEquality(t *testing.T) {
+	run := func(shards int) []fig7Fingerprint {
+		res, err := Fig7ManyFlowsOpts(func() *topo.Topology { return topo.FatTree(4) },
+			"scale-ft4", true, 30, 2, 7,
+			RunOptions{Workers: 1, Trace: shardedTraceOpts(), Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return fig7Fingerprints(t, res)
+	}
+	seq := run(1)
+	for _, shards := range shardCounts {
+		compareFig7(t, fmt.Sprintf("ft4 scale shards=%d", shards), seq, run(shards))
+	}
+}

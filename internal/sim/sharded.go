@@ -1,0 +1,630 @@
+// Sharded execution: conservative parallel DES inside a single trial.
+//
+// The fabric is partitioned into regions (topo.PartitionRegions); each
+// region gets its own Engine and worker goroutine. The trial alternates
+// between two phases:
+//
+//   - window: every region executes its queued events in parallel up to
+//     the horizon H = T + L, where T is the global minimum pending event
+//     time and L the partition lookahead (minimum cross-region link /
+//     control-channel latency). Any event executed in the window has
+//     at >= T, so everything it sends across a region (or to the
+//     controller) lands at >= T+L = H — never inside the window. Cross
+//     sends are therefore not delivered immediately: they are appended
+//     to the sending region's action log and materialized at the next
+//     barrier.
+//
+//   - barrier (cursor): a single goroutine replays the global event
+//     order from a replica heap keyed by (time, global sequence). For
+//     events a region already executed it "passes" them — flushing
+//     their trace span into the master recorder and walking their
+//     action log to assign global sequence numbers to their children —
+//     and it directly executes everything that must observe or mutate
+//     global state: controller code, cross-region deliveries that
+//     arrived in the past of a region's local clock ("mini events"),
+//     and commit hooks.
+//
+// The replica heap always contains the true next global event (a child
+// enters when its parent is passed, and a parent always precedes its
+// children), so the cursor reproduces the exact (time, FIFO) order of
+// the sequential engine. The contract — enforced by the golden-trace
+// equality tests — is that a sharded run produces byte-identical traces
+// and metrics to a sequential one.
+//
+// Event keys. Sequential engines order same-instant events by their
+// schedule sequence. Under sharding a window-scheduled child cannot
+// know its global sequence yet (another region may schedule earlier
+// peers at the same instant), so it is queued under a provisional key
+// (pendBit | per-engine counter) and *re-keyed* to its real global
+// sequence when the cursor walks its parent's action log: the slot's
+// authoritative key changes and a fresh heap entry is pushed, while the
+// old entry — recognizable because its seq no longer matches the slot
+// key — is dropped on sight. Keys are never reused (both counters are
+// monotone), which makes the entry/slot key match an exact test for
+// "this is the authoritative entry".
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"p4update/internal/trace"
+)
+
+// pendBit marks a provisional (window-assigned) event key awaiting its
+// global sequence number.
+const pendBit = uint64(1) << 63
+
+// action log entry kinds.
+const (
+	actChildLocal = uint8(iota) // a window-scheduled same-region child
+	actChildCross               // a send crossing regions (or to the root)
+	actHook                     // a commit hook to replay at the barrier
+)
+
+// action records one side effect of a window-executed event, replayed
+// by the cursor in execution order.
+type action struct {
+	kind     uint8
+	dest     int32 // actChildCross: destination region, -1 = root
+	at       time.Duration
+	slot     int32  // actChildLocal: the child's slot in this region
+	gen      uint32 // actChildLocal: the child's slot generation
+	tracePos uint64 // actHook: region trace position at hook time
+	fn       func()
+	afn      func(any)
+	arg      any
+}
+
+// execRec is the region-side account of one executed (or cancelled)
+// event, consumed by the cursor in lockstep with its replica.
+type execRec struct {
+	at   time.Duration
+	slot int32
+	gen  uint32
+	dead bool   // cancelled after global ordering; no effects to replay
+	aEnd int32  // action log high-water mark after execution
+	tEnd uint64 // region trace position after execution
+}
+
+// replica mirrors one globally-ordered event in the cursor's heap.
+type replica struct {
+	at     time.Duration
+	key    uint64
+	region int32 // -1: resident (root-engine) event
+	slot   int32
+	gen    uint32
+}
+
+// regionState is the cursor<->worker exchange for one region. The
+// worker owns it during windows, the cursor at barriers; the phases are
+// separated by channel sends and a WaitGroup, so no locking is needed.
+type regionState struct {
+	exec        []execRec
+	execPtr     int
+	actions     []action
+	actPtr      int
+	executedMax time.Duration // highest at this region has executed
+	rec         *trace.Recorder
+	flushPos    uint64
+}
+
+// Sharded is the conservative parallel runtime attached to a root
+// engine. Construct with AttachSharded; afterwards Run/RunUntil on the
+// root engine drive the window/barrier loop transparently.
+type Sharded struct {
+	root    *Engine
+	regions []*Engine
+	rs      []regionState
+	lah     time.Duration
+
+	gseq     uint64
+	replicas []replica
+	inWindow bool
+
+	master *trace.Recorder
+
+	// PreRun, when set, runs at the start of every Run/RunUntil. The
+	// wiring layer uses it to refresh per-region hook copies that the
+	// caller may have replaced after construction.
+	PreRun func()
+
+	work    []chan time.Duration
+	wg      sync.WaitGroup
+	started bool
+}
+
+// AttachSharded converts root into the coordinator of a sharded
+// runtime with the given region count and lookahead. It must be called
+// before any event is scheduled: pre-existing events would not be
+// mirrored in the cursor's replica heap.
+func AttachSharded(root *Engine, regions int, lookahead time.Duration) *Sharded {
+	if regions < 1 || lookahead <= 0 {
+		panic("sim: AttachSharded needs regions >= 1 and lookahead > 0")
+	}
+	if len(root.heap) > 0 {
+		panic("sim: AttachSharded after events were scheduled")
+	}
+	s := &Sharded{root: root, lah: lookahead, master: root.Trace}
+	root.sh = s
+	root.shardID = -1
+	s.regions = make([]*Engine, regions)
+	s.rs = make([]regionState, regions)
+	for r := range s.regions {
+		// Region engines deliberately get no random source: region code
+		// must never draw randomness (it would diverge from sequential
+		// order), and a nil-deref makes a violation loud.
+		e := &Engine{Strict: root.Strict, sh: s, shardID: int32(r)}
+		s.regions[r] = e
+		if s.master != nil {
+			rr := trace.NewRegion()
+			rr.Clock = e.Now
+			e.Trace = rr
+			s.rs[r].rec = rr
+		}
+	}
+	return s
+}
+
+// NumRegions returns the region count.
+func (s *Sharded) NumRegions() int { return len(s.regions) }
+
+// RegionEngine returns region r's engine.
+func (s *Sharded) RegionEngine(r int) *Engine { return s.regions[r] }
+
+// Lookahead returns the conservative window extension.
+func (s *Sharded) Lookahead() time.Duration { return s.lah }
+
+// InWindow reports whether region workers are currently executing; the
+// dataplane routing layer uses it to decide between direct scheduling
+// (barrier) and action-log capture (window).
+func (s *Sharded) InWindow() bool { return s.inWindow }
+
+// PerShardScheduled returns per-engine scheduled-event counts:
+// element 0 is the resident (root) engine, elements 1..R the regions.
+func (s *Sharded) PerShardScheduled() []uint64 {
+	out := make([]uint64, 1+len(s.regions))
+	out[0] = s.root.nsched
+	for i, e := range s.regions {
+		out[i+1] = e.nsched
+	}
+	return out
+}
+
+func (s *Sharded) totalSteps() uint64 {
+	n := s.root.nsteps
+	for _, e := range s.regions {
+		n += e.nsteps
+	}
+	return n
+}
+
+// LogCross records a window-context send that crosses regions (or
+// targets the root). at is the absolute delivery instant; exactly one
+// of fn/afn is non-nil.
+func (s *Sharded) LogCross(src int32, at time.Duration, fn func(), afn func(any), arg any, dest int32) {
+	st := &s.rs[src]
+	st.actions = append(st.actions, action{
+		kind: actChildCross, dest: dest, at: at, fn: fn, afn: afn, arg: arg,
+	})
+}
+
+// LogHook records a window-context hook call (e.g. a commit callback
+// that must observe global state). The cursor replays it at the exact
+// global position of the event that raised it, flushing the region's
+// trace up to the hook point first so recorded events interleave as in
+// a sequential run.
+func (s *Sharded) LogHook(src int32, fn func()) {
+	st := &s.rs[src]
+	var pos uint64
+	if st.rec != nil {
+		pos = st.rec.Pos()
+	}
+	st.actions = append(st.actions, action{kind: actHook, fn: fn, tracePos: pos})
+}
+
+// push is the sharded scheduling path for every engine with s attached.
+func (s *Sharded) push(e *Engine, at time.Duration, fn func(), afn func(any), arg any) Timer {
+	if s.inWindow {
+		// Window context: e is the worker's own region engine (cross
+		// sends are intercepted at the network layer before reaching an
+		// engine). Queue under a provisional key and log the child so
+		// the cursor can order it globally later.
+		if e.shardID < 0 {
+			panic("sim: window-context schedule on the root engine")
+		}
+		slot := e.allocSlot(fn, afn, arg)
+		key := pendBit | e.pendIdx
+		e.pendIdx++
+		e.slots[slot].key = key
+		e.heapPush(entry{at: at, seq: key, slot: slot})
+		e.nsched++
+		e.live++
+		st := &s.rs[e.shardID]
+		st.actions = append(st.actions, action{
+			kind: actChildLocal, at: at, slot: slot, gen: e.slots[slot].gen,
+		})
+		return Timer{eng: e, slot: slot, gen: e.slots[slot].gen}
+	}
+	// Barrier context: assign the global sequence immediately.
+	g := s.gseq
+	s.gseq++
+	return s.insertAssigned(e.shardID, at, fn, afn, arg, g)
+}
+
+// insertAssigned places an event with a final global key. Region-bound
+// events whose instant the region has already executed past become
+// "mini events" on the root engine, executed by the cursor at their
+// exact global position.
+func (s *Sharded) insertAssigned(dest int32, at time.Duration, fn func(), afn func(any), arg any, g uint64) Timer {
+	target := s.root
+	if dest >= 0 && at > s.rs[dest].executedMax {
+		target = s.regions[dest]
+	}
+	slot := target.allocSlot(fn, afn, arg)
+	sl := &target.slots[slot]
+	sl.key = g
+	target.heapPush(entry{at: at, seq: g, slot: slot})
+	target.nsched++
+	target.live++
+	s.rpush(replica{at: at, key: g, region: target.shardID, slot: slot, gen: sl.gen})
+	return Timer{eng: target, slot: slot, gen: sl.gen}
+}
+
+// setAllNow aligns every engine's clock with the cursor position, so
+// barrier-executed code observes one consistent global time whichever
+// engine it reads through.
+func (s *Sharded) setAllNow(at time.Duration) {
+	s.root.now = at
+	for _, e := range s.regions {
+		e.now = at
+	}
+}
+
+func (s *Sharded) setBarrierTrace() {
+	if s.master == nil {
+		return
+	}
+	for _, e := range s.regions {
+		e.Trace = s.master
+	}
+}
+
+func (s *Sharded) setWindowTrace() {
+	if s.master == nil {
+		return
+	}
+	for r, e := range s.regions {
+		e.Trace = s.rs[r].rec
+	}
+}
+
+// flushTrace replays region r's staged trace span [flushPos, upTo) into
+// the master recorder.
+func (s *Sharded) flushTrace(r int32, upTo uint64) {
+	st := &s.rs[r]
+	if st.rec == nil {
+		return
+	}
+	for i := st.flushPos; i < upTo; i++ {
+		s.master.Absorb(st.rec.EventAt(i))
+	}
+	st.flushPos = upTo
+}
+
+// runWindow executes region r's queued events with at < h, recording
+// each into the exec log for the cursor.
+func (s *Sharded) runWindow(r int32, h time.Duration) {
+	e := s.regions[r]
+	st := &s.rs[r]
+
+	// Compact logs the cursor fully consumed last barrier.
+	if st.execPtr > 0 {
+		n := copy(st.exec, st.exec[st.execPtr:])
+		st.exec = st.exec[:n]
+		st.execPtr = 0
+	}
+	if st.actPtr > 0 {
+		n := copy(st.actions, st.actions[st.actPtr:])
+		st.actions = st.actions[:n]
+		for i := range st.exec {
+			st.exec[i].aEnd -= int32(st.actPtr)
+		}
+		st.actPtr = 0
+	}
+	if st.rec != nil {
+		st.rec.DropThrough(st.flushPos)
+	}
+
+	for {
+		// Discard stale entries (left behind by re-keying or by a
+		// cursor-buried cancellation; the authoritative account lives
+		// elsewhere). Everything else — including dead-event reclamation
+		// — is strictly gated by the horizon: an exec record (tombstones
+		// included) logged for an instant beyond h would sit ahead of
+		// records later windows produce for earlier instants, breaking
+		// the cursor's in-order consumption.
+		for len(e.heap) > 0 && e.heap[0].seq != e.slots[e.heap[0].slot].key {
+			e.heapPop()
+		}
+		if len(e.heap) == 0 || e.heap[0].at >= h {
+			return
+		}
+		head := e.heap[0]
+		sl := &e.slots[head.slot]
+		if !sl.live {
+			e.heapPop()
+			if head.seq&pendBit != 0 {
+				// Cancelled before the cursor ordered it; the parent's
+				// child-walk reclaims the slot.
+				continue
+			}
+			// Cancelled after global ordering: tombstone so the cursor's
+			// replica finds its account, then reclaim.
+			st.exec = append(st.exec, execRec{
+				at: head.at, slot: head.slot, gen: sl.gen, dead: true,
+				aEnd: int32(len(st.actions)),
+			})
+			e.freeSlot(head.slot)
+			continue
+		}
+		e.heapPop()
+		fn, afn, arg := sl.fn, sl.afn, sl.arg
+		gen := sl.gen
+		e.live--
+		e.freeSlot(head.slot)
+		e.now = head.at
+		e.nsteps++
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
+		st.executedMax = head.at
+		var tEnd uint64
+		if st.rec != nil {
+			tEnd = st.rec.Pos()
+		}
+		st.exec = append(st.exec, execRec{
+			at: head.at, slot: head.slot, gen: gen,
+			aEnd: int32(len(st.actions)), tEnd: tEnd,
+		})
+	}
+}
+
+// passRegion accounts one region-executed event at the cursor: flush
+// its trace span and replay its action log, assigning global sequence
+// numbers to its children in scheduling order.
+func (s *Sharded) passRegion(r int32, e *Engine, rec execRec) {
+	st := &s.rs[r]
+	s.root.now = rec.at
+	for st.actPtr < int(rec.aEnd) {
+		a := st.actions[st.actPtr]
+		st.actPtr++
+		switch a.kind {
+		case actChildLocal:
+			g := s.gseq
+			s.gseq++
+			sl := &e.slots[a.slot]
+			if sl.gen == a.gen {
+				if sl.live {
+					// Still queued under its provisional key: re-key into
+					// the global order (the old heap entry goes stale).
+					sl.key = g
+					e.heapPush(entry{at: a.at, seq: g, slot: a.slot})
+					s.rpush(replica{at: a.at, key: g, region: r, slot: a.slot, gen: a.gen})
+				} else {
+					// Cancelled before execution; account and reclaim.
+					e.freeSlot(a.slot)
+				}
+			} else {
+				// Already executed in a window; the exec log holds its
+				// account, reached when the cursor pops this replica.
+				s.rpush(replica{at: a.at, key: g, region: r, slot: a.slot, gen: a.gen})
+			}
+		case actChildCross:
+			g := s.gseq
+			s.gseq++
+			s.insertAssigned(a.dest, a.at, a.fn, a.afn, a.arg, g)
+		case actHook:
+			s.flushTrace(r, a.tracePos)
+			s.setAllNow(rec.at)
+			a.fn()
+		}
+	}
+	s.flushTrace(r, rec.tEnd)
+}
+
+// cursorDrain advances the global cursor until the replica heap is
+// empty (returns true), the deadline is passed (returns true), or it
+// reaches an event a region has not executed yet (returns false — the
+// caller opens the next window there).
+func (s *Sharded) cursorDrain(deadline time.Duration, bounded bool) bool {
+	root := s.root
+	for len(s.replicas) > 0 {
+		top := s.replicas[0]
+		if bounded && top.at > deadline {
+			return true
+		}
+		if root.MaxEvents > 0 && s.totalSteps() >= root.MaxEvents {
+			return true
+		}
+		if top.region >= 0 {
+			e := s.regions[top.region]
+			sl := &e.slots[top.slot]
+			if sl.gen == top.gen {
+				if sl.live {
+					return false
+				}
+				// Cancelled while still queued; bury it and move on. The
+				// key is invalidated explicitly (keys are never reused, so
+				// any stale marker works) — otherwise the still-queued heap
+				// entry would match and a later window would tombstone and
+				// double-free the recycled slot.
+				s.rpop()
+				sl.key = ^uint64(0)
+				e.freeSlot(top.slot)
+				continue
+			}
+			s.rpop()
+			st := &s.rs[top.region]
+			rec := st.exec[st.execPtr]
+			st.execPtr++
+			if rec.slot != top.slot || rec.gen != top.gen || rec.at != top.at {
+				panic(fmt.Sprintf("sim: sharded replay desync in region %d: exec(%v,%d,%d) vs replica(%v,%d,%d)",
+					top.region, rec.at, rec.slot, rec.gen, top.at, top.slot, top.gen))
+			}
+			if rec.dead {
+				continue
+			}
+			s.passRegion(top.region, e, rec)
+			continue
+		}
+		// Resident event: the root heap is popped only here, in exact
+		// replica order.
+		if len(root.heap) == 0 || root.heap[0].slot != top.slot || root.heap[0].seq != top.key {
+			panic("sim: sharded root heap desync")
+		}
+		root.heapPop()
+		sl := &root.slots[top.slot]
+		if sl.gen != top.gen {
+			panic("sim: sharded root slot generation desync")
+		}
+		s.rpop()
+		if !sl.live {
+			root.freeSlot(top.slot)
+			continue
+		}
+		fn, afn, arg := sl.fn, sl.afn, sl.arg
+		root.live--
+		root.freeSlot(top.slot)
+		s.setAllNow(top.at)
+		root.nsteps++
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
+		if root.AfterStep != nil {
+			root.AfterStep()
+		}
+	}
+	return true
+}
+
+func (s *Sharded) startWorkers() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.work = make([]chan time.Duration, len(s.regions))
+	for r := range s.regions {
+		ch := make(chan time.Duration)
+		s.work[r] = ch
+		go func(r int32, ch chan time.Duration) {
+			for h := range ch {
+				s.runWindow(r, h)
+				s.wg.Done()
+			}
+		}(int32(r), ch)
+	}
+}
+
+func (s *Sharded) stopWorkers() {
+	if !s.started {
+		return
+	}
+	for _, ch := range s.work {
+		close(ch)
+	}
+	s.work = nil
+	s.started = false
+}
+
+// run is the window/barrier loop behind Run and RunUntil on a sharded
+// root engine.
+func (s *Sharded) run(deadline time.Duration, bounded bool) time.Duration {
+	root := s.root
+	if s.PreRun != nil {
+		s.PreRun()
+	}
+	s.startWorkers()
+	defer s.stopWorkers()
+	for {
+		s.setBarrierTrace()
+		if s.cursorDrain(deadline, bounded) {
+			break
+		}
+		t := s.replicas[0].at
+		h := t + s.lah
+		if bounded && h > deadline {
+			h = deadline + 1
+		}
+		s.setWindowTrace()
+		s.inWindow = true
+		for r, e := range s.regions {
+			if len(e.heap) > 0 && e.heap[0].at < h {
+				s.wg.Add(1)
+				s.work[r] <- h
+			}
+		}
+		s.wg.Wait()
+		s.inWindow = false
+	}
+	if bounded && root.now < deadline {
+		root.now = deadline
+	}
+	return root.now
+}
+
+// replica heap: a 4-ary min-heap ordered by (at, key), mirroring the
+// engine heap discipline.
+
+func replicaLess(a, b replica) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.key < b.key
+}
+
+func (s *Sharded) rpush(it replica) {
+	s.replicas = append(s.replicas, it)
+	i := len(s.replicas) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !replicaLess(s.replicas[i], s.replicas[p]) {
+			break
+		}
+		s.replicas[i], s.replicas[p] = s.replicas[p], s.replicas[i]
+		i = p
+	}
+}
+
+func (s *Sharded) rpop() {
+	n := len(s.replicas) - 1
+	s.replicas[0] = s.replicas[n]
+	s.replicas = s.replicas[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if replicaLess(s.replicas[c], s.replicas[best]) {
+				best = c
+			}
+		}
+		if !replicaLess(s.replicas[best], s.replicas[i]) {
+			break
+		}
+		s.replicas[i], s.replicas[best] = s.replicas[best], s.replicas[i]
+		i = best
+	}
+}

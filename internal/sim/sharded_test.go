@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"p4update/internal/trace"
+)
+
+// The sharded runtime's contract is exact equivalence: the same
+// node-addressed workload executed sequentially and under parallel
+// region windows must produce identical traces, clocks, and counters.
+// These tests drive randomized event trees through a miniature fabric
+// that routes sends the same way the dataplane does (same-region
+// schedules in-window, cross-region sends via the action log, direct
+// inserts at barriers), covering the re-key, mini-event, and
+// cancellation paths without the protocol stack on top.
+
+// miniSpec is one precomputed event of the workload tree. The tree is
+// generated up front (never during execution) so both runs execute the
+// exact same script regardless of event interleaving.
+type miniSpec struct {
+	node     int
+	children []int
+	cdelay   []time.Duration
+	// timer, when > 0, makes the event arm a same-node timer with this
+	// delay and schedule a same-node canceller at cancelAt: depending on
+	// the generated delays the cancel lands before the fire (testing
+	// Timer.Stop on pending, possibly re-keyed slots) or after it
+	// (testing Stop as a no-op).
+	timer    time.Duration
+	cancelAt time.Duration
+}
+
+// miniFabric maps workload nodes onto engines, mirroring the
+// dataplane's routing seam.
+type miniFabric struct {
+	sh     *Sharded
+	engOf  []*Engine
+	region []int32
+	timers []Timer
+	specs  []miniSpec
+}
+
+func (m *miniFabric) send(from, to int, delay time.Duration, fn func()) {
+	if m.sh != nil && m.sh.InWindow() {
+		if m.region[from] == m.region[to] {
+			m.engOf[to].Schedule(delay, fn)
+			return
+		}
+		m.sh.LogCross(m.region[from], m.engOf[from].Now()+delay, fn, nil, nil, m.region[to])
+		return
+	}
+	m.engOf[to].Schedule(delay, fn)
+}
+
+func (m *miniFabric) exec(id int) func() {
+	return func() {
+		sp := &m.specs[id]
+		e := m.engOf[sp.node]
+		if tr := e.Trace; tr != nil {
+			tr.Verdict(int32(sp.node), trace.CodeApplySL, uint32(id), 0, 0, 0)
+		}
+		for i, cid := range sp.children {
+			m.send(sp.node, m.specs[cid].node, sp.cdelay[i], m.exec(cid))
+		}
+		if sp.timer > 0 {
+			tid := uint32(id) | 1<<20
+			m.timers[id] = e.Schedule(sp.timer, func() {
+				if tr := e.Trace; tr != nil {
+					tr.Verdict(int32(sp.node), trace.CodeApplySL, tid, 0, 0, 0)
+				}
+			})
+			cancel := id
+			m.send(sp.node, sp.node, sp.cancelAt, func() { m.timers[cancel].Stop() })
+		}
+	}
+}
+
+// genSpecs builds a deterministic random event tree over the node set.
+// Cross-region and region-to-resident child delays respect the
+// lookahead (the conservative contract the dataplane guarantees);
+// same-region and resident-originated delays are unconstrained, so
+// resident events routinely spawn sub-lookahead "mini events" into the
+// regions.
+func genSpecs(rng *rand.Rand, region []int32, lah time.Duration, roots, maxDepth int) []miniSpec {
+	var specs []miniSpec
+	nodes := len(region)
+	var grow func(node, depth int) int
+	grow = func(node, depth int) int {
+		id := len(specs)
+		specs = append(specs, miniSpec{node: node})
+		if rng.Intn(3) == 0 {
+			specs[id].timer = time.Duration(1+rng.Intn(2000)) * time.Microsecond
+			specs[id].cancelAt = time.Duration(1+rng.Intn(2000)) * time.Microsecond
+		}
+		if depth >= maxDepth {
+			return id
+		}
+		nkids := rng.Intn(4)
+		for k := 0; k < nkids; k++ {
+			to := rng.Intn(nodes)
+			var d time.Duration
+			if region[node] == region[to] || region[node] < 0 {
+				d = time.Duration(rng.Intn(3000)) * time.Microsecond
+			} else {
+				d = lah + time.Duration(rng.Intn(2000))*time.Microsecond
+			}
+			cid := grow(to, depth+1)
+			specs[id].children = append(specs[id].children, cid)
+			specs[id].cdelay = append(specs[id].cdelay, d)
+		}
+		return id
+	}
+	for r := 0; r < roots; r++ {
+		grow(rng.Intn(nodes), 0)
+	}
+	return specs
+}
+
+// runMini executes the workload and returns the trace log plus final
+// engine counters. shards <= 1 runs one sequential engine; otherwise
+// the nodes are spread over two regions plus a resident node.
+func runMini(t *testing.T, specs []miniSpec, region []int32, lah time.Duration, shards int, splitRun bool) ([]byte, time.Duration, uint64, uint64) {
+	t.Helper()
+	rec := trace.New(trace.Options{Cap: 1 << 16})
+	m := &miniFabric{region: region, specs: specs, timers: make([]Timer, len(specs))}
+	var root *Engine
+	if shards <= 1 {
+		root = New(1)
+		root.Trace = rec
+		rec.Clock = root.Now
+		m.engOf = make([]*Engine, len(region))
+		for i := range m.engOf {
+			m.engOf[i] = root
+		}
+	} else {
+		root = New(1)
+		root.Trace = rec
+		rec.Clock = root.Now
+		m.sh = AttachSharded(root, shards, lah)
+		m.engOf = make([]*Engine, len(region))
+		for i, r := range region {
+			if r < 0 {
+				m.engOf[i] = root
+			} else {
+				m.engOf[i] = m.sh.RegionEngine(int(r))
+			}
+		}
+	}
+	// Seed the roots of the tree (barrier context: direct inserts).
+	for id, sp := range specs {
+		if isRoot(specs, id) {
+			m.engOf[sp.node].Schedule(time.Duration(id)*time.Microsecond, m.exec(id))
+		}
+	}
+	if splitRun {
+		root.RunUntil(2 * time.Millisecond)
+	}
+	root.Run()
+	if root.Pending() != 0 {
+		t.Fatalf("shards=%d: %d events still pending after Run", shards, root.Pending())
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), root.Now(), root.Steps(), root.Scheduled()
+}
+
+// isRoot reports whether id is a tree root (no parent references it).
+func isRoot(specs []miniSpec, id int) bool {
+	for i := range specs {
+		for _, c := range specs[i].children {
+			if c == id {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func testShardedEquivalence(t *testing.T, splitRun bool) {
+	region := []int32{-1, 0, 0, 1, 1, 1}
+	const lah = time.Millisecond
+	for seed := int64(0); seed < 8; seed++ {
+		specs := genSpecs(rand.New(rand.NewSource(seed)), region, lah, 6, 4)
+		seqLog, seqNow, seqSteps, seqSched := runMini(t, specs, region, lah, 1, splitRun)
+		shLog, shNow, shSteps, shSched := runMini(t, specs, region, lah, 2, splitRun)
+		if !bytes.Equal(seqLog, shLog) {
+			t.Fatalf("seed %d: trace diverged:\nseq:\n%s\nsharded:\n%s", seed, seqLog, shLog)
+		}
+		if seqNow != shNow || seqSteps != shSteps || seqSched != shSched {
+			t.Fatalf("seed %d: counters diverged: now %v/%v steps %d/%d sched %d/%d",
+				seed, seqNow, shNow, seqSteps, shSteps, seqSched, shSched)
+		}
+	}
+}
+
+// TestShardedEquivalenceRandomTrees is the core sequential-vs-sharded
+// equality property over randomized workloads.
+func TestShardedEquivalenceRandomTrees(t *testing.T) {
+	testShardedEquivalence(t, false)
+}
+
+// TestShardedEquivalenceRunUntil replays the same property with the run
+// split across a RunUntil deadline and a final Run, covering the
+// bounded-horizon path and worker restart across calls.
+func TestShardedEquivalenceRunUntil(t *testing.T) {
+	testShardedEquivalence(t, true)
+}
+
+// TestAttachShardedPreconditions pins the attach-time panics: a
+// non-positive lookahead and a root engine that already holds events
+// are both construction bugs.
+func TestAttachShardedPreconditions(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero lookahead", func() { AttachSharded(New(1), 2, 0) })
+	mustPanic("zero regions", func() { AttachSharded(New(1), 0, time.Millisecond) })
+	mustPanic("pre-scheduled root", func() {
+		e := New(1)
+		e.Schedule(time.Millisecond, func() {})
+		AttachSharded(e, 2, time.Millisecond)
+	})
+	mustPanic("window schedule on root", func() {
+		e := New(1)
+		s := AttachSharded(e, 1, time.Millisecond)
+		s.inWindow = true
+		e.Schedule(time.Millisecond, func() {})
+	})
+}

@@ -1,0 +1,264 @@
+package topo
+
+import "time"
+
+// RegionPlan is a deterministic partition of a topology into switch
+// regions for the sharded event engine (internal/sim). Nodes in the
+// Resident set (controller-co-located switches, or any switch whose
+// control-channel latency is too small to bound) are not assigned to a
+// region: their events execute on the coordinator engine.
+//
+// Lookahead is the conservative parallel-DES horizon: the minimum over
+// (a) the latency of every link crossing two regions and (b) the
+// control-channel latency of every region-assigned switch. Regions may
+// execute events up to the global minimum next-event time plus
+// Lookahead without observing each other, because any cross-region (or
+// switch-to-controller) effect takes at least Lookahead of virtual time
+// to arrive. A plan with Lookahead <= 0 or fewer than two regions is
+// unusable; callers fall back to sequential execution.
+type RegionPlan struct {
+	// Regions is the effective region count (may be lower than
+	// requested when the topology has too few assignable nodes).
+	Regions int
+	// NodeRegion maps every node to its region, or -1 for resident
+	// (coordinator-executed) nodes.
+	NodeRegion []int32
+	// Lookahead is the safe conservative window extension.
+	Lookahead time.Duration
+	// CutLinks counts links whose endpoints sit in different regions.
+	CutLinks int
+	// Resident lists the coordinator-executed nodes in ascending order.
+	Resident []NodeID
+}
+
+// PartitionRegions splits t into at most r regions, minimizing the
+// region edge cut with a farthest-seed greedy BFS heuristic. The
+// partition is a pure function of (t, r, resident, ctrlLat): identical
+// inputs always produce the identical plan, which the sharded engine's
+// byte-identical-trace contract depends on.
+//
+// resident lists nodes that must stay coordinator-executed; ctrlLat
+// (indexed by NodeID, nil allowed) additionally forces any node with a
+// non-positive control latency into the resident set, since such a node
+// could reach the controller faster than any lookahead window. Links
+// with non-positive latency are contracted: their endpoints always land
+// in the same region so zero-latency coupling never crosses regions.
+func PartitionRegions(t *Topology, r int, resident []NodeID, ctrlLat []time.Duration) RegionPlan {
+	n := t.NumNodes()
+	plan := RegionPlan{NodeRegion: make([]int32, n)}
+	isResident := make([]bool, n)
+	for _, id := range resident {
+		if id >= 0 && int(id) < n {
+			isResident[id] = true
+		}
+	}
+	for id := 0; id < n && id < len(ctrlLat); id++ {
+		if ctrlLat[id] <= 0 {
+			isResident[id] = true
+		}
+	}
+
+	// Contract zero-latency links (among non-resident nodes) with a
+	// union-find, so a "super node" is the unit of assignment.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, l := range t.links {
+		if l.Latency <= 0 && !isResident[l.A] && !isResident[l.B] {
+			ra, rb := find(int32(l.A)), find(int32(l.B))
+			if ra != rb {
+				if ra < rb { // root = lowest member ID, for determinism
+					parent[rb] = ra
+				} else {
+					parent[ra] = rb
+				}
+			}
+		}
+	}
+
+	// Assignable super-node roots in ascending ID order.
+	var supers []int32
+	superIdx := make([]int32, n) // root -> dense super index
+	for i := range superIdx {
+		superIdx[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if isResident[i] {
+			continue
+		}
+		root := find(int32(i))
+		if superIdx[root] < 0 {
+			superIdx[root] = int32(len(supers))
+			supers = append(supers, root)
+		}
+	}
+	if r > len(supers) {
+		r = len(supers)
+	}
+	if r < 1 {
+		r = 0
+	}
+
+	// Super-node adjacency in deterministic order: for each super (by
+	// member ID order), every neighbor super reached over any member's
+	// links in port order.
+	superAdj := make([][]int32, len(supers))
+	memberLists := make([][]NodeID, len(supers))
+	for i := 0; i < n; i++ {
+		if isResident[i] {
+			continue
+		}
+		si := superIdx[find(int32(i))]
+		memberLists[si] = append(memberLists[si], NodeID(i))
+	}
+	for si, members := range memberLists {
+		seen := map[int32]bool{int32(si): true}
+		for _, m := range members {
+			for _, ad := range t.adj[m] {
+				if isResident[ad.neighbor] {
+					continue
+				}
+				sj := superIdx[find(int32(ad.neighbor))]
+				if !seen[sj] {
+					seen[sj] = true
+					superAdj[si] = append(superAdj[si], sj)
+				}
+			}
+		}
+	}
+
+	// Farthest-point seeds: start from the lowest-ID super, then
+	// repeatedly take the super maximizing hop distance to the chosen
+	// set (ties break to the lowest super index).
+	region := make([]int32, len(supers))
+	for i := range region {
+		region[i] = -1
+	}
+	var seeds []int32
+	if r > 0 {
+		dist := make([]int, len(supers))
+		for i := range dist {
+			dist[i] = 1 << 30
+		}
+		bfsFrom := func(s int32) {
+			dist[s] = 0
+			queue := []int32{s}
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				for _, nb := range superAdj[cur] {
+					if dist[nb] > dist[cur]+1 {
+						dist[nb] = dist[cur] + 1
+						queue = append(queue, nb)
+					}
+				}
+			}
+		}
+		seeds = append(seeds, 0)
+		bfsFrom(0)
+		for len(seeds) < r {
+			best, bestD := int32(-1), -1
+			for i := range supers {
+				if region[i] == -1 && dist[i] > bestD && !contains(seeds, int32(i)) {
+					best, bestD = int32(i), dist[i]
+				}
+			}
+			if best < 0 {
+				break
+			}
+			seeds = append(seeds, best)
+			// Re-relax distances toward the enlarged seed set.
+			dist[best] = 0
+			bfsFrom(best)
+		}
+		for ri, s := range seeds {
+			region[s] = int32(ri)
+		}
+	}
+
+	// Round-robin multi-source BFS growth: each region claims its
+	// frontier's unassigned neighbors in turn, keeping sizes balanced
+	// and the cut local.
+	queues := make([][]int32, len(seeds))
+	for ri, s := range seeds {
+		queues[ri] = []int32{s}
+	}
+	for {
+		progressed := false
+		for ri := range queues {
+			if len(queues[ri]) == 0 {
+				continue
+			}
+			cur := queues[ri][0]
+			queues[ri] = queues[ri][1:]
+			progressed = true
+			for _, nb := range superAdj[cur] {
+				if region[nb] == -1 {
+					region[nb] = int32(ri)
+					queues[ri] = append(queues[ri], nb)
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	// Disconnected leftovers join the lowest region so every assignable
+	// node lands somewhere.
+	for i := range region {
+		if region[i] == -1 {
+			region[i] = 0
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if isResident[i] {
+			plan.NodeRegion[i] = -1
+			plan.Resident = append(plan.Resident, NodeID(i))
+		} else {
+			plan.NodeRegion[i] = region[superIdx[find(int32(i))]]
+		}
+	}
+	plan.Regions = len(seeds)
+
+	// Lookahead: min cut-link latency and min control latency of any
+	// region-assigned node.
+	la := time.Duration(0)
+	consider := func(d time.Duration) {
+		if la == 0 || d < la {
+			la = d
+		}
+	}
+	for _, l := range t.links {
+		ra, rb := plan.NodeRegion[l.A], plan.NodeRegion[l.B]
+		if ra >= 0 && rb >= 0 && ra != rb {
+			plan.CutLinks++
+			consider(l.Latency)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if plan.NodeRegion[i] >= 0 && i < len(ctrlLat) {
+			consider(ctrlLat[i])
+		}
+	}
+	plan.Lookahead = la
+	return plan
+}
+
+func contains(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package topo
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// uniformCtrl returns a control-latency vector with the same positive
+// latency everywhere.
+func uniformCtrl(n int, d time.Duration) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// TestPartitionDeterministic pins the partitioner's pure-function
+// contract: identical inputs produce the identical plan, on every
+// evaluation topology.
+func TestPartitionDeterministic(t *testing.T) {
+	for _, mk := range []func() *Topology{B4, Internet2, func() *Topology { return FatTree(8) }} {
+		g := mk()
+		ctrl := uniformCtrl(g.NumNodes(), time.Millisecond)
+		for _, r := range []int{2, 4, 8} {
+			a := PartitionRegions(g, r, nil, ctrl)
+			b := PartitionRegions(g, r, nil, ctrl)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s r=%d: plans differ across calls", g.Name, r)
+			}
+		}
+	}
+}
+
+// TestPartitionCoverage checks every node lands in exactly one region
+// (or the resident set), region indexes are dense, and the lookahead is
+// positive on the evaluation topologies.
+func TestPartitionCoverage(t *testing.T) {
+	for _, mk := range []func() *Topology{B4, Internet2, func() *Topology { return FatTree(8) }} {
+		g := mk()
+		ctrl := uniformCtrl(g.NumNodes(), time.Millisecond)
+		for _, r := range []int{2, 3, 4, 8} {
+			plan := PartitionRegions(g, r, nil, ctrl)
+			if plan.Regions < 2 || plan.Regions > r {
+				t.Fatalf("%s r=%d: got %d regions", g.Name, r, plan.Regions)
+			}
+			if plan.Lookahead <= 0 {
+				t.Fatalf("%s r=%d: non-positive lookahead %v", g.Name, r, plan.Lookahead)
+			}
+			seen := make([]bool, plan.Regions)
+			for id, reg := range plan.NodeRegion {
+				if reg < 0 {
+					t.Fatalf("%s r=%d: node %d resident despite positive control latency", g.Name, r, id)
+				}
+				if int(reg) >= plan.Regions {
+					t.Fatalf("%s r=%d: node %d in out-of-range region %d", g.Name, r, id, reg)
+				}
+				seen[reg] = true
+			}
+			for reg, ok := range seen {
+				if !ok {
+					t.Fatalf("%s r=%d: region %d is empty", g.Name, r, reg)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionResidentAbsorption checks that explicitly listed nodes
+// and nodes with non-positive control latency end up resident.
+func TestPartitionResidentAbsorption(t *testing.T) {
+	g := B4()
+	ctrl := uniformCtrl(g.NumNodes(), time.Millisecond)
+	ctrl[3] = 0 // controller-co-located switch
+	plan := PartitionRegions(g, 4, []NodeID{5}, ctrl)
+	if plan.NodeRegion[3] != -1 || plan.NodeRegion[5] != -1 {
+		t.Fatalf("expected nodes 3 and 5 resident, got regions %d and %d",
+			plan.NodeRegion[3], plan.NodeRegion[5])
+	}
+	if !reflect.DeepEqual(plan.Resident, []NodeID{3, 5}) {
+		t.Fatalf("resident list = %v, want [3 5]", plan.Resident)
+	}
+}
+
+// TestPartitionZeroLatencyContraction checks zero-latency links never
+// cross regions: their endpoints are contracted into one super node.
+func TestPartitionZeroLatencyContraction(t *testing.T) {
+	g := New("contract")
+	for i := 0; i < 6; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), 0, 0)
+	}
+	// 0-1-2 and 3-4-5 chains with a zero-latency middle link in each.
+	g.AddLink(0, 1, time.Millisecond, 0)
+	g.AddLink(1, 2, 0, 0)
+	g.AddLink(3, 4, 0, 0)
+	g.AddLink(4, 5, time.Millisecond, 0)
+	g.AddLink(2, 3, time.Millisecond, 0)
+	plan := PartitionRegions(g, 4, nil, uniformCtrl(6, time.Millisecond))
+	if plan.NodeRegion[1] != plan.NodeRegion[2] {
+		t.Fatalf("zero-latency link 1-2 crosses regions: %d vs %d",
+			plan.NodeRegion[1], plan.NodeRegion[2])
+	}
+	if plan.NodeRegion[3] != plan.NodeRegion[4] {
+		t.Fatalf("zero-latency link 3-4 crosses regions: %d vs %d",
+			plan.NodeRegion[3], plan.NodeRegion[4])
+	}
+	if plan.Lookahead <= 0 {
+		t.Fatalf("lookahead %v, want positive", plan.Lookahead)
+	}
+}
+
+// TestPartitionClampsRegions checks a request for more regions than
+// assignable super nodes clamps rather than fabricating empty regions.
+func TestPartitionClampsRegions(t *testing.T) {
+	g := New("tiny")
+	for i := 0; i < 3; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), 0, 0)
+	}
+	g.AddLink(0, 1, time.Millisecond, 0)
+	g.AddLink(1, 2, time.Millisecond, 0)
+	plan := PartitionRegions(g, 8, nil, uniformCtrl(3, time.Millisecond))
+	if plan.Regions > 3 {
+		t.Fatalf("got %d regions from 3 nodes", plan.Regions)
+	}
+	// All-resident topologies yield zero regions.
+	empty := PartitionRegions(g, 4, []NodeID{0, 1, 2}, nil)
+	if empty.Regions != 0 {
+		t.Fatalf("all-resident plan has %d regions, want 0", empty.Regions)
+	}
+}
+
+// TestPartitionLookaheadIsCutMinimum checks the lookahead equals the
+// minimum over cut-link latencies and assigned nodes' control
+// latencies.
+func TestPartitionLookaheadIsCutMinimum(t *testing.T) {
+	g := B4()
+	ctrl := uniformCtrl(g.NumNodes(), 50*time.Millisecond)
+	plan := PartitionRegions(g, 4, nil, ctrl)
+	min := time.Duration(0)
+	for _, l := range g.Links() {
+		ra, rb := plan.NodeRegion[l.A], plan.NodeRegion[l.B]
+		if ra >= 0 && rb >= 0 && ra != rb {
+			if min == 0 || l.Latency < min {
+				min = l.Latency
+			}
+		}
+	}
+	if min > 50*time.Millisecond {
+		min = 50 * time.Millisecond
+	}
+	if plan.Lookahead != min {
+		t.Fatalf("lookahead %v, want %v", plan.Lookahead, min)
+	}
+}

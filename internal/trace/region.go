@@ -1,0 +1,58 @@
+package trace
+
+// Region staging support for the sharded event engine (internal/sim).
+//
+// Under sharded execution each region engine records into its own
+// *unbounded* staging recorder while its worker runs ahead of the global
+// cursor; at every barrier the cursor replays the per-event trace spans
+// into the trial's master recorder in exact global order via Absorb,
+// re-stamping sequence numbers so the merged log is byte-identical to a
+// sequential run. Staging recorders never ring-drop (a drop would lose
+// events the master still needs); the cursor compacts them with
+// DropThrough once a span has been flushed.
+
+// NewRegion returns an unbounded staging recorder. It grows instead of
+// ring-dropping and supports absolute-sequence access (EventAt) plus
+// prefix compaction (DropThrough).
+func NewRegion() *Recorder {
+	return &Recorder{unbounded: true}
+}
+
+// Pos returns the recorder's next sequence number; the half-open span
+// [a.Pos(), b.Pos()) brackets everything recorded between two calls.
+func (r *Recorder) Pos() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}
+
+// EventAt returns the event with absolute sequence number seq. Only
+// valid on an unbounded recorder for seq in [base, Pos()) where base is
+// the highest DropThrough watermark.
+func (r *Recorder) EventAt(seq uint64) Event {
+	return r.buf[seq-r.base]
+}
+
+// DropThrough discards all events with sequence numbers below pos,
+// reclaiming staging space once the cursor has flushed them.
+func (r *Recorder) DropThrough(pos uint64) {
+	if r == nil || pos <= r.base {
+		return
+	}
+	n := copy(r.buf, r.buf[pos-r.base:])
+	r.buf = r.buf[:n]
+	r.base = pos
+}
+
+// Absorb appends an event recorded elsewhere, re-stamping its sequence
+// number onto this recorder while preserving its original timestamp and
+// payload. Counters update exactly as if the event had been recorded
+// here directly.
+func (r *Recorder) Absorb(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.Seq = r.seq
+	r.put(ev)
+}

@@ -1,0 +1,74 @@
+package wiring
+
+import (
+	"testing"
+	"time"
+
+	"p4update/internal/topo"
+)
+
+// TestShardsOneStaysSequential pins the shards=1 contract: no parallel
+// runtime is attached, EffectiveShards reports 1, and the engine keeps
+// its sequential zero-allocation hot path (the sharded seam in
+// Engine.push is a single nil check).
+func TestShardsOneStaysSequential(t *testing.T) {
+	s := New(topo.B4(), Config{System: "p4update", BaseInstallDelay: time.Millisecond, Shards: 1})
+	if s.Sharded != nil || s.ShardPlan != nil {
+		t.Fatal("Shards=1 attached a parallel runtime")
+	}
+	if got := s.EffectiveShards(); got != 1 {
+		t.Fatalf("EffectiveShards() = %d, want 1", got)
+	}
+	fn := func() {}
+	allocs := testing.AllocsPerRun(10000, func() {
+		s.Eng.Schedule(time.Microsecond, fn)
+		s.Eng.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("shards=1 hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestShardsAttachWhenEligible checks an eligible configuration (fat
+// tree, constant install delay, no per-event randomness) genuinely
+// shards and reports the plan's region count.
+func TestShardsAttachWhenEligible(t *testing.T) {
+	s := New(topo.FatTree(4), Config{System: "p4update", BaseInstallDelay: time.Millisecond, Shards: 4})
+	if s.Sharded == nil || s.ShardPlan == nil {
+		t.Fatal("eligible Shards=4 config did not attach the parallel runtime")
+	}
+	if got := s.EffectiveShards(); got != s.Sharded.NumRegions() || got < 2 {
+		t.Fatalf("EffectiveShards() = %d, NumRegions() = %d", got, s.Sharded.NumRegions())
+	}
+	if s.ShardPlan.Lookahead <= 0 {
+		t.Fatalf("attached plan has lookahead %v", s.ShardPlan.Lookahead)
+	}
+}
+
+// TestShardsFallbackMatrix checks each configuration the runtime cannot
+// reproduce bit-exactly silently falls back to sequential execution.
+func TestShardsFallbackMatrix(t *testing.T) {
+	base := func() Config {
+		return Config{System: "p4update", BaseInstallDelay: time.Millisecond, Shards: 4}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"install-delay sampler", func(c *Config) { c.InstallDelay = func() time.Duration { return time.Millisecond } }},
+		{"node delay mean", func(c *Config) { c.NodeDelayMean = time.Millisecond }},
+		{"congestion", func(c *Config) { c.Congestion = true }},
+		{"audit", func(c *Config) { c.AuditEvery = 100 }},
+	}
+	for _, c := range cases {
+		cfg := base()
+		c.mut(&cfg)
+		s := New(topo.FatTree(4), cfg)
+		if s.Sharded != nil {
+			t.Errorf("%s: expected sequential fallback, got %d regions", c.name, s.Sharded.NumRegions())
+		}
+		if got := s.EffectiveShards(); got != 1 {
+			t.Errorf("%s: EffectiveShards() = %d, want 1", c.name, got)
+		}
+	}
+}
