@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke bench-sharded sharded-smoke fuzz-smoke faults-smoke fig7-six check clean
+.PHONY: all build vet lint test race bench bench-smoke bench-sharded bench-churn sharded-smoke churn-smoke fuzz-smoke faults-smoke fig7-six check clean
 
 all: check
 
@@ -35,8 +35,8 @@ test:
 # the end-to-end sequential-vs-sharded equality tests, whose region
 # workers genuinely race without the window/barrier discipline.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/... ./internal/trace/... ./internal/wiring/... ./internal/localverify/... ./internal/ppcu/... ./internal/optoracle/...
-	$(GO) test -race -run 'Sharded' ./internal/experiments/
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/... ./internal/trace/... ./internal/wiring/... ./internal/localverify/... ./internal/ppcu/... ./internal/optoracle/... ./internal/dataplane/... ./internal/controlplane/... ./internal/traffic/... ./internal/packet/...
+	$(GO) test -race -run 'Sharded|Churn' ./internal/experiments/
 
 # Hot-path microbenchmarks (engine schedule/step) plus the end-to-end
 # Fig. 7 trial benchmark. Results are tracked in BENCH_hotpath.json and
@@ -64,6 +64,19 @@ bench-sharded:
 sharded-smoke:
 	$(GO) run ./cmd/p4update -exp fig7 -runs 1 -shards 2
 
+# Fixed-seed short streaming-churn run with the continuous invariant
+# auditor attached (zero audit violations asserted in-test), plus a
+# small CLI churn run exercising the -exp churn path end to end.
+churn-smoke:
+	$(GO) test -run 'TestChurnSmoke|TestChurnAuditSmoke' -v ./internal/experiments/
+	$(GO) run ./cmd/p4update -exp churn -topo fattree4 -arrival-rate 2000 -live-flows 1000 -churn-duration 2s -reroute-every 25ms
+
+# Headline streaming-churn benchmark: 10^5+ live flows sustained on
+# fat-tree K=16 with continuous reroute waves; regenerates
+# BENCH_churn.json.
+bench-churn:
+	P4UPDATE_CHURN_BENCH=1 $(GO) test -run TestWriteChurnBench -v -timeout 30m .
+
 # Short native-fuzzing pass over the wire decoder — the surface the
 # fault injector's corrupt path hammers in every chaotic trial.
 fuzz-smoke:
@@ -80,7 +93,7 @@ faults-smoke:
 fig7-six:
 	$(GO) run ./cmd/p4update -exp fig7six -runs 3 -seed 1 -workers 4
 
-check: lint build test race sharded-smoke
+check: lint build test race sharded-smoke churn-smoke
 
 clean:
 	$(GO) clean ./...

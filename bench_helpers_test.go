@@ -1,8 +1,11 @@
 package p4update_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
 	"time"
 
 	"p4update"
@@ -13,6 +16,39 @@ import (
 	"p4update/internal/traffic"
 	"p4update/internal/wiring"
 )
+
+// benchHost is the host-context block every generated BENCH_*.json
+// report embeds. It is stamped automatically at write time — reports
+// never carry stale hand-written host metadata.
+type benchHost struct {
+	NumCPU     int    `json:"num_cpu"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// currentBenchHost samples the host context of this bench run.
+func currentBenchHost() benchHost {
+	return benchHost{
+		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// writeBenchJSON writes payload as indented JSON to path.
+func writeBenchJSON(path string, payload any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // runSyntheticOnce runs one forced-strategy update on the synthetic
 // topology with straggler install delays and returns the completion time.

@@ -1,0 +1,117 @@
+package p4update_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"p4update/internal/experiments"
+	"p4update/internal/topo"
+)
+
+// headlineChurnOpts is the BENCH_churn configuration: fat-tree K=16
+// (320 switches), 12k arrivals/s over a 25 s admission window with a
+// ~9.6 s mean lifetime, peaking past 10^5 live flows with a reroute
+// wave every 50 ms of virtual time.
+func headlineChurnOpts() experiments.ChurnOpts {
+	co := experiments.DefaultChurnOpts()
+	co.ArrivalRate = 12_000
+	// Aim the asymptote above the target: the population approaches
+	// rate*lifetime as 1-e^(-T/lifetime), so a 25 s window reaches ~93%
+	// of it; 115k asymptotic puts the realized peak past 10^5.
+	lifetime := float64(115_000) / 12_000
+	co.MeanLifetime = time.Duration(lifetime * float64(time.Second))
+	co.Duration = 25 * time.Second
+	co.RerouteEvery = 50 * time.Millisecond
+	co.EdgeOnly = true
+	return co
+}
+
+// TestWriteChurnBench regenerates BENCH_churn.json: the headline
+// streaming-churn run on fat-tree K=16. Gated behind
+// P4UPDATE_CHURN_BENCH=1 (several minutes of work); `make bench-churn`
+// sets it.
+func TestWriteChurnBench(t *testing.T) {
+	if os.Getenv("P4UPDATE_CHURN_BENCH") == "" {
+		t.Skip("set P4UPDATE_CHURN_BENCH=1 (make bench-churn) to regenerate BENCH_churn.json")
+	}
+	co := headlineChurnOpts()
+	start := time.Now()
+	res, err := experiments.RunChurn(func() *topo.Topology { return topo.FatTree(16) },
+		"fat-tree K=16", 1, 1, co, experiments.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	r := res.Trials[0]
+	if r.Failed {
+		t.Fatalf("headline churn trial failed: %s", r.Err)
+	}
+	v := r.Values
+	if v["peak_live"] < 100_000 {
+		t.Fatalf("peak live %v below the 10^5 headline target", v["peak_live"])
+	}
+	if v["flow_slots"] > v["peak_live"] {
+		t.Fatalf("flow slots %v exceed peak live %v", v["flow_slots"], v["peak_live"])
+	}
+	type result struct {
+		Topology         string  `json:"topology"`
+		Switches         int     `json:"switches"`
+		Arrivals         int     `json:"arrivals"`
+		Departures       int     `json:"departures"`
+		PeakLive         int     `json:"peak_live_flows"`
+		FlowSlots        int     `json:"flow_slots"`
+		Waves            int     `json:"reroute_waves"`
+		UpdatesCompleted int     `json:"updates_completed"`
+		UpdateP50Ms      float64 `json:"update_p50_ms"`
+		UpdateP99Ms      float64 `json:"update_p99_ms"`
+		UpdateMeanMs     float64 `json:"update_mean_ms"`
+		BatchFrames      int     `json:"uim_batch_frames"`
+		BatchedUIMs      int     `json:"uim_batched"`
+		SustainedFlowsPS float64 `json:"sustained_flows_per_sec_wall"`
+		VirtualSeconds   float64 `json:"virtual_seconds"`
+		Events           uint64  `json:"events"`
+		WallClock        string  `json:"wall_clock"`
+	}
+	report := struct {
+		Name        string    `json:"name"`
+		Description string    `json:"description"`
+		Host        benchHost `json:"host"`
+		Result      result    `json:"result"`
+	}{
+		Name: "streaming-churn",
+		Description: "TestWriteChurnBench: one streaming-churn trial on fat-tree K=16 " +
+			"(320 switches) — Poisson arrivals at 12k flows/s of virtual time over a " +
+			"25 s window (mean lifetime 9.58 s, peaking past 10^5 live flows), " +
+			"one single-link latency perturbation every 50 ms driving batched reroute " +
+			"waves through P4Update. Live-flow slot recycling bounds the interning " +
+			"table by peak live (not historical) flows; the path oracle repairs its " +
+			"cache incrementally per perturbation. Regenerate with make bench-churn.",
+		Host: currentBenchHost(),
+		Result: result{
+			Topology:         "fat-tree K=16",
+			Switches:         topo.FatTree(16).NumNodes(),
+			Arrivals:         int(v["arrivals"]),
+			Departures:       int(v["departures"]),
+			PeakLive:         int(v["peak_live"]),
+			FlowSlots:        int(v["flow_slots"]),
+			Waves:            int(v["waves"]),
+			UpdatesCompleted: int(v["updates_completed"]),
+			UpdateP50Ms:      v["update_p50_ms"],
+			UpdateP99Ms:      v["update_p99_ms"],
+			UpdateMeanMs:     v["update_mean_ms"],
+			BatchFrames:      int(v["batch_frames"]),
+			BatchedUIMs:      int(v["batched_uims"]),
+			SustainedFlowsPS: v["wall_flows_per_sec"],
+			VirtualSeconds:   r.VirtualTime.Seconds(),
+			Events:           r.Events,
+			WallClock:        wall.Round(time.Millisecond).String(),
+		},
+	}
+	if err := writeBenchJSON("BENCH_churn.json", report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_churn.json: peak_live=%d slots=%d updates=%d p50=%.2fms p99=%.2fms wall=%v",
+		report.Result.PeakLive, report.Result.FlowSlots, report.Result.UpdatesCompleted,
+		report.Result.UpdateP50Ms, report.Result.UpdateP99Ms, wall)
+}

@@ -37,26 +37,30 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig7six|fig8|scale|faults|all")
-		runs       = flag.Int("runs", 30, "runs per series (the paper uses 30)")
-		systemsSel = flag.String("systems", "all", "comma-separated registered update systems to evaluate (grid experiments; \"all\" = every registered system)")
-		preps      = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
-		seed       = flag.Int64("seed", 1, "base simulation seed")
-		cdf        = flag.Bool("cdf", false, "dump full CDF series for plotting")
-		scaleFlows = flag.Int("scale-flows", 500, "simultaneous flow updates per scale trial (100–5000)")
-		topoSel    = flag.String("topo", "all", "scale-experiment topology: fattree8|fattree16|b4|all")
-		workers    = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		shards     = flag.Int("shards", 1, "region workers per trial (sharded event engine; 1 = sequential, results are identical either way)")
-		loss       = flag.String("loss", "0,0.05,0.1,0.2", "faults: comma-separated frame-loss rates")
-		reorder    = flag.String("reorder", "0,0.1", "faults: comma-separated reorder rates")
-		crash      = flag.Int("crash", 0, "faults: scheduled switch crash/restart cycles per trial")
-		auditEvery = flag.Int("audit-every", 1, "faults: invariant-audit period in engine steps")
-		jsonPath   = flag.String("json", "", "write per-trial metrics to this JSON file")
-		tracePath  = flag.String("trace", "", "record a protocol flight-recorder log of the first trial to this file")
-		traceFmt   = flag.String("trace-format", "jsonl", "trace export format: jsonl|chrome (chrome://tracing / Perfetto)")
-		traceCap   = flag.Int("trace-cap", 0, "flight-recorder ring capacity in events (0 = default 16384)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		exp          = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig7six|fig8|scale|churn|faults|all")
+		runs         = flag.Int("runs", 30, "runs per series (the paper uses 30; churn defaults to 1 unless set)")
+		systemsSel   = flag.String("systems", "all", "comma-separated registered update systems to evaluate (grid experiments; \"all\" = every registered system)")
+		preps        = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
+		seed         = flag.Int64("seed", 1, "base simulation seed")
+		cdf          = flag.Bool("cdf", false, "dump full CDF series for plotting")
+		scaleFlows   = flag.Int("scale-flows", 500, "simultaneous flow updates per scale trial (100–5000)")
+		topoSel      = flag.String("topo", "all", "scale/churn topology: "+validTopos()+"|all")
+		arrivalRate  = flag.Float64("arrival-rate", 12000, "churn: Poisson flow arrival rate (flows per second of virtual time)")
+		churnDur     = flag.Duration("churn-duration", 25*time.Second, "churn: virtual-time admission window")
+		liveFlows    = flag.Int("live-flows", 100_000, "churn: target steady-state live-flow population (mean lifetime = live-flows / arrival-rate)")
+		rerouteEvery = flag.Duration("reroute-every", 50*time.Millisecond, "churn: mean interval between link perturbations (0 disables reroutes)")
+		workers      = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		shards       = flag.Int("shards", 1, "region workers per trial (sharded event engine; 1 = sequential, results are identical either way)")
+		loss         = flag.String("loss", "0,0.05,0.1,0.2", "faults: comma-separated frame-loss rates")
+		reorder      = flag.String("reorder", "0,0.1", "faults: comma-separated reorder rates")
+		crash        = flag.Int("crash", 0, "faults: scheduled switch crash/restart cycles per trial")
+		auditEvery   = flag.Int("audit-every", 1, "faults: invariant-audit period in engine steps")
+		jsonPath     = flag.String("json", "", "write per-trial metrics to this JSON file")
+		tracePath    = flag.String("trace", "", "record a protocol flight-recorder log of the first trial to this file")
+		traceFmt     = flag.String("trace-format", "jsonl", "trace export format: jsonl|chrome (chrome://tracing / Perfetto)")
+		traceCap     = flag.Int("trace-cap", 0, "flight-recorder ring capacity in events (0 = default 16384)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
@@ -95,8 +99,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Flag validation: every value-carrying knob is checked up front so a
+	// typo fails fast with the valid choices instead of deep in a run.
 	if *scaleFlows < 1 || *scaleFlows > 5000 {
-		fmt.Fprintf(os.Stderr, "-scale-flows %d out of range [1,5000]\n", *scaleFlows)
+		fmt.Fprintf(os.Stderr, "-scale-flows %d out of range: want a positive flow count in [1,5000]\n", *scaleFlows)
+		os.Exit(2)
+	}
+	if *topoSel != "all" {
+		if _, ok := lookupTopo(*topoSel); !ok {
+			fmt.Fprintf(os.Stderr, "unknown -topo %q (valid values: %s|all)\n", *topoSel, validTopos())
+			os.Exit(2)
+		}
+	}
+	if *arrivalRate <= 0 {
+		fmt.Fprintf(os.Stderr, "-arrival-rate %v must be a positive rate (flows per second of virtual time)\n", *arrivalRate)
+		os.Exit(2)
+	}
+	if *liveFlows <= 0 {
+		fmt.Fprintf(os.Stderr, "-live-flows %d must be a positive flow population\n", *liveFlows)
+		os.Exit(2)
+	}
+	if *churnDur <= 0 {
+		fmt.Fprintf(os.Stderr, "-churn-duration %v must be a positive virtual-time window\n", *churnDur)
 		os.Exit(2)
 	}
 
@@ -123,6 +147,16 @@ func main() {
 		trials = append(trials, runFig8(*preps, *seed, opt)...)
 	case "scale":
 		trials = append(trials, runScale(*scaleFlows, *topoSel, *runs, *seed, *cdf, opt)...)
+	case "churn":
+		// Churn trials are heavyweight (10^5+ live flows); default to one
+		// trial unless -runs was given explicitly.
+		churnRuns := 1
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "runs" {
+				churnRuns = *runs
+			}
+		})
+		trials = append(trials, runChurn(*topoSel, *arrivalRate, *liveFlows, *churnDur, *rerouteEvery, churnRuns, *seed, opt)...)
 	case "faults":
 		trials = append(trials, runFaults(*loss, *reorder, *crash, *auditEvery, *runs, *seed, opt)...)
 	case "all":
@@ -310,30 +344,60 @@ func runFig7Six(runs int, seed int64, opt experiments.RunOptions) []p4update.Tri
 	return trials
 }
 
+// topoBuilder is one named topology the -topo flag can select.
+type topoBuilder struct {
+	name    string
+	label   string
+	mk      func() *topo.Topology
+	fatTree bool
+}
+
+// topoBuilders lists the selectable topologies in flag-listing order.
+var topoBuilders = []topoBuilder{
+	{"fattree4", "fat-tree K=4", func() *topo.Topology { return topo.FatTree(4) }, true},
+	{"fattree8", "fat-tree K=8", func() *topo.Topology { return topo.FatTree(8) }, true},
+	{"fattree16", "fat-tree K=16", func() *topo.Topology { return topo.FatTree(16) }, true},
+	{"fattree32", "fat-tree K=32", func() *topo.Topology { return topo.FatTree(32) }, true},
+	{"b4", "B4", topo.B4, false},
+	{"internet2", "Internet2", topo.Internet2, false},
+}
+
+// lookupTopo resolves a -topo value against the builder table.
+func lookupTopo(name string) (topoBuilder, bool) {
+	for _, tb := range topoBuilders {
+		if tb.name == name {
+			return tb, true
+		}
+	}
+	return topoBuilder{}, false
+}
+
+// validTopos renders the selectable topology names for flag help and
+// validation errors.
+func validTopos() string {
+	names := make([]string, len(topoBuilders))
+	for i, tb := range topoBuilders {
+		names[i] = tb.name
+	}
+	return strings.Join(names, "|")
+}
+
 // runScale runs the many-flow scale experiment (Fig7ManyFlows): nFlows
 // simultaneous flow updates per trial on the selected topologies.
 func runScale(nFlows int, topoSel string, runs int, seed int64, cdf bool, opt experiments.RunOptions) []p4update.TrialResult {
-	type job struct {
-		mk      func() *topo.Topology
-		label   string
-		fatTree bool
-	}
-	var jobs []job
-	switch topoSel {
-	case "fattree8":
-		jobs = []job{{func() *topo.Topology { return topo.FatTree(8) }, "fat-tree K=8", true}}
-	case "fattree16":
-		jobs = []job{{func() *topo.Topology { return topo.FatTree(16) }, "fat-tree K=16", true}}
-	case "b4":
-		jobs = []job{{topo.B4, "B4", false}}
-	case "all":
-		jobs = []job{
-			{func() *topo.Topology { return topo.FatTree(8) }, "fat-tree K=8", true},
-			{topo.B4, "B4", false},
+	var jobs []topoBuilder
+	if topoSel == "all" {
+		// The historical default pair: one fat-tree, one WAN.
+		fe, _ := lookupTopo("fattree8")
+		b4, _ := lookupTopo("b4")
+		jobs = []topoBuilder{fe, b4}
+	} else {
+		tb, ok := lookupTopo(topoSel)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -topo %q (valid values: %s|all)\n", topoSel, validTopos())
+			os.Exit(2)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q (want fattree8|fattree16|b4|all)\n", topoSel)
-		os.Exit(2)
+		jobs = []topoBuilder{tb}
 	}
 	var trials []p4update.TrialResult
 	for _, j := range jobs {
@@ -349,6 +413,33 @@ func runScale(nFlows int, topoSel string, runs int, seed int64, cdf bool, opt ex
 		trials = append(trials, r.Trials...)
 	}
 	return trials
+}
+
+// runChurn runs the streaming churn scenario: a sustained Poisson
+// arrival/departure stream with continuous reroute waves on the
+// selected topology (default fat-tree K=16, the headline benchmark).
+func runChurn(topoSel string, rate float64, live int, dur, rerouteEvery time.Duration, runs int, seed int64, opt experiments.RunOptions) []p4update.TrialResult {
+	if topoSel == "all" {
+		topoSel = "fattree16"
+	}
+	tb, ok := lookupTopo(topoSel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -topo %q (valid values: %s|all)\n", topoSel, validTopos())
+		os.Exit(2)
+	}
+	co := experiments.DefaultChurnOpts()
+	co.ArrivalRate = rate
+	co.MeanLifetime = time.Duration(float64(live) / rate * float64(time.Second))
+	co.Duration = dur
+	co.RerouteEvery = rerouteEvery
+	co.EdgeOnly = tb.fatTree
+	r, err := experiments.RunChurn(tb.mk, tb.label, runs, seed, co, opt)
+	if err != nil {
+		fail(fmt.Errorf("churn %s: %w", tb.label, err))
+	}
+	fmt.Print(r)
+	fmt.Println()
+	return r.Trials
 }
 
 // runFaults runs the deterministic chaos sweep: loss × reorder fault

@@ -137,8 +137,12 @@ type Auditor struct {
 	load    [][]uint64
 	touched []portRef
 	// lastVer tracks the highest applied version seen per (node, flow
-	// index) for the monotonicity invariant.
-	lastVer [][]uint32
+	// slot) for the monotonicity invariant; slotFlow remembers which
+	// flow each slot held last sweep, so a recycled slot's version
+	// history is reset instead of charging the new tenant with its
+	// predecessor's versions.
+	lastVer  [][]uint32
+	slotFlow []packet.FlowID
 }
 
 // Attach installs a continuous auditor on the network's engine and
@@ -201,8 +205,27 @@ func (a *Auditor) Sweep() {
 	}
 	a.touched = a.touched[:0]
 
-	flows := a.net.FlowIDs()
-	for idx, f := range flows {
+	// Iterate the dense slot space directly: dead (recycled, vacant)
+	// slots are skipped, so only live flows are audited, and a slot
+	// whose tenant changed since the last sweep gets its per-node
+	// version history cleared before the monotonicity check.
+	nSlots := a.net.NumFlowSlots()
+	for idx := 0; idx < nSlots; idx++ {
+		f, ok := a.net.FlowAt(int32(idx))
+		if !ok {
+			continue
+		}
+		if idx >= len(a.slotFlow) {
+			a.slotFlow = append(a.slotFlow, make([]packet.FlowID, idx+1-len(a.slotFlow))...)
+		}
+		if a.slotFlow[idx] != f {
+			a.slotFlow[idx] = f
+			for _, lv := range a.lastVer {
+				if idx < len(lv) {
+					lv[idx] = 0
+				}
+			}
+		}
 		rec, ok := a.ctl.Flow(f)
 		if !ok {
 			continue

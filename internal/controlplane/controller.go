@@ -110,6 +110,20 @@ type Controller struct {
 	// treated as immutable — which they are: the controller only
 	// serializes UIMs, never mutates them.
 	Plans Planner
+
+	// UIM batching (BeginUIMBatch/FlushUIMBatch): while batching is on,
+	// UIMs pushed through PushMessagesInto are coalesced per target
+	// switch and shipped as one UIMBatch frame per switch at flush. The
+	// batch scratch is reused across waves, so a steady-state reroute
+	// wave allocates one frame struct per touched switch.
+	batching   bool
+	batchOrder []topo.NodeID
+	batchIdx   map[topo.NodeID]int
+	batchItems [][]*packet.UIM
+	// BatchFrames / BatchedUIMs count flushed frames and the UIMs they
+	// carried (experiment reporting).
+	BatchFrames uint64
+	BatchedUIMs uint64
 }
 
 type updateKey struct {
@@ -245,6 +259,12 @@ func (c *Controller) PushMessagesInto(u *UpdateStatus, flow packet.FlowID, versi
 	}
 	c.updates[updateKey{flow, version}] = u
 	for i, m := range msgs {
+		if c.batching {
+			if uim, ok := m.(*packet.UIM); ok {
+				c.batchAdd(targets[i], uim)
+				continue
+			}
+		}
 		c.Net.SendToSwitch(targets[i], m, 0)
 	}
 	if rec != nil {
@@ -253,6 +273,83 @@ func (c *Controller) PushMessagesInto(u *UpdateStatus, flow packet.FlowID, versi
 	}
 	c.armUpdateWatchdog(u)
 	return u
+}
+
+// BeginUIMBatch switches the controller into UIM-batching mode: every
+// UIM pushed until FlushUIMBatch is coalesced per destination switch
+// instead of transmitted immediately. Non-UIM messages pass through
+// unbatched. Used by reroute waves (a wave triggers hundreds of updates
+// in the same virtual instant) to amortize marshal and scheduling cost;
+// single-update paths never batch, so their timing is untouched.
+func (c *Controller) BeginUIMBatch() {
+	c.batching = true
+	if c.batchIdx == nil {
+		c.batchIdx = make(map[topo.NodeID]int)
+	}
+}
+
+// batchAdd appends one UIM to its target's pending batch, keeping
+// first-touch target order so flush transmission order is
+// deterministic.
+func (c *Controller) batchAdd(target topo.NodeID, m *packet.UIM) {
+	bi, ok := c.batchIdx[target]
+	if !ok {
+		bi = len(c.batchOrder)
+		c.batchIdx[target] = bi
+		c.batchOrder = append(c.batchOrder, target)
+		if bi == len(c.batchItems) {
+			c.batchItems = append(c.batchItems, nil)
+		}
+	}
+	c.batchItems[bi] = append(c.batchItems[bi], m)
+}
+
+// FlushUIMBatch transmits every pending batch — one UIMBatch frame per
+// target switch, a bare UIM when a target accumulated only one — and
+// leaves batching mode. Delivery timing is identical to unbatched
+// sends (same instant, same control latency); only the per-message
+// marshal/schedule overhead is amortized.
+func (c *Controller) FlushUIMBatch() {
+	if !c.batching {
+		return
+	}
+	c.batching = false
+	for bi, node := range c.batchOrder {
+		items := c.batchItems[bi]
+		if len(items) == 1 {
+			c.Net.SendToSwitch(node, items[0], 0)
+		} else {
+			c.Net.SendToSwitch(node, &packet.UIMBatch{Items: items}, 0)
+			c.BatchFrames++
+			c.BatchedUIMs += uint64(len(items))
+		}
+		delete(c.batchIdx, node)
+		c.batchItems[bi] = items[:0]
+	}
+	c.batchOrder = c.batchOrder[:0]
+}
+
+// UnregisterFlow removes a departed flow from the Flow DB and drops its
+// tracked update records, bounding controller memory by live — not
+// historical — flows. Data-plane teardown is separate
+// (dataplane.Network.RetireFlow); callers retire only quiescent flows.
+func (c *Controller) UnregisterFlow(f packet.FlowID) {
+	rec, ok := c.flows[f]
+	if !ok {
+		return
+	}
+	delete(c.flows, f)
+	delete(c.trees, f)
+	for v := uint32(2); v <= rec.Version+1; v++ {
+		delete(c.updates, updateKey{f, v})
+	}
+}
+
+// ForgetUpdate drops the tracking record of one completed (flow,
+// version) update. Long-lived flows rerouted many times call this from
+// OnComplete so the updates map holds only in-flight work.
+func (c *Controller) ForgetUpdate(f packet.FlowID, version uint32) {
+	delete(c.updates, updateKey{f, version})
 }
 
 // armUpdateWatchdog schedules one end-to-end completion check for u

@@ -122,17 +122,27 @@ type Network struct {
 	base     *Network
 }
 
-// flowTable interns flow IDs into dense indexes in first-touch order.
+// flowTable interns flow IDs into dense indexes in first-touch order,
+// with a free list so retired flows' slots are recycled: under
+// streaming churn the table (and every per-switch dense slice indexed
+// by it) is sized by *live* flows, not by every flow that ever existed.
 // On an unsharded fabric it is single-threaded and lock-free; a sharded
 // fabric shares one table across region workers and takes the mutex.
 // Index values then depend on worker interleaving, which is safe
 // because nothing observable orders by index outside the congestion
-// path (which forces sequential execution).
+// path (which forces sequential execution) and the auditor (which also
+// forces sequential execution); retirement itself only runs in
+// root-engine (barrier) context.
 type flowTable struct {
 	mu     sync.Mutex
 	shared bool
 	idx    map[packet.FlowID]int32
-	ids    []packet.FlowID
+	ids    []packet.FlowID // slot-indexed; dead slots hold their last ID
+	live   []bool          // slot-indexed liveness
+	free   []int32         // recycled slots, LIFO
+	// scratch is the reusable backing array of FlowIDs(): the compacted
+	// live view, rebuilt per call.
+	scratch []packet.FlowID
 }
 
 func (t *flowTable) slot(f packet.FlowID) int32 {
@@ -143,10 +153,34 @@ func (t *flowTable) slot(f packet.FlowID) int32 {
 	if i, ok := t.idx[f]; ok {
 		return i
 	}
-	i := int32(len(t.ids))
+	var i int32
+	if k := len(t.free); k > 0 {
+		i = t.free[k-1]
+		t.free = t.free[:k-1]
+		t.ids[i] = f
+		t.live[i] = true
+	} else {
+		i = int32(len(t.ids))
+		t.ids = append(t.ids, f)
+		t.live = append(t.live, true)
+	}
 	t.idx[f] = i
-	t.ids = append(t.ids, f)
 	return i
+}
+
+// release frees f's slot for reuse. The (f, i) pair is re-checked under
+// the lock so a stale release can never free a reassigned slot.
+func (t *flowTable) release(f packet.FlowID, i int32) {
+	if t.shared {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	if j, ok := t.idx[f]; !ok || j != i {
+		return
+	}
+	delete(t.idx, f)
+	t.live[i] = false
+	t.free = append(t.free, i)
 }
 
 func (t *flowTable) peek(f packet.FlowID) (int32, bool) {
@@ -231,16 +265,85 @@ func MsgMeta(m packet.Message) (flow uint32, ver uint32) {
 // per-packet forwarding hot path and are deliberately not traced (probe
 // outcomes surface as StatusProbeOK UFMs).
 func (n *Network) recordSend(tr *trace.Recorder, from, to topo.NodeID, m packet.Message) {
+	if b, ok := m.(*packet.UIMBatch); ok {
+		// A batch frame traces as its contained UIMs, so batched and
+		// unbatched runs produce comparable message summaries.
+		for _, it := range b.Items {
+			tr.Send(int32(from), uint8(packet.TypeUIM), int32(to), uint32(it.Flow), it.Version)
+		}
+		return
+	}
 	if t := m.Type(); t != packet.TypeData {
 		f, v := MsgMeta(m)
 		tr.Send(int32(from), uint8(t), int32(to), f, v)
 	}
 }
 
-// FlowIDs returns every flow interned by the fabric in deterministic
-// first-touch order. The slice is owned by the network: callers (the
-// invariant auditor) must treat it as read-only.
-func (n *Network) FlowIDs() []packet.FlowID { return n.flows.ids }
+// FlowIDs returns every *live* flow interned by the fabric, in
+// deterministic slot order (first-touch order until slots recycle).
+// The slice is owned by the network and rebuilt on every call: callers
+// (the invariant auditor) must treat it as read-only and must not
+// retain it across calls.
+func (n *Network) FlowIDs() []packet.FlowID {
+	t := n.flows
+	if t.shared {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	t.scratch = t.scratch[:0]
+	for i, f := range t.ids {
+		if t.live[i] {
+			t.scratch = append(t.scratch, f)
+		}
+	}
+	return t.scratch
+}
+
+// NumFlowSlots returns the size of the dense flow-slot space (live
+// peak, not historical count). Slot indexes returned by the interner
+// are always < NumFlowSlots at the time of interning.
+func (n *Network) NumFlowSlots() int {
+	t := n.flows
+	if t.shared {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	return len(t.ids)
+}
+
+// FlowAt returns the live flow occupying dense slot i, or false for a
+// dead (recycled, currently vacant) slot.
+func (n *Network) FlowAt(i int32) (packet.FlowID, bool) {
+	t := n.flows
+	if t.shared {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	if i < 0 || int(i) >= len(t.ids) || !t.live[i] {
+		return 0, false
+	}
+	return t.ids[i], true
+}
+
+// RetireFlow removes every trace of a departed flow from the fabric —
+// per-switch state blocks (recycled into each switch's free list),
+// capacity reservations, waiter-table slots — and releases its dense
+// slot for reuse. Callers must only retire quiescent flows (no update
+// in flight): late frames for a retired flow are dropped harmlessly by
+// the PeekState guards, but a commit staged *before* retirement would
+// re-intern the ID into a fresh slot. Returns false if f was never
+// interned (or already retired).
+func (n *Network) RetireFlow(f packet.FlowID) bool {
+	i, ok := n.flows.peek(f)
+	if !ok {
+		return false
+	}
+	for _, sw := range n.switches {
+		sw.retireFlow(i, f)
+	}
+	n.flows.release(f, i)
+	return true
+}
 
 // newDelivery pops a delivery record from the free list.
 func (n *Network) newDelivery() *delivery {

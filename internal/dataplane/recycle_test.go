@@ -1,0 +1,179 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// TestSlotRecyclingNeverAliasesLiveFlows drives a long random
+// install/retire churn over the interning table and checks the two
+// core recycling invariants after every step: no dense slot is shared
+// by two live flows, and the slot space never grows past the peak live
+// population.
+func TestSlotRecyclingNeverAliasesLiveFlows(t *testing.T) {
+	net, _ := lineNet(t, 1)
+	rng := rand.New(rand.NewSource(42))
+	path := []topo.NodeID{0, 1, 2, 3}
+
+	live := make(map[packet.FlowID]int32)
+	peak := 0
+	for step := 0; step < 5000; step++ {
+		if len(live) == 0 || rng.Intn(100) < 55 {
+			f := packet.FlowID(rng.Uint32())
+			if _, ok := live[f]; ok {
+				continue
+			}
+			net.InstallPath(f, path, 1, 1)
+			i, ok := net.peekFlowSlot(f)
+			if !ok {
+				t.Fatalf("step %d: flow %d not interned after install", step, f)
+			}
+			live[f] = i
+		} else {
+			// Retire a pseudo-random live flow.
+			k := rng.Intn(len(live))
+			var victim packet.FlowID
+			for f := range live {
+				if k == 0 {
+					victim = f
+					break
+				}
+				k--
+			}
+			if !net.RetireFlow(victim) {
+				t.Fatalf("step %d: retire of live flow %d failed", step, victim)
+			}
+			delete(live, victim)
+		}
+		if len(live) > peak {
+			peak = len(live)
+		}
+		if net.NumFlowSlots() > peak {
+			t.Fatalf("step %d: %d slots for peak live %d — table grows with history",
+				step, net.NumFlowSlots(), peak)
+		}
+	}
+
+	// Final audit: every live flow occupies its recorded slot, every
+	// slot holds at most one live flow, and dead slots report vacant.
+	seen := make(map[int32]packet.FlowID)
+	for f, i := range live {
+		got, ok := net.peekFlowSlot(f)
+		if !ok || got != i {
+			t.Fatalf("flow %d moved from slot %d to (%d, %v)", f, i, got, ok)
+		}
+		if prev, dup := seen[i]; dup {
+			t.Fatalf("slot %d shared by live flows %d and %d", i, prev, f)
+		}
+		seen[i] = f
+		if id, ok := net.FlowAt(i); !ok || id != f {
+			t.Fatalf("FlowAt(%d) = (%d, %v), want (%d, true)", i, id, ok, f)
+		}
+	}
+	for i := 0; i < net.NumFlowSlots(); i++ {
+		f, ok := net.FlowAt(int32(i))
+		if !ok {
+			continue
+		}
+		if got, has := live[f]; !has || got != int32(i) {
+			t.Fatalf("slot %d reports flow %d which is not live there", i, f)
+		}
+	}
+}
+
+// TestFlowIDsIterateLiveOnly checks that the fabric-wide flow iterator
+// skips retired flows and re-reports recycled slots' new tenants.
+func TestFlowIDsIterateLiveOnly(t *testing.T) {
+	net, _ := lineNet(t, 1)
+	path := []topo.NodeID{0, 1, 2, 3}
+	for f := packet.FlowID(1); f <= 10; f++ {
+		net.InstallPath(f, path, 1, 1)
+	}
+	for f := packet.FlowID(2); f <= 10; f += 2 {
+		net.RetireFlow(f)
+	}
+	want := map[packet.FlowID]bool{1: true, 3: true, 5: true, 7: true, 9: true}
+	got := net.FlowIDs()
+	if len(got) != len(want) {
+		t.Fatalf("FlowIDs returned %d flows, want %d: %v", len(got), len(want), got)
+	}
+	for _, f := range got {
+		if !want[f] {
+			t.Fatalf("FlowIDs returned retired flow %d", f)
+		}
+	}
+	// Recycled slots pick up new tenants and reappear exactly once.
+	net.InstallPath(100, path, 1, 1)
+	net.InstallPath(101, path, 1, 1)
+	count := make(map[packet.FlowID]int)
+	for _, f := range net.FlowIDs() {
+		count[f]++
+	}
+	if count[100] != 1 || count[101] != 1 || len(count) != 7 {
+		t.Fatalf("after recycling, FlowIDs = %v", count)
+	}
+	if net.NumFlowSlots() != 10 {
+		t.Fatalf("slot space grew to %d, want 10", net.NumFlowSlots())
+	}
+}
+
+// TestSteadyStateRecyclingAllocationFree asserts the perf contract of
+// the free-list design: once the fabric has reached its peak live
+// population, install/retire churn allocates nothing — slots come off
+// the interning free list and FlowState blocks off each switch's slab
+// free list, so steady-state memory does not grow with historical flow
+// count.
+func TestSteadyStateRecyclingAllocationFree(t *testing.T) {
+	net, _ := lineNet(t, 1)
+	path := []topo.NodeID{0, 1, 2, 3}
+	ids := make([]packet.FlowID, 32)
+	for i := range ids {
+		ids[i] = packet.FlowID(1000 + i)
+	}
+	cycle := func() {
+		for _, f := range ids {
+			net.InstallPath(f, path, 1, 1)
+		}
+		for _, f := range ids {
+			net.RetireFlow(f)
+		}
+	}
+	cycle() // warm: grow table, maps, and free lists to peak
+	if avg := testing.AllocsPerRun(100, cycle); avg > 0.5 {
+		t.Fatalf("steady-state install/retire cycle allocates %.1f objects per cycle, want 0", avg)
+	}
+}
+
+// TestRetireFlowReleasesSwitchState checks that retirement recycles the
+// per-switch state blocks: a retired flow's FlowState pointer is
+// reused by the next allocation on the same switch.
+func TestRetireFlowReleasesSwitchState(t *testing.T) {
+	net, _ := lineNet(t, 1)
+	path := []topo.NodeID{0, 1, 2, 3}
+	f := packet.FlowID(7)
+	net.InstallPath(f, path, 1, 1)
+	sw := net.Switch(1)
+	st, ok := sw.PeekState(f)
+	if !ok {
+		t.Fatal("no state after install")
+	}
+	net.RetireFlow(f)
+	if _, ok := sw.PeekState(f); ok {
+		t.Fatal("state still visible after retire")
+	}
+	g := packet.FlowID(8)
+	net.InstallPath(g, path, 1, 1)
+	st2, ok := sw.PeekState(g)
+	if !ok {
+		t.Fatal("no state after reinstall")
+	}
+	if st != st2 {
+		t.Fatal("retired FlowState block was not recycled")
+	}
+	if st2.HasRule != true || st2.NewVersion != 1 {
+		t.Fatalf("recycled state not reset: %+v", st2)
+	}
+}

@@ -45,8 +45,13 @@ type Switch struct {
 	// regrown), and a fresh-flow touch costs one allocation per block
 	// instead of one per flow.
 	stateChunks [][]FlowState
-	reserved    []uint64 // kbps reserved per real egress port
-	handler     Handler
+	// freeStates recycles retired flows' state blocks (reset to fresh,
+	// reservation-slice capacity kept), so steady-state churn allocates
+	// no new slab blocks; freeUIMSlots recycles their waiter-table rows.
+	freeStates   []*FlowState
+	freeUIMSlots []int32
+	reserved     []uint64 // kbps reserved per real egress port
+	handler      Handler
 
 	// InstallDelay samples the time a forwarding-rule change takes to
 	// commit (the per-node update slowness of §9.1). Nil means instant.
@@ -132,16 +137,25 @@ func (sw *Switch) growFlows(i int) {
 // many-flow trial amortizes to one allocation per 64 flows.
 const maxStateChunk = 64
 
-// allocState hands out a pointer into the current slab block, opening a
-// new block when it is full. In-block appends never relocate (capacity
-// is fixed), so the returned pointer is stable for the switch's
-// lifetime.
+// allocState hands out a recycled state block when one is free, else a
+// pointer into the current slab block, opening a new block when it is
+// full. In-block appends never relocate (capacity is fixed), so the
+// returned pointer is stable for the switch's lifetime.
 func (sw *Switch) allocState() *FlowState {
+	if k := len(sw.freeStates); k > 0 {
+		st := sw.freeStates[k-1]
+		sw.freeStates = sw.freeStates[:k-1]
+		return st
+	}
 	k := len(sw.stateChunks)
 	if k == 0 || len(sw.stateChunks[k-1]) == cap(sw.stateChunks[k-1]) {
-		size := 4 << k
-		if size > maxStateChunk {
-			size = maxStateChunk
+		// Blocks double 4→8→16→32, then stay at the cap; the shift must
+		// not scale with the chunk count (4<<k overflows once a switch
+		// has opened enough capped chunks — hundreds of thousands of
+		// live flows under streaming churn).
+		size := maxStateChunk
+		if k < 4 {
+			size = 4 << k
 		}
 		sw.stateChunks = append(sw.stateChunks, make([]FlowState, 0, size))
 		k++
@@ -169,6 +183,12 @@ func (sw *Switch) recordRecv(tr *trace.Recorder, m packet.Message, inPort topo.P
 		if nb, ok := sw.net.Topo.NeighborAt(sw.ID, inPort); ok {
 			peer = int32(nb)
 		}
+	}
+	if b, ok := m.(*packet.UIMBatch); ok {
+		for _, it := range b.Items {
+			tr.Recv(int32(sw.ID), uint8(packet.TypeUIM), peer, uint32(it.Flow), it.Version)
+		}
+		return
 	}
 	f, v := MsgMeta(m)
 	tr.Recv(int32(sw.ID), uint8(m.Type()), peer, f, v)
@@ -229,6 +249,44 @@ func (sw *Switch) FlowStateAt(i int) *FlowState {
 	return nil
 }
 
+// retireFlow tears down the flow occupying dense slot i on this switch:
+// it returns the committed rule's capacity reservation and any staged
+// ones, clears waiter-table membership, and recycles the state block
+// and waiter row. Called by Network.RetireFlow for quiescent flows.
+func (sw *Switch) retireFlow(i int32, f packet.FlowID) {
+	if int(i) >= len(sw.flowStates) {
+		return
+	}
+	st := sw.flowStates[i]
+	if st == nil {
+		return
+	}
+	for _, pr := range st.PendingRes {
+		sw.Release(pr.Port, pr.SizeK)
+	}
+	if st.HasRule {
+		sw.Release(st.EgressPort, st.FlowSizeK)
+	}
+	if st.uimSlot != 0 {
+		sw.uimWaiters[st.uimSlot-1] = sw.uimWaiters[st.uimSlot-1][:0]
+		sw.freeUIMSlots = append(sw.freeUIMSlots, st.uimSlot)
+	}
+	for s := range sw.highWaiting {
+		set := sw.highWaiting[s]
+		for j, g := range set {
+			if g == f {
+				sw.highWaiting[s] = append(set[:j], set[j+1:]...)
+				break
+			}
+		}
+	}
+	sw.flowStates[i] = nil
+	pend := st.PendingRes[:0]
+	*st = freshFlowState()
+	st.PendingRes = pend
+	sw.freeStates = append(sw.freeStates, st)
+}
+
 // Receive is the switch's pipeline entry point: it parses the frame and
 // dispatches on message type. inPort is the arrival port, or
 // topo.InvalidPort for frames from the controller or host side.
@@ -262,6 +320,16 @@ func (sw *Switch) Receive(raw []byte, inPort topo.PortID) {
 		sw.net.pool.PutUNM(m)
 	case *packet.CLN:
 		sw.handleCleanup(m)
+	case *packet.UIMBatch:
+		// Unpack and dispatch each indication as if it arrived alone.
+		// Items are freshly allocated by the decoder (never pooled):
+		// handlers retain the staged pointer in FlowState.UIM.
+		for _, u := range m.Items {
+			sw.Stats.UIMReceived++
+			if sw.handler != nil {
+				sw.handler.HandleUIM(sw, u)
+			}
+		}
 	default:
 		// Baseline protocols define extra message types; hand them to the
 		// handler when it supports them, else drop.
@@ -396,8 +464,13 @@ func (sw *Switch) Alarm(f packet.FlowID, version uint32, reason packet.AlarmReas
 func (sw *Switch) ParkOnUIM(f packet.FlowID, fire func()) {
 	st := sw.State(f)
 	if st.uimSlot == 0 {
-		sw.uimWaiters = append(sw.uimWaiters, nil)
-		st.uimSlot = int32(len(sw.uimWaiters))
+		if k := len(sw.freeUIMSlots); k > 0 {
+			st.uimSlot = sw.freeUIMSlots[k-1]
+			sw.freeUIMSlots = sw.freeUIMSlots[:k-1]
+		} else {
+			sw.uimWaiters = append(sw.uimWaiters, nil)
+			st.uimSlot = int32(len(sw.uimWaiters))
+		}
 	}
 	sw.uimWaiters[st.uimSlot-1] = append(sw.uimWaiters[st.uimSlot-1], parked{fire: fire})
 }

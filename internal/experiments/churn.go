@@ -1,0 +1,413 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"p4update/internal/controlplane"
+	"p4update/internal/packet"
+	"p4update/internal/runner"
+	"p4update/internal/topo"
+	"p4update/internal/traffic"
+	"p4update/internal/wiring"
+)
+
+// ChurnOpts tunes the streaming churn experiment: a Poisson stream of
+// flow arrivals and departures sustained over virtual time, with
+// continuous single-link latency perturbations forcing reroute waves
+// through the update system under test.
+type ChurnOpts struct {
+	// ArrivalRate is the flow arrival rate (flows per second of virtual
+	// time); MeanLifetime the mean exponential flow lifetime. The
+	// steady-state live population approaches ArrivalRate*MeanLifetime.
+	ArrivalRate  float64
+	MeanLifetime time.Duration
+	// Duration is the admission window; the trial then drains for Drain
+	// extra virtual time so in-flight updates and departures settle.
+	Duration time.Duration
+	Drain    time.Duration
+	// RerouteEvery is the mean interval between link perturbations
+	// (0 disables reroutes — pure arrival/departure churn).
+	RerouteEvery time.Duration
+	// LatencyJitter perturbs link latencies once at setup so shortest
+	// paths are unique (required on equal-cost fat-trees for exact
+	// incremental oracle repair; see internal/topo/repair.go).
+	LatencyJitter float64
+	// EdgeOnly restricts flow endpoints to the topology's degree-minimal
+	// edge layer (fat-tree edge switches).
+	EdgeOnly bool
+	// RetireGrace delays data-plane teardown of a departed flow after
+	// its last update completes, letting stale cleanup frames drain
+	// before the flow's slot is recycled.
+	RetireGrace time.Duration
+}
+
+// DefaultChurnOpts returns a short smoke-scale configuration; the
+// headline benchmark scales ArrivalRate/Duration up (see BENCH_churn).
+func DefaultChurnOpts() ChurnOpts {
+	return ChurnOpts{
+		ArrivalRate:   2000,
+		MeanLifetime:  2 * time.Second,
+		Duration:      2 * time.Second,
+		Drain:         500 * time.Millisecond,
+		RerouteEvery:  20 * time.Millisecond,
+		LatencyJitter: 0.2,
+		EdgeOnly:      true,
+		RetireGrace:   50 * time.Millisecond,
+	}
+}
+
+// ChurnResult is the merged outcome of a churn grid.
+type ChurnResult struct {
+	Label  string
+	Opts   ChurnOpts
+	Trials []runner.Result
+}
+
+// String renders one summary row per trial: live-flow peak, completed
+// update count with p50/p99 completion times, and the sustained
+// wall-clock arrival throughput.
+func (r *ChurnResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Churn: %s ==\n", r.Label)
+	for _, t := range r.Trials {
+		if t.Failed {
+			fmt.Fprintf(&b, "%-24s FAILED: %s\n", t.Label, t.Err)
+			continue
+		}
+		v := t.Values
+		fmt.Fprintf(&b,
+			"%-24s peak_live=%d arrivals=%d departures=%d updates=%d p50=%.2fms p99=%.2fms waves=%d flows/s(wall)=%.0f\n",
+			t.Label, int(v["peak_live"]), int(v["arrivals"]), int(v["departures"]),
+			int(v["updates_completed"]), v["update_p50_ms"], v["update_p99_ms"],
+			int(v["waves"]), v["wall_flows_per_sec"])
+	}
+	return b.String()
+}
+
+// churnFlow is the harness's view of one live flow.
+type churnFlow struct {
+	src, dst topo.NodeID
+	path     []topo.NodeID
+	updating bool
+	departed bool
+}
+
+// churnHarness drives one churn trial: it owns the live-flow table and
+// the link→flows index, and schedules every arrival, departure, and
+// reroute wave as resident (root-engine) events — so a sharded
+// execution replays the identical sequence at barriers and the trial
+// stays byte-identical across shard counts.
+type churnHarness struct {
+	sys *wiring.System
+	g   *topo.Topology
+	w   *traffic.ChurnWorkload
+	opt ChurnOpts
+
+	live      map[packet.FlowID]*churnFlow
+	linkFlows map[topo.LinkID]map[packet.FlowID]struct{}
+	samples   []time.Duration
+
+	arrivals, departures, retired uint64
+	waves, triggered, completed   uint64
+	skippedBusy, skippedSame      uint64
+	triggerErrs                   uint64
+	peakLive                      int
+
+	scratch []packet.FlowID // sorted wave worklist, reused
+}
+
+// pathLinks calls fn with the LinkID of every hop of path.
+func (h *churnHarness) pathLinks(path []topo.NodeID, fn func(topo.LinkID)) {
+	for i := 0; i+1 < len(path); i++ {
+		l, ok := h.g.LinkBetween(path[i], path[i+1])
+		if !ok {
+			panic(fmt.Sprintf("churn: no link %d-%d on flow path", path[i], path[i+1]))
+		}
+		fn(l.ID)
+	}
+}
+
+func (h *churnHarness) indexFlow(f packet.FlowID, path []topo.NodeID) {
+	h.pathLinks(path, func(id topo.LinkID) {
+		m := h.linkFlows[id]
+		if m == nil {
+			m = make(map[packet.FlowID]struct{})
+			h.linkFlows[id] = m
+		}
+		m[f] = struct{}{}
+	})
+}
+
+func (h *churnHarness) unindexFlow(f packet.FlowID, path []topo.NodeID) {
+	h.pathLinks(path, func(id topo.LinkID) {
+		delete(h.linkFlows[id], f)
+	})
+}
+
+// retire tears the flow down everywhere: harness tables, controller
+// Flow DB, and the data-plane interning slot (recycled for the next
+// arrival). Callers only retire quiescent flows — either never updated,
+// or RetireGrace after their last update completed.
+func (h *churnHarness) retire(f packet.FlowID) {
+	cf, ok := h.live[f]
+	if !ok {
+		return
+	}
+	h.unindexFlow(f, cf.path)
+	delete(h.live, f)
+	h.sys.Ctl.UnregisterFlow(f)
+	h.sys.Net.RetireFlow(f)
+	h.retired++
+}
+
+// onArrival registers the flow along the current shortest path and
+// schedules its departure and the next arrival.
+func (h *churnHarness) onArrival(a traffic.ChurnArrival) {
+	f := a.ID()
+	path := h.g.ShortestPath(a.Src, a.Dst, topo.ByLatency)
+	if err := h.sys.Ctl.RegisterFlowID(f, a.Src, a.Dst, path, 1); err != nil {
+		panic(fmt.Sprintf("churn: register: %v", err))
+	}
+	cf := &churnFlow{src: a.Src, dst: a.Dst, path: path}
+	h.live[f] = cf
+	h.indexFlow(f, path)
+	h.arrivals++
+	if len(h.live) > h.peakLive {
+		h.peakLive = len(h.live)
+	}
+	h.sys.Eng.ScheduleAt(a.At+a.Lifetime, func() { h.onDeparture(f) })
+	h.scheduleNextArrival()
+}
+
+// onDeparture retires the flow immediately when it is quiescent, or
+// defers teardown to update completion when a reroute is in flight.
+func (h *churnHarness) onDeparture(f packet.FlowID) {
+	cf, ok := h.live[f]
+	if !ok {
+		return
+	}
+	h.departures++
+	if cf.updating {
+		cf.departed = true
+		return
+	}
+	h.retire(f)
+}
+
+// onReroute applies the link perturbation and triggers one update per
+// affected flow whose shortest path changed, batching the wave's UIMs
+// per destination switch. Affected flows are visited in FlowID order so
+// the wave's trigger sequence is deterministic.
+func (h *churnHarness) onReroute(r traffic.ChurnReroute) {
+	base := h.w.BaseLatency(r.Link)
+	h.g.SetLinkLatency(r.Link, time.Duration(float64(base)*r.Factor))
+	h.waves++
+
+	h.scratch = h.scratch[:0]
+	for f := range h.linkFlows[r.Link] {
+		h.scratch = append(h.scratch, f)
+	}
+	sort.Slice(h.scratch, func(i, j int) bool { return h.scratch[i] < h.scratch[j] })
+
+	h.sys.Ctl.BeginUIMBatch()
+	for _, f := range h.scratch {
+		cf := h.live[f]
+		if cf == nil || cf.updating || cf.departed {
+			h.skippedBusy++
+			continue
+		}
+		sp := h.g.ShortestPath(cf.src, cf.dst, topo.ByLatency)
+		if samePath(sp, cf.path) {
+			h.skippedSame++
+			continue
+		}
+		if _, err := h.sys.Trigger(f, sp); err != nil {
+			h.triggerErrs++
+			continue
+		}
+		h.unindexFlow(f, cf.path)
+		cf.path = sp
+		cf.updating = true
+		h.indexFlow(f, sp)
+		h.triggered++
+	}
+	h.sys.Ctl.FlushUIMBatch()
+	h.scheduleNextReroute()
+}
+
+// onUpdateComplete samples the update time, drops the per-update
+// tracking record (the updates map holds only in-flight work), and
+// finishes a deferred departure after the retire grace.
+func (h *churnHarness) onUpdateComplete(f packet.FlowID, version uint32, d time.Duration) {
+	h.completed++
+	h.samples = append(h.samples, d)
+	h.sys.Ctl.ForgetUpdate(f, version)
+	cf, ok := h.live[f]
+	if !ok {
+		return
+	}
+	cf.updating = false
+	if cf.departed {
+		h.sys.Eng.Schedule(h.opt.RetireGrace, func() { h.retire(f) })
+	}
+}
+
+func (h *churnHarness) scheduleNextArrival() {
+	a, ok := h.w.NextArrival(func(f packet.FlowID) bool {
+		_, taken := h.live[f]
+		return taken
+	})
+	if !ok {
+		return
+	}
+	h.sys.Eng.ScheduleAt(a.At, func() { h.onArrival(a) })
+}
+
+func (h *churnHarness) scheduleNextReroute() {
+	r, ok := h.w.NextReroute()
+	if !ok {
+		return
+	}
+	h.sys.Eng.ScheduleAt(r.At, func() { h.onReroute(r) })
+}
+
+func samePath(a, b []topo.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runChurnTrial executes one trial body on an already wired system.
+func runChurnTrial(sys *wiring.System, g *topo.Topology, seed int64, opt ChurnOpts) (runner.Metrics, error) {
+	start := time.Now()
+	cand := g.Nodes()
+	if opt.EdgeOnly {
+		cand = topo.EdgeSwitches(g)
+	}
+	w, err := traffic.NewChurnWorkload(g, seed, traffic.ChurnConfig{
+		ArrivalRate:  opt.ArrivalRate,
+		MeanLifetime: opt.MeanLifetime,
+		Duration:     opt.Duration,
+		RerouteEvery: opt.RerouteEvery,
+		// Jitter is applied by the caller before wiring (control
+		// latencies derive from link latencies); never here.
+		LatencyJitter: 0,
+		Candidates:    cand,
+	})
+	if err != nil {
+		return runner.Metrics{}, err
+	}
+	h := &churnHarness{
+		sys:       sys,
+		g:         g,
+		w:         w,
+		opt:       opt,
+		live:      make(map[packet.FlowID]*churnFlow),
+		linkFlows: make(map[topo.LinkID]map[packet.FlowID]struct{}),
+	}
+	sys.Ctl.OnComplete = func(u *controlplane.UpdateStatus) {
+		h.onUpdateComplete(u.Flow, u.Version, u.Completed-u.Sent)
+	}
+	h.scheduleNextArrival()
+	h.scheduleNextReroute()
+	sys.Eng.RunUntil(opt.Duration + opt.Drain)
+
+	m := runner.Metrics{Samples: h.samples}
+	m.Values = map[string]float64{
+		"arrivals":          float64(h.arrivals),
+		"departures":        float64(h.departures),
+		"retired":           float64(h.retired),
+		"peak_live":         float64(h.peakLive),
+		"end_live":          float64(len(h.live)),
+		"flow_slots":        float64(sys.Net.NumFlowSlots()),
+		"waves":             float64(h.waves),
+		"updates_triggered": float64(h.triggered),
+		"updates_completed": float64(h.completed),
+		"skipped_busy":      float64(h.skippedBusy),
+		"skipped_same":      float64(h.skippedSame),
+		"trigger_errors":    float64(h.triggerErrs),
+		"batch_frames":      float64(sys.Ctl.BatchFrames),
+		"batched_uims":      float64(sys.Ctl.BatchedUIMs),
+	}
+	if len(h.samples) > 0 {
+		sorted := append([]time.Duration(nil), h.samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, s := range sorted {
+			sum += s
+		}
+		q := func(p float64) float64 {
+			i := int(p * float64(len(sorted)-1))
+			return float64(sorted[i]) / float64(time.Millisecond)
+		}
+		m.Values["update_p50_ms"] = q(0.50)
+		m.Values["update_p99_ms"] = q(0.99)
+		m.Values["update_mean_ms"] = float64(sum) / float64(len(sorted)) / float64(time.Millisecond)
+	}
+	// Host-side throughput: how many arrivals the simulation sustained
+	// per wall-clock second. Like WallClock/Allocs, determinism
+	// comparisons must ignore it.
+	if el := time.Since(start).Seconds(); el > 0 {
+		m.Values["wall_flows_per_sec"] = float64(h.arrivals) / el
+	}
+	return m, nil
+}
+
+// churnSystems resolves the grid's system list: churn defaults to
+// P4Update only (the headline perf scenario) rather than the full
+// registered comparison.
+func churnSystems(opt RunOptions) []SystemKind {
+	if len(opt.Systems) > 0 {
+		return opt.Systems
+	}
+	return []SystemKind{KindP4Update}
+}
+
+// RunChurn runs the streaming churn scenario on topology builder mk:
+// `runs` independent trials per system, each sustaining a Poisson
+// arrival/departure stream with continuous reroute waves. Every trial
+// owns a private unfrozen topology instance — reroutes perturb link
+// latencies in place and the path oracle repairs its cache
+// incrementally — so the grid builds one topology per trial
+// sequentially up front and shares nothing.
+func RunChurn(mk func() *topo.Topology, label string, runs int, seed int64, co ChurnOpts, opt RunOptions) (*ChurnResult, error) {
+	if co.ArrivalRate <= 0 || co.Duration <= 0 || co.MeanLifetime <= 0 {
+		return nil, fmt.Errorf("experiments: churn needs positive rate/lifetime/duration")
+	}
+	res := &ChurnResult{Label: label, Opts: co}
+	bed := DefaultBedConfig()
+	systems := churnSystems(opt)
+	trials := make([]runner.Trial, 0, len(systems)*runs)
+	for _, kind := range systems {
+		for run := 0; run < runs; run++ {
+			trialSeed := seed + int64(run)*7919
+			g := mk()
+			if co.LatencyJitter > 0 {
+				// One-time seeded jitter, applied before wiring so control
+				// latencies and region partitions see the jittered weights;
+				// makes fat-tree shortest paths unique (exact incremental
+				// repair, see internal/topo/repair.go).
+				traffic.JitterLatencies(g, trialSeed, co.LatencyJitter)
+			}
+			cfg := bed.WiringConfig(kind, trialSeed)
+			cfg.Shards = opt.Shards
+			opts := co
+			trials = append(trials, runner.BedTrial(
+				fmt.Sprintf("churn/%s/run%d", label, run), kind.String(), g, cfg,
+				func(sys *wiring.System) (runner.Metrics, error) {
+					return runChurnTrial(sys, g, cfg.Seed, opts)
+				}))
+		}
+	}
+	res.Trials = opt.Pool().Run(trials)
+	return res, nil
+}

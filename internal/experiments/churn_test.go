@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"p4update/internal/runner"
+	"p4update/internal/topo"
+	"p4update/internal/wiring"
+)
+
+// smokeChurnOpts is a fast configuration exercising every harness path:
+// arrivals, departures (mean lifetime below the window), reroute waves,
+// deferred retirement, and UIM batching.
+func smokeChurnOpts() ChurnOpts {
+	return ChurnOpts{
+		ArrivalRate:   800,
+		MeanLifetime:  300 * time.Millisecond,
+		Duration:      500 * time.Millisecond,
+		Drain:         300 * time.Millisecond,
+		RerouteEvery:  25 * time.Millisecond,
+		LatencyJitter: 0.2,
+		EdgeOnly:      true,
+		RetireGrace:   20 * time.Millisecond,
+	}
+}
+
+func churnValues(t *testing.T, r runner.Result) map[string]float64 {
+	t.Helper()
+	if r.Failed {
+		t.Fatalf("trial %s failed: %s", r.Label, r.Err)
+	}
+	return r.Values
+}
+
+func TestChurnSmoke(t *testing.T) {
+	res, err := RunChurn(func() *topo.Topology { return topo.FatTree(4) },
+		"fattree4", 1, 1, smokeChurnOpts(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := churnValues(t, res.Trials[0])
+	if v["arrivals"] == 0 {
+		t.Fatal("no arrivals")
+	}
+	if v["updates_completed"] == 0 {
+		t.Fatal("no completed updates — reroute waves never triggered")
+	}
+	if v["trigger_errors"] != 0 {
+		t.Fatalf("%v trigger errors", v["trigger_errors"])
+	}
+	// Conservation: every arrived flow is either retired or still live.
+	if got, want := v["retired"]+v["end_live"], v["arrivals"]; got != want {
+		t.Fatalf("flow conservation broken: retired+end_live=%v, arrivals=%v", got, want)
+	}
+	// Slot recycling bounds the interning table by peak live flows, not
+	// historical arrivals.
+	if v["flow_slots"] > v["peak_live"] {
+		t.Fatalf("flow slots %v exceed peak live %v — recycling broken", v["flow_slots"], v["peak_live"])
+	}
+	if v["arrivals"] > v["peak_live"]*1.5 && v["flow_slots"] >= v["arrivals"] {
+		t.Fatalf("slots track historical flows (%v slots for %v arrivals)", v["flow_slots"], v["arrivals"])
+	}
+	// Waves batch their UIMs: multi-update waves must produce batch frames.
+	if v["updates_triggered"] > 50 && v["batch_frames"] == 0 {
+		t.Fatalf("no UIM batch frames despite %v triggered updates", v["updates_triggered"])
+	}
+	if v["updates_completed"] > 0 && v["update_p99_ms"] < v["update_p50_ms"] {
+		t.Fatalf("p99 %v below p50 %v", v["update_p99_ms"], v["update_p50_ms"])
+	}
+}
+
+// TestChurnAuditSmoke reruns the smoke scenario with the continuous
+// invariant auditor attached (which forces sequential execution) and
+// requires a clean audit: slot recycling must never leave the auditor
+// a stale flow view or a false version regression.
+func TestChurnAuditSmoke(t *testing.T) {
+	co := smokeChurnOpts()
+	g := topo.FatTree(4)
+	bed := DefaultBedConfig()
+	cfg := bed.WiringConfig(KindP4Update, 1)
+	cfg.AuditEvery = 200
+	trial := runner.BedTrial("churn/audit", KindP4Update.String(), g, cfg,
+		func(sys *wiring.System) (runner.Metrics, error) {
+			return runChurnTrial(sys, g, cfg.Seed, co)
+		})
+	res := (&runner.Pool{Workers: 1}).Run([]runner.Trial{trial})
+	v := churnValues(t, res[0])
+	if v["updates_completed"] == 0 {
+		t.Fatal("audited churn run completed no updates")
+	}
+}
+
+// stripChurnHost drops host-side values (wall clock, alloc counters,
+// wall throughput) that legitimately differ between runs.
+func stripChurnHost(results []runner.Result) []runner.Result {
+	out := make([]runner.Result, len(results))
+	copy(out, results)
+	for i := range out {
+		out[i].WallClock = 0
+		out[i].Allocs = 0
+		out[i].AllocBytes = 0
+		out[i].Shards = 0
+		out[i].Gomaxprocs = 0
+		out[i].ShardEventsScheduled = nil
+		vals := make(map[string]float64, len(out[i].Values))
+		for k, v := range out[i].Values {
+			if k == "wall_flows_per_sec" {
+				continue
+			}
+			vals[k] = v
+		}
+		out[i].Values = vals
+	}
+	return out
+}
+
+// TestChurnDeterministicAcrossShards runs the same churn trial
+// sequentially and under the sharded runtime at several region counts
+// and requires identical merged results: the harness drives arrivals,
+// departures and reroute waves purely from resident (root-engine)
+// events, which the sharded cursor replays at their exact timestamps.
+func TestChurnDeterministicAcrossShards(t *testing.T) {
+	co := smokeChurnOpts()
+	run := func(shards int) []runner.Result {
+		res, err := RunChurn(func() *topo.Topology { return topo.FatTree(4) },
+			"fattree4", 2, 1, co, RunOptions{Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if shards > 1 {
+			for _, r := range res.Trials {
+				if r.Metrics.Shards < 2 {
+					t.Fatalf("shards=%d: trial %s fell back to sequential execution", shards, r.Label)
+				}
+			}
+		}
+		return stripChurnHost(res.Trials)
+	}
+	seq := run(0)
+	for i, r := range seq {
+		if r.Failed {
+			t.Fatalf("trial %d (%s) failed: %s", i, r.Label, r.Err)
+		}
+		if r.Values["updates_completed"] == 0 {
+			t.Fatalf("trial %d completed no updates", i)
+		}
+	}
+	for _, shards := range []int{2, 4} {
+		if par := run(shards); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("churn shards=%d produced different merged results", shards)
+		}
+	}
+}

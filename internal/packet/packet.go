@@ -132,6 +132,8 @@ func Decode(b []byte) (Message, error) {
 		m = &EZN{}
 	case TypeCLN:
 		m = &CLN{}
+	case TypeUIMBatch:
+		m = &UIMBatch{}
 	default:
 		return nil, fmt.Errorf("packet: unknown message type %d", b[0])
 	}

@@ -8,6 +8,7 @@ package runner_test
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"p4update/internal/experiments"
 	"p4update/internal/runner"
@@ -114,6 +115,53 @@ func TestFig8DeterministicAcrossWorkerCounts(t *testing.T) {
 	for _, workers := range []int{2, 4, 8} {
 		if par := run(workers); !reflect.DeepEqual(seq, par) {
 			t.Fatalf("fig8 workers=%d produced different merged results", workers)
+		}
+	}
+}
+
+// TestChurnDeterministicAcrossWorkerCounts runs the streaming churn
+// scenario — Poisson arrivals/departures, reroute waves, live-flow slot
+// recycling, incremental oracle repair, batched UIM emission — at
+// several worker counts and requires byte-identical merged results.
+// Host-side values (wall clock, allocs, wall throughput) are stripped;
+// everything else, including the per-update samples and the harness
+// counters, must match exactly.
+func TestChurnDeterministicAcrossWorkerCounts(t *testing.T) {
+	co := experiments.DefaultChurnOpts()
+	co.ArrivalRate = 600
+	co.MeanLifetime = 250 * time.Millisecond
+	co.Duration = 400 * time.Millisecond
+	run := func(workers int) []runner.Result {
+		r, err := experiments.RunChurn(func() *topo.Topology { return topo.FatTree(4) },
+			"fattree4", 4, 1, co, experiments.RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := stripHost(r.Trials)
+		for i := range out {
+			vals := make(map[string]float64, len(out[i].Values))
+			for k, v := range out[i].Values {
+				if k == "wall_flows_per_sec" {
+					continue
+				}
+				vals[k] = v
+			}
+			out[i].Values = vals
+		}
+		return out
+	}
+	seq := run(1)
+	for i, r := range seq {
+		if r.Failed {
+			t.Fatalf("trial %d (%s) failed: %s", i, r.Label, r.Err)
+		}
+		if len(r.Samples) == 0 {
+			t.Fatalf("trial %d (%s) completed no updates", i, r.Label)
+		}
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if par := run(workers); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("churn workers=%d produced different merged results", workers)
 		}
 	}
 }

@@ -17,6 +17,7 @@ type Report struct {
 	Workers    int           `json:"workers"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	NumCPU     int           `json:"num_cpu"`
+	GoVersion  string        `json:"go_version"`
 	Trials     int           `json:"trials"`
 	Failed     int           `json:"failed"`
 	WallClock  time.Duration `json:"wall_clock_ns"`
@@ -30,6 +31,7 @@ func NewReport(name string, workers int, wallClock time.Duration, results []Resu
 		Workers:    workers,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
 		Trials:     len(results),
 		Failed:     Failed(results),
 		WallClock:  wallClock,

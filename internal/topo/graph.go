@@ -131,6 +131,29 @@ func (t *Topology) AddLink(a, b NodeID, latency time.Duration, capacity float64)
 	return id
 }
 
+// SetLinkLatency changes the propagation latency of link id in place.
+// Unlike AddNode/AddLink it does NOT bump the mutation version: the
+// path oracle is repaired incrementally (dynamic SSSP plus scoped
+// per-pair invalidation) instead of flushing every memoized sweep and
+// path. Distance slices previously returned by Distances are repaired
+// in place, so holders observe the post-change values. It panics on a
+// frozen topology.
+func (t *Topology) SetLinkLatency(id LinkID, latency time.Duration) {
+	t.mustNotBeFrozen("SetLinkLatency")
+	if id < 0 || int(id) >= len(t.links) {
+		panic(fmt.Sprintf("topo: SetLinkLatency with unknown link %d", id))
+	}
+	l := &t.links[id]
+	if l.Latency == latency {
+		return
+	}
+	old := l.Latency
+	l.Latency = latency
+	if t.oracle != nil {
+		t.oracle.linkLatencyChanged(*l, old)
+	}
+}
+
 // Version counts topology mutations. The PathOracle compares it against
 // its own snapshot to decide when memoized results are stale.
 func (t *Topology) Version() uint64 { return t.version }

@@ -1,0 +1,158 @@
+package topo
+
+import "time"
+
+// Incremental oracle repair after a single-link latency change
+// (Topology.SetLinkLatency). The previous design flushed every memoized
+// sweep and path whenever the topology version moved; under streaming
+// churn a reroute perturbs one link every few hundred microseconds of
+// virtual time, and a full flush makes every live flow's next path
+// query a cold Dijkstra. Repair instead:
+//
+//   - latency decrease: every cached ByLatency distance sweep is
+//     repaired in place by a bounded Dijkstra seeded from the improved
+//     link endpoint (classic dynamic-SSSP decrease pass). The repaired
+//     values are bit-identical to a full recompute because both take
+//     the minimum over the same left-to-right float addition chains.
+//   - latency increase: a sweep is dropped only when the link lies on
+//     its shortest-path DAG (d[A]+oldW == d[B] or the mirror); sweeps
+//     that never used the link keep their exact values.
+//   - cached paths: dropped when the path crosses the link, or — on a
+//     decrease — when a lower bound on the best path through the link
+//     (endpoint sweeps + new weight) could undercut the cached cost.
+//     Everything else is untouched, so a reroute wave invalidates only
+//     the affected pairs.
+//
+// ByHops entries ignore latency entirely and always survive.
+//
+// Caveat (documented in DESIGN.md): a kept path entry is guaranteed
+// identical to a full recompute only when the shortest path is unique.
+// Under exact float-cost ties the global heap pop order that breaks
+// ties can shift, so equal-cost topologies (e.g. a fat-tree with
+// uniform link latencies) should jitter weights before relying on
+// repair for path — not distance — identity. Distances are exact
+// either way.
+
+// linkLatencyChanged repairs the memoized caches after link l's latency
+// changed from oldLat to its current value. Called by SetLinkLatency
+// with the topology already mutated.
+func (o *PathOracle) linkLatencyChanged(l Link, oldLat time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dist == nil || o.version != o.t.version {
+		// Caches empty or already pending a full flush: nothing to repair.
+		return
+	}
+	newW := l.Latency.Seconds()
+	oldW := oldLat.Seconds()
+	decrease := newW < oldW
+	o.haveCentroid = false
+
+	// Pass 1: distance sweeps. Deleting during range is safe; inserting
+	// is not, so fresh endpoint sweeps (pass 2) wait until this loop is
+	// done.
+	for k, d := range o.dist {
+		if k.w != ByLatency {
+			continue
+		}
+		if decrease {
+			o.repairDecrease(d, l, newW)
+		} else if d[l.A]+oldW == d[l.B] || d[l.B]+oldW == d[l.A] {
+			delete(o.dist, k)
+		}
+	}
+
+	// Pass 2: scoped path invalidation. On a decrease the only way a
+	// cached path goes stale without crossing the link is a new, cheaper
+	// route through it; dA/dB bound that route's cost from below.
+	var dA, dB []float64
+	if decrease {
+		dA = o.distLocked(l.A)
+		dB = o.distLocked(l.B)
+	}
+	for k, p := range o.path {
+		if k.w != ByLatency {
+			continue
+		}
+		if pathUsesLink(p, l) {
+			delete(o.path, k)
+			delete(o.pathCost, k)
+			continue
+		}
+		if decrease {
+			cost := o.pathCost[k]
+			lb := dA[k.src] + newW + dB[k.dst]
+			if alt := dB[k.src] + newW + dA[k.dst]; alt < lb {
+				lb = alt
+			}
+			// Small relative slack: lb and cost come from different
+			// float addition orders, so a mathematically-equal route
+			// can land a few ulps on either side. Over-deleting is
+			// always safe; keeping a beatable entry is not.
+			if lb <= cost+cost*1e-9+1e-12 {
+				delete(o.path, k)
+				delete(o.pathCost, k)
+			}
+		}
+	}
+}
+
+// repairDecrease applies the dynamic-SSSP decrease pass to one cached
+// sweep in place: seed the frontier with the endpoint the cheaper link
+// now improves, then relax outward until no distance drops. Callers
+// hold o.mu; d is a cache-owned slice of len NumNodes.
+func (o *PathOracle) repairDecrease(d []float64, l Link, newW float64) {
+	for i := range o.pos {
+		o.pos[i] = -1
+	}
+	o.h = o.h[:0]
+	if alt := d[l.A] + newW; alt < d[l.B] {
+		d[l.B] = alt
+		o.hPush(l.B, alt)
+	}
+	if alt := d[l.B] + newW; alt < d[l.A] {
+		d[l.A] = alt
+		o.hPush(l.A, alt)
+	}
+	t := o.t
+	for len(o.h) > 0 {
+		cur := o.hPop()
+		for _, ad := range t.adj[cur.node] {
+			alt := cur.dist + t.edgeWeight(t.links[ad.link], ByLatency)
+			if alt < d[ad.neighbor] {
+				d[ad.neighbor] = alt
+				if o.pos[ad.neighbor] >= 0 {
+					o.hFix(ad.neighbor, alt)
+				} else {
+					o.hPush(ad.neighbor, alt)
+				}
+			}
+		}
+	}
+}
+
+// distLocked returns the ByLatency sweep from src, consulting and
+// populating the cache. Callers hold o.mu and must not be mid-range
+// over o.dist.
+func (o *PathOracle) distLocked(src NodeID) []float64 {
+	k := distKey{src, ByLatency}
+	if d, ok := o.dist[k]; ok {
+		return d
+	}
+	o.sweep(src, ByLatency)
+	out := make([]float64, len(o.d))
+	copy(out, o.d)
+	o.dist[k] = out
+	return out
+}
+
+// pathUsesLink reports whether p traverses l in either direction. A nil
+// (unreachable) cached path trivially does not.
+func pathUsesLink(p []NodeID, l Link) bool {
+	for i := 0; i+1 < len(p); i++ {
+		if (p[i] == l.A && p[i+1] == l.B) || (p[i] == l.B && p[i+1] == l.A) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// jitterLatencies applies a deterministic per-link multiplicative
+// jitter so shortest paths become unique (uniform fat-tree latencies
+// are massively tied, and kept path entries are only guaranteed exact
+// under unique optima — see repair.go).
+func jitterLatencies(t *Topology, rng *rand.Rand) {
+	for _, l := range t.Links() {
+		f := 1 + 0.2*rng.Float64()
+		t.SetLinkLatency(l.ID, time.Duration(float64(l.Latency)*f))
+	}
+}
+
+// cloneWithLatencies rebuilds the topology via mk and copies the live
+// instance's current per-link latencies in, before any oracle query —
+// so every query against the clone is a cold full recompute.
+func cloneWithLatencies(mk func() *Topology, live *Topology) *Topology {
+	fresh := mk()
+	for _, l := range live.Links() {
+		fresh.SetLinkLatency(l.ID, l.Latency)
+	}
+	return fresh
+}
+
+// warm populates the live oracle's caches: every single-source sweep
+// under both weights, all-pairs shortest paths, and a sample of Yen
+// k-shortest queries (avoid-set path entries).
+func warm(t *Topology, pairStride int) {
+	for _, n := range t.Nodes() {
+		t.Distances(n, ByLatency)
+		t.Distances(n, ByHops)
+	}
+	nodes := t.Nodes()
+	for _, s := range nodes {
+		for _, d := range nodes {
+			if s != d {
+				t.ShortestPath(s, d, ByLatency)
+			}
+		}
+	}
+	for i := 0; i < len(nodes); i += pairStride {
+		s, d := nodes[i], nodes[(i+len(nodes)/2)%len(nodes)]
+		if s != d {
+			t.KShortestPaths(s, d, 3, ByLatency)
+		}
+	}
+}
+
+// compareAgainstFresh asserts that every query against the repaired
+// live oracle matches a cold full recompute on an identical topology.
+func compareAgainstFresh(t *testing.T, live, fresh *Topology, pairStride int) {
+	t.Helper()
+	nodes := live.Nodes()
+	for _, w := range []Weight{ByLatency, ByHops} {
+		for _, n := range nodes {
+			got, want := live.Distances(n, w), fresh.Distances(n, w)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Distances(%d, %v)[%d] = %v, fresh recompute %v", n, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	for _, s := range nodes {
+		for _, d := range nodes {
+			if s == d {
+				continue
+			}
+			got, want := live.ShortestPath(s, d, ByLatency), fresh.ShortestPath(s, d, ByLatency)
+			if !equalPath(got, want) {
+				t.Fatalf("ShortestPath(%d,%d) = %v, fresh recompute %v", s, d, got, want)
+			}
+		}
+	}
+	for i := 0; i < len(nodes); i += pairStride {
+		s, d := nodes[i], nodes[(i+len(nodes)/2)%len(nodes)]
+		if s == d {
+			continue
+		}
+		got, want := live.KShortestPaths(s, d, 3, ByLatency), fresh.KShortestPaths(s, d, 3, ByLatency)
+		if len(got) != len(want) {
+			t.Fatalf("KShortestPaths(%d,%d): %d paths, fresh recompute %d", s, d, len(got), len(want))
+		}
+		for j := range want {
+			if !equalPath(got[j], want[j]) {
+				t.Fatalf("KShortestPaths(%d,%d)[%d] = %v, fresh recompute %v", s, d, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestRepairMatchesFullRecompute is the differential acceptance test
+// for incremental oracle repair: a seeded sequence of single-link
+// latency perturbations, after each of which every memoized query must
+// equal a cold recompute on a topology built with the final latencies.
+func TestRepairMatchesFullRecompute(t *testing.T) {
+	cases := []struct {
+		name   string
+		mk     func() *Topology
+		jitter bool
+	}{
+		{"b4", B4, false},
+		{"internet2", Internet2, false},
+		{"fattree4", func() *Topology { return FatTree(4) }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			live := tc.mk()
+			mk := tc.mk
+			if tc.jitter {
+				jrng := rand.New(rand.NewSource(42))
+				jitterLatencies(live, jrng)
+				mk = func() *Topology {
+					g := tc.mk()
+					jitterLatencies(g, rand.New(rand.NewSource(42)))
+					return g
+				}
+			}
+			base := make([]time.Duration, live.NumLinks())
+			for _, l := range live.Links() {
+				base[l.ID] = l.Latency
+			}
+			const stride = 3
+			warm(live, stride)
+			rng := rand.New(rand.NewSource(7))
+			for round := 0; round < 40; round++ {
+				id := LinkID(rng.Intn(live.NumLinks()))
+				f := 0.5 + 1.5*rng.Float64()
+				lat := time.Duration(float64(base[id]) * f)
+				live.SetLinkLatency(id, lat)
+				fresh := cloneWithLatencies(mk, live)
+				compareAgainstFresh(t, live, fresh, stride)
+				// Re-warm so later rounds repair a fully populated cache
+				// again (compareAgainstFresh already re-populates most of
+				// it as a side effect of querying).
+				warm(live, stride)
+			}
+		})
+	}
+}
+
+// TestRepairKeepsUnaffectedEntries is the perf property behind the
+// repair: an increase on a link that lies on no cached shortest-path
+// DAG must leave the memoized sweeps in place (no full flush), and a
+// change must never bump the topology version.
+func TestRepairKeepsUnaffectedEntries(t *testing.T) {
+	g := B4()
+	warm(g, 3)
+	o := g.Oracle()
+	v := g.Version()
+	o.mu.Lock()
+	before := len(o.dist)
+	o.mu.Unlock()
+	if before == 0 {
+		t.Fatal("warm populated no distance sweeps")
+	}
+	// Find a link on no cached shortest-path DAG by testing the
+	// increase condition directly against every sweep.
+	var victim Link
+	found := false
+	for _, l := range g.Links() {
+		w := l.Latency.Seconds()
+		onDAG := false
+		o.mu.Lock()
+		for k, d := range o.dist {
+			if k.w == ByLatency && (d[l.A]+w == d[l.B] || d[l.B]+w == d[l.A]) {
+				onDAG = true
+				break
+			}
+		}
+		o.mu.Unlock()
+		if !onDAG {
+			victim, found = l, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("every link lies on some cached shortest-path DAG")
+	}
+	g.SetLinkLatency(victim.ID, victim.Latency+time.Millisecond)
+	o.mu.Lock()
+	after := len(o.dist)
+	o.mu.Unlock()
+	if after != before {
+		t.Fatalf("off-DAG increase dropped sweeps: %d -> %d", before, after)
+	}
+	if g.Version() != v {
+		t.Fatalf("SetLinkLatency bumped the topology version: %d -> %d", v, g.Version())
+	}
+	// And the repaired caches must still answer correctly.
+	fresh := cloneWithLatencies(B4, g)
+	compareAgainstFresh(t, g, fresh, 3)
+}
+
+// TestSetLinkLatencyFrozenPanics pins the mutation guard.
+func TestSetLinkLatencyFrozenPanics(t *testing.T) {
+	g := B4()
+	g.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLinkLatency on a frozen topology did not panic")
+		}
+	}()
+	g.SetLinkLatency(0, time.Millisecond)
+}
