@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke bench-sharded bench-churn sharded-smoke churn-smoke fuzz-smoke faults-smoke fig7-six check clean
+.PHONY: all build vet lint test race bench bench-smoke bench-sharded bench-churn bench-soak sharded-smoke churn-smoke soak-smoke fuzz-smoke faults-smoke fig7-six check clean
 
 all: check
 
@@ -35,8 +35,8 @@ test:
 # the end-to-end sequential-vs-sharded equality tests, whose region
 # workers genuinely race without the window/barrier discipline.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/... ./internal/trace/... ./internal/wiring/... ./internal/localverify/... ./internal/ppcu/... ./internal/optoracle/... ./internal/dataplane/... ./internal/controlplane/... ./internal/traffic/... ./internal/packet/...
-	$(GO) test -race -run 'Sharded|Churn' ./internal/experiments/
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/... ./internal/trace/... ./internal/wiring/... ./internal/localverify/... ./internal/ppcu/... ./internal/optoracle/... ./internal/dataplane/... ./internal/controlplane/... ./internal/traffic/... ./internal/packet/... ./internal/soak/...
+	$(GO) test -race -run 'Sharded|Churn|Soak' ./internal/experiments/
 
 # Hot-path microbenchmarks (engine schedule/step) plus the end-to-end
 # Fig. 7 trial benchmark. Results are tracked in BENCH_hotpath.json and
@@ -77,6 +77,20 @@ churn-smoke:
 bench-churn:
 	P4UPDATE_CHURN_BENCH=1 $(GO) test -run TestWriteChurnBench -v -timeout 30m .
 
+# Fixed-seed soak gate: P4Update must sustain ≥99% availability with
+# zero stalls and zero invariant violations under the squall storm
+# while at least one baseline degrades (asserted in-test), plus a small
+# CLI soak run exercising the -exp soak path end to end.
+soak-smoke:
+	$(GO) test -run 'TestSoak' -v ./internal/experiments/
+	$(GO) run ./cmd/p4update -exp soak -topo b4 -soak-rate 150 -soak-duration 4s -seed 42
+
+# Headline soak benchmark: the full system × storm-profile grid at
+# operator scale (long virtual horizon, all three storm profiles);
+# regenerates BENCH_soak.json.
+bench-soak:
+	P4UPDATE_SOAK_BENCH=1 $(GO) test -run TestWriteSoakBench -v -timeout 30m .
+
 # Short native-fuzzing pass over the wire decoder — the surface the
 # fault injector's corrupt path hammers in every chaotic trial.
 fuzz-smoke:
@@ -93,7 +107,7 @@ faults-smoke:
 fig7-six:
 	$(GO) run ./cmd/p4update -exp fig7six -runs 3 -seed 1 -workers 4
 
-check: lint build test race sharded-smoke churn-smoke
+check: lint build test race sharded-smoke churn-smoke soak-smoke
 
 clean:
 	$(GO) clean ./...

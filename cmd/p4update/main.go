@@ -30,6 +30,7 @@ import (
 
 	"p4update"
 	"p4update/internal/experiments"
+	"p4update/internal/faults"
 	"p4update/internal/topo"
 	"p4update/internal/trace"
 	"p4update/internal/wiring"
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig7six|fig8|scale|churn|faults|all")
+		exp          = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig7six|fig8|scale|churn|faults|soak|all")
 		runs         = flag.Int("runs", 30, "runs per series (the paper uses 30; churn defaults to 1 unless set)")
 		systemsSel   = flag.String("systems", "all", "comma-separated registered update systems to evaluate (grid experiments; \"all\" = every registered system)")
 		preps        = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
@@ -55,6 +56,9 @@ func main() {
 		reorder      = flag.String("reorder", "0,0.1", "faults: comma-separated reorder rates")
 		crash        = flag.Int("crash", 0, "faults: scheduled switch crash/restart cycles per trial")
 		auditEvery   = flag.Int("audit-every", 1, "faults: invariant-audit period in engine steps")
+		storm        = flag.String("storm", "squall", "soak: comma-separated storm profiles ("+strings.Join(faults.StormNames(), "|")+"|all)")
+		soakRate     = flag.Float64("soak-rate", 300, "soak: Poisson flow arrival rate (flows per second of virtual time)")
+		soakDur      = flag.Duration("soak-duration", 10*time.Second, "soak: virtual-time admission window per trial")
 		jsonPath     = flag.String("json", "", "write per-trial metrics to this JSON file")
 		tracePath    = flag.String("trace", "", "record a protocol flight-recorder log of the first trial to this file")
 		traceFmt     = flag.String("trace-format", "jsonl", "trace export format: jsonl|chrome (chrome://tracing / Perfetto)")
@@ -123,6 +127,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-churn-duration %v must be a positive virtual-time window\n", *churnDur)
 		os.Exit(2)
 	}
+	lossRates, err := parseRates(*loss)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-loss %q: %v (want comma-separated rates in [0,1])\n", *loss, err)
+		os.Exit(2)
+	}
+	reorderRates, err := parseRates(*reorder)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-reorder %q: %v (want comma-separated rates in [0,1])\n", *reorder, err)
+		os.Exit(2)
+	}
+	if *crash < 0 {
+		fmt.Fprintf(os.Stderr, "-crash %d must be a non-negative crash/restart cycle count\n", *crash)
+		os.Exit(2)
+	}
+	storms := parseStorms(*storm)
+	for _, name := range storms {
+		if _, ok := faults.LookupStorm(name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown -storm %q (valid values: %s|all)\n",
+				name, strings.Join(faults.StormNames(), "|"))
+			os.Exit(2)
+		}
+	}
+	if *soakRate <= 0 {
+		fmt.Fprintf(os.Stderr, "-soak-rate %v must be a positive rate (flows per second of virtual time)\n", *soakRate)
+		os.Exit(2)
+	}
+	if *soakDur <= 0 {
+		fmt.Fprintf(os.Stderr, "-soak-duration %v must be a positive virtual-time window\n", *soakDur)
+		os.Exit(2)
+	}
 
 	opt := experiments.RunOptions{Workers: *workers, Systems: systems, Shards: *shards}
 	var topt *trace.Options
@@ -150,15 +184,13 @@ func main() {
 	case "churn":
 		// Churn trials are heavyweight (10^5+ live flows); default to one
 		// trial unless -runs was given explicitly.
-		churnRuns := 1
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "runs" {
-				churnRuns = *runs
-			}
-		})
-		trials = append(trials, runChurn(*topoSel, *arrivalRate, *liveFlows, *churnDur, *rerouteEvery, churnRuns, *seed, opt)...)
+		trials = append(trials, runChurn(*topoSel, *arrivalRate, *liveFlows, *churnDur, *rerouteEvery, explicitRuns(*runs, 1), *seed, opt)...)
 	case "faults":
-		trials = append(trials, runFaults(*loss, *reorder, *crash, *auditEvery, *runs, *seed, opt)...)
+		trials = append(trials, runFaults(lossRates, reorderRates, *crash, *auditEvery, *runs, *seed, opt)...)
+	case "soak":
+		// Each soak run is a full system × storm grid; default to one
+		// run unless -runs was given explicitly.
+		trials = append(trials, runSoak(*topoSel, storms, *soakRate, *soakDur, *auditEvery, explicitRuns(*runs, 1), *seed, opt)...)
 	case "all":
 		traceRec = runFig2(*seed, topt, *shards)
 		runFig4(*runs, *seed)
@@ -444,16 +476,8 @@ func runChurn(topoSel string, rate float64, live int, dur, rerouteEvery time.Dur
 
 // runFaults runs the deterministic chaos sweep: loss × reorder fault
 // cells across all three systems with the continuous invariant auditor
-// attached.
-func runFaults(loss, reorder string, crash, auditEvery, runs int, seed int64, opt experiments.RunOptions) []p4update.TrialResult {
-	lossRates, err := parseRates(loss)
-	if err != nil {
-		fail(fmt.Errorf("-loss: %w", err))
-	}
-	reorderRates, err := parseRates(reorder)
-	if err != nil {
-		fail(fmt.Errorf("-reorder: %w", err))
-	}
+// attached. The rate lists arrive pre-validated from the flag block.
+func runFaults(lossRates, reorderRates []float64, crash, auditEvery, runs int, seed int64, opt experiments.RunOptions) []p4update.TrialResult {
 	r, err := experiments.FaultSweep(lossRates, reorderRates, crash, auditEvery, runs, seed, opt)
 	if err != nil {
 		fail(fmt.Errorf("faults: %w", err))
@@ -461,6 +485,87 @@ func runFaults(loss, reorder string, crash, auditEvery, runs int, seed int64, op
 	fmt.Print(r)
 	fmt.Println()
 	return r.Trials
+}
+
+// runSoak runs the fabric-operator soak scenario: streaming churn
+// sustained under the selected storm profiles with continuous invariant
+// audits and per-trial SLO reports. Trials whose report records an
+// invariant violation get their flight-recorder ring dumped for
+// post-mortem.
+func runSoak(topoSel string, storms []string, rate float64, dur time.Duration, auditEvery, runs int, seed int64, opt experiments.RunOptions) []p4update.TrialResult {
+	if topoSel == "all" {
+		topoSel = "b4"
+	}
+	tb, ok := lookupTopo(topoSel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -topo %q (valid values: %s|all)\n", topoSel, validTopos())
+		os.Exit(2)
+	}
+	so := experiments.DefaultSoakOpts()
+	so.Churn.ArrivalRate = rate
+	so.Churn.Duration = dur
+	so.Churn.EdgeOnly = tb.fatTree
+	so.Profiles = storms
+	if flagGiven("audit-every") {
+		so.AuditEvery = auditEvery
+	}
+	r, err := experiments.RunSoak(tb.mk, tb.label, runs, seed, so, opt)
+	if err != nil {
+		fail(fmt.Errorf("soak %s: %w", tb.label, err))
+	}
+	fmt.Print(r)
+	fmt.Println()
+	for i, t := range r.Trials {
+		rep := r.Reports[i]
+		if t.Failed || rep == nil || rep.Violations.Total == 0 || t.TraceRec == nil {
+			continue
+		}
+		path := "postmortem-" + strings.ReplaceAll(t.Label, "/", "_") + ".jsonl"
+		if err := writeTrace(path, "jsonl", t.TraceRec); err != nil {
+			fail(fmt.Errorf("soak post-mortem %s: %w", t.Label, err))
+		}
+		fmt.Printf("post-mortem: %s recorded %d invariant violations; wrote trailing %d events to %s\n",
+			t.Label, rep.Violations.Total, t.TraceRec.Recorded(), path)
+	}
+	return r.Trials
+}
+
+// parseStorms splits the -storm selection; "all" expands to every
+// built-in profile.
+func parseStorms(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "all" {
+		return faults.StormNames()
+	}
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
+
+// flagGiven reports whether the named flag was set explicitly on the
+// command line.
+func flagGiven(name string) bool {
+	given := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			given = true
+		}
+	})
+	return given
+}
+
+// explicitRuns returns the -runs value when it was given explicitly and
+// def otherwise — heavyweight scenarios (churn, soak) default to a
+// single run instead of the figure-scale 30.
+func explicitRuns(runs, def int) int {
+	if flagGiven("runs") {
+		return runs
+	}
+	return def
 }
 
 // parseRates parses a comma-separated list of [0,1] rates.

@@ -143,6 +143,29 @@ type Auditor struct {
 	// predecessor's versions.
 	lastVer  [][]uint32
 	slotFlow []packet.FlowID
+
+	// OnSweep, when set, observes every completed sweep with its instant
+	// and the violations newly recorded during it. Like the auditor it
+	// must only read state — it is the seam SLO trackers hang off (e.g.
+	// the soak harness's availability and recovery-time accounting). Set
+	// it after Attach, before the run starts.
+	OnSweep func(SweepStats)
+}
+
+// SweepStats describes one completed sweep: the virtual instant it ran
+// and the violations newly recorded during it (deltas, not totals).
+type SweepStats struct {
+	Sweep              uint64
+	Time               time.Duration
+	Blackholes         uint64
+	Loops              uint64
+	OverCapacity       uint64
+	VersionRegressions uint64
+}
+
+// Total sums the sweep's new violations across kinds.
+func (s *SweepStats) Total() uint64 {
+	return s.Blackholes + s.Loops + s.OverCapacity + s.VersionRegressions
 }
 
 // Attach installs a continuous auditor on the network's engine and
@@ -199,6 +222,7 @@ func (a *Auditor) Report() Report {
 // Sweep audits the fabric's current state once. It is exported so tests
 // (and one-shot audits) can drive it without the engine hook.
 func (a *Auditor) Sweep() {
+	before := a.counts
 	a.sweeps++
 	for _, pr := range a.touched {
 		a.load[pr.node][pr.port] = 0
@@ -235,6 +259,16 @@ func (a *Auditor) Sweep() {
 	}
 	if !a.cfg.NoCapacity {
 		a.checkCapacity()
+	}
+	if a.OnSweep != nil {
+		a.OnSweep(SweepStats{
+			Sweep:              a.sweeps,
+			Time:               a.net.Eng.Now(),
+			Blackholes:         a.counts[Blackhole] - before[Blackhole],
+			Loops:              a.counts[Loop] - before[Loop],
+			OverCapacity:       a.counts[OverCapacity] - before[OverCapacity],
+			VersionRegressions: a.counts[VersionRegress] - before[VersionRegress],
+		})
 	}
 }
 

@@ -144,3 +144,36 @@ func TestAfterStepPeriod(t *testing.T) {
 		t.Fatalf("Sweeps = %d after 10 steps at Every=2, want 5", r.Sweeps)
 	}
 }
+
+// TestOnSweepDeltas drives three sweeps — clean, blackholed, clean again
+// after repair — and checks the hook sees per-sweep deltas, not running
+// totals.
+func TestOnSweepDeltas(t *testing.T) {
+	net, ctl, f := bed(t)
+	a := audit.Attach(net, ctl, audit.Config{})
+	var got []audit.SweepStats
+	a.OnSweep = func(s audit.SweepStats) { got = append(got, s) }
+
+	a.Sweep()
+	st, ok := net.Switch(2).PeekState(f)
+	if !ok {
+		t.Fatal("no state at node 2")
+	}
+	st.HasRule = false
+	a.Sweep()
+	st.HasRule = true
+	a.Sweep()
+
+	if len(got) != 3 {
+		t.Fatalf("hook fired %d times, want 3", len(got))
+	}
+	wantBH := []uint64{0, 1, 0}
+	for i, s := range got {
+		if s.Sweep != uint64(i+1) {
+			t.Errorf("sweep %d numbered %d", i+1, s.Sweep)
+		}
+		if s.Blackholes != wantBH[i] || s.Total() != wantBH[i] {
+			t.Errorf("sweep %d: blackhole delta %d, want %d", i+1, s.Blackholes, wantBH[i])
+		}
+	}
+}

@@ -46,6 +46,22 @@ type UpdateStatus struct {
 	Alarms []packet.UFM
 	// Retriggers counts §11 failure-recovery re-transmissions.
 	Retriggers int
+	// ProbeRetries counts confirmation probes re-injected after every
+	// node committed. Re-probing a fully applied update is one
+	// data-plane frame and cannot wedge the protocol, so it is not
+	// charged against MaxRetriggers — the budget bounds the expensive
+	// full-plan resends only. Without the split, an update that
+	// commits cleanly but keeps losing its probe through a long fault
+	// window exhausts the budget and never confirms, leaking its flow.
+	ProbeRetries int
+	// LastRetrigger is when the controller last consumed retrigger
+	// budget for this update. Recovery fires at most once per
+	// ProbeTimeout: without the spacing, one watchdog round of
+	// StatusStalled reports from every switch on the path drains the
+	// whole budget (each resend also resets the switches' stall-report
+	// budgets, feeding the burst), leaving nothing for the probe
+	// re-injections that finish a long recovery.
+	LastRetrigger time.Duration
 	// Queued marks an update accepted but deferred behind an ongoing
 	// update of the same flow (ez-Segway serializes per flow, §4.2).
 	// Version and Sent stay zero until the update launches; the same
@@ -354,23 +370,50 @@ func (c *Controller) ForgetUpdate(f packet.FlowID, version uint32) {
 
 // armUpdateWatchdog schedules one end-to-end completion check for u
 // (see ProbeTimeout). It re-arms itself until the update completes or
-// the retrigger budget is spent.
+// the controller stops tracking it. Plan resends are bounded by the
+// §11 retrigger budget; confirmation probes after AllApplied are not
+// (see UpdateStatus.ProbeRetries).
 func (c *Controller) armUpdateWatchdog(u *UpdateStatus) {
 	if c.ProbeTimeout <= 0 {
 		return
 	}
 	c.Eng.Schedule(c.ProbeTimeout, func() {
-		if u.Done() || u.Retriggers >= c.MaxRetriggers {
+		if u.Done() {
+			return
+		}
+		if _, tracked := c.updates[updateKey{u.Flow, u.Version}]; !tracked {
+			return // flow retired or update forgotten; stop the watchdog
+		}
+		if u.AllApplied > 0 {
+			// Every node committed but the probe confirmation never came
+			// back: the probe (a data-plane frame) was lost. Re-inject
+			// it without charging the §11 budget (see ProbeRetries).
+			u.ProbeRetries++
+			c.Eng.Trace.Watchdog(trace.NodeController,
+				uint32(u.Flow), u.Version, uint32(u.ProbeRetries))
+			c.injectProbe(u)
+			c.armUpdateWatchdog(u)
+			return
+		}
+		if u.Retriggers >= c.MaxRetriggers {
+			// Budget spent: no more plan resends. Keep the watchdog
+			// alive — straggler commits (from parked notifications or
+			// earlier resends) can still empty the pending set, after
+			// which budget-free confirmation probing resumes above.
+			c.armUpdateWatchdog(u)
+			return
+		}
+		if u.Retriggers > 0 && c.Eng.Now()-u.LastRetrigger < c.ProbeTimeout {
+			// A stall report consumed this period's budget; wait out the
+			// spacing before checking again.
+			c.armUpdateWatchdog(u)
 			return
 		}
 		u.Retriggers++
+		u.LastRetrigger = c.Eng.Now()
 		c.Eng.Trace.Watchdog(trace.NodeController,
 			uint32(u.Flow), u.Version, uint32(u.Retriggers))
 		switch {
-		case u.AllApplied > 0:
-			// Every node committed but the probe confirmation never came
-			// back: the probe (a data-plane frame) was lost. Re-inject it.
-			c.injectProbe(u)
 		case u.Plan != nil:
 			// Nodes are still missing and no stall report reached us:
 			// re-send the plan's indications.
@@ -467,8 +510,10 @@ func (c *Controller) handleUFM(m *packet.UFM) {
 		// §11 failure recovery: a switch holds the indication but the
 		// notification chain never arrived — re-send the plan's UIMs so
 		// the coordination restarts from the egress.
-		if ok && !u.Done() && (u.Plan != nil || u.Resend != nil) && u.Retriggers < c.MaxRetriggers {
+		if ok && !u.Done() && (u.Plan != nil || u.Resend != nil) && u.Retriggers < c.MaxRetriggers &&
+			!(c.ProbeTimeout > 0 && u.Retriggers > 0 && c.Eng.Now()-u.LastRetrigger < c.ProbeTimeout) {
 			u.Retriggers++
+			u.LastRetrigger = c.Eng.Now()
 			c.Eng.Trace.Watchdog(trace.NodeController,
 				uint32(u.Flow), u.Version, uint32(u.Retriggers))
 			if u.Plan != nil {

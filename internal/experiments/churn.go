@@ -6,9 +6,8 @@ import (
 	"strings"
 	"time"
 
-	"p4update/internal/controlplane"
-	"p4update/internal/packet"
 	"p4update/internal/runner"
+	"p4update/internal/soak"
 	"p4update/internal/topo"
 	"p4update/internal/traffic"
 	"p4update/internal/wiring"
@@ -87,259 +86,56 @@ func (r *ChurnResult) String() string {
 	return b.String()
 }
 
-// churnFlow is the harness's view of one live flow.
-type churnFlow struct {
-	src, dst topo.NodeID
-	path     []topo.NodeID
-	updating bool
-	departed bool
-}
-
-// churnHarness drives one churn trial: it owns the live-flow table and
-// the link→flows index, and schedules every arrival, departure, and
-// reroute wave as resident (root-engine) events — so a sharded
-// execution replays the identical sequence at barriers and the trial
-// stays byte-identical across shard counts.
-type churnHarness struct {
-	sys *wiring.System
-	g   *topo.Topology
-	w   *traffic.ChurnWorkload
-	opt ChurnOpts
-
-	live      map[packet.FlowID]*churnFlow
-	linkFlows map[topo.LinkID]map[packet.FlowID]struct{}
-	samples   []time.Duration
-
-	arrivals, departures, retired uint64
-	waves, triggered, completed   uint64
-	skippedBusy, skippedSame      uint64
-	triggerErrs                   uint64
-	peakLive                      int
-
-	scratch []packet.FlowID // sorted wave worklist, reused
-}
-
-// pathLinks calls fn with the LinkID of every hop of path.
-func (h *churnHarness) pathLinks(path []topo.NodeID, fn func(topo.LinkID)) {
-	for i := 0; i+1 < len(path); i++ {
-		l, ok := h.g.LinkBetween(path[i], path[i+1])
-		if !ok {
-			panic(fmt.Sprintf("churn: no link %d-%d on flow path", path[i], path[i+1]))
-		}
-		fn(l.ID)
+// soakOptions translates churn knobs into the shared harness options
+// (no storm timeline, no retrigger budget — pure churn).
+func (o ChurnOpts) soakOptions() soak.Options {
+	return soak.Options{
+		ArrivalRate:  o.ArrivalRate,
+		MeanLifetime: o.MeanLifetime,
+		Duration:     o.Duration,
+		Drain:        o.Drain,
+		RerouteEvery: o.RerouteEvery,
+		EdgeOnly:     o.EdgeOnly,
+		RetireGrace:  o.RetireGrace,
 	}
 }
 
-func (h *churnHarness) indexFlow(f packet.FlowID, path []topo.NodeID) {
-	h.pathLinks(path, func(id topo.LinkID) {
-		m := h.linkFlows[id]
-		if m == nil {
-			m = make(map[packet.FlowID]struct{})
-			h.linkFlows[id] = m
-		}
-		m[f] = struct{}{}
-	})
-}
-
-func (h *churnHarness) unindexFlow(f packet.FlowID, path []topo.NodeID) {
-	h.pathLinks(path, func(id topo.LinkID) {
-		delete(h.linkFlows[id], f)
-	})
-}
-
-// retire tears the flow down everywhere: harness tables, controller
-// Flow DB, and the data-plane interning slot (recycled for the next
-// arrival). Callers only retire quiescent flows — either never updated,
-// or RetireGrace after their last update completed.
-func (h *churnHarness) retire(f packet.FlowID) {
-	cf, ok := h.live[f]
-	if !ok {
-		return
-	}
-	h.unindexFlow(f, cf.path)
-	delete(h.live, f)
-	h.sys.Ctl.UnregisterFlow(f)
-	h.sys.Net.RetireFlow(f)
-	h.retired++
-}
-
-// onArrival registers the flow along the current shortest path and
-// schedules its departure and the next arrival.
-func (h *churnHarness) onArrival(a traffic.ChurnArrival) {
-	f := a.ID()
-	path := h.g.ShortestPath(a.Src, a.Dst, topo.ByLatency)
-	if err := h.sys.Ctl.RegisterFlowID(f, a.Src, a.Dst, path, 1); err != nil {
-		panic(fmt.Sprintf("churn: register: %v", err))
-	}
-	cf := &churnFlow{src: a.Src, dst: a.Dst, path: path}
-	h.live[f] = cf
-	h.indexFlow(f, path)
-	h.arrivals++
-	if len(h.live) > h.peakLive {
-		h.peakLive = len(h.live)
-	}
-	h.sys.Eng.ScheduleAt(a.At+a.Lifetime, func() { h.onDeparture(f) })
-	h.scheduleNextArrival()
-}
-
-// onDeparture retires the flow immediately when it is quiescent, or
-// defers teardown to update completion when a reroute is in flight.
-func (h *churnHarness) onDeparture(f packet.FlowID) {
-	cf, ok := h.live[f]
-	if !ok {
-		return
-	}
-	h.departures++
-	if cf.updating {
-		cf.departed = true
-		return
-	}
-	h.retire(f)
-}
-
-// onReroute applies the link perturbation and triggers one update per
-// affected flow whose shortest path changed, batching the wave's UIMs
-// per destination switch. Affected flows are visited in FlowID order so
-// the wave's trigger sequence is deterministic.
-func (h *churnHarness) onReroute(r traffic.ChurnReroute) {
-	base := h.w.BaseLatency(r.Link)
-	h.g.SetLinkLatency(r.Link, time.Duration(float64(base)*r.Factor))
-	h.waves++
-
-	h.scratch = h.scratch[:0]
-	for f := range h.linkFlows[r.Link] {
-		h.scratch = append(h.scratch, f)
-	}
-	sort.Slice(h.scratch, func(i, j int) bool { return h.scratch[i] < h.scratch[j] })
-
-	h.sys.Ctl.BeginUIMBatch()
-	for _, f := range h.scratch {
-		cf := h.live[f]
-		if cf == nil || cf.updating || cf.departed {
-			h.skippedBusy++
-			continue
-		}
-		sp := h.g.ShortestPath(cf.src, cf.dst, topo.ByLatency)
-		if samePath(sp, cf.path) {
-			h.skippedSame++
-			continue
-		}
-		if _, err := h.sys.Trigger(f, sp); err != nil {
-			h.triggerErrs++
-			continue
-		}
-		h.unindexFlow(f, cf.path)
-		cf.path = sp
-		cf.updating = true
-		h.indexFlow(f, sp)
-		h.triggered++
-	}
-	h.sys.Ctl.FlushUIMBatch()
-	h.scheduleNextReroute()
-}
-
-// onUpdateComplete samples the update time, drops the per-update
-// tracking record (the updates map holds only in-flight work), and
-// finishes a deferred departure after the retire grace.
-func (h *churnHarness) onUpdateComplete(f packet.FlowID, version uint32, d time.Duration) {
-	h.completed++
-	h.samples = append(h.samples, d)
-	h.sys.Ctl.ForgetUpdate(f, version)
-	cf, ok := h.live[f]
-	if !ok {
-		return
-	}
-	cf.updating = false
-	if cf.departed {
-		h.sys.Eng.Schedule(h.opt.RetireGrace, func() { h.retire(f) })
-	}
-}
-
-func (h *churnHarness) scheduleNextArrival() {
-	a, ok := h.w.NextArrival(func(f packet.FlowID) bool {
-		_, taken := h.live[f]
-		return taken
-	})
-	if !ok {
-		return
-	}
-	h.sys.Eng.ScheduleAt(a.At, func() { h.onArrival(a) })
-}
-
-func (h *churnHarness) scheduleNextReroute() {
-	r, ok := h.w.NextReroute()
-	if !ok {
-		return
-	}
-	h.sys.Eng.ScheduleAt(r.At, func() { h.onReroute(r) })
-}
-
-func samePath(a, b []topo.NodeID) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// runChurnTrial executes one trial body on an already wired system.
+// runChurnTrial executes one trial body on an already wired system. The
+// event loop lives in internal/soak — the fault-aware superset harness;
+// with no injector attached it schedules the identical resident event
+// sequence the original churn driver did, so churn output is unchanged.
 func runChurnTrial(sys *wiring.System, g *topo.Topology, seed int64, opt ChurnOpts) (runner.Metrics, error) {
 	start := time.Now()
-	cand := g.Nodes()
-	if opt.EdgeOnly {
-		cand = topo.EdgeSwitches(g)
-	}
-	w, err := traffic.NewChurnWorkload(g, seed, traffic.ChurnConfig{
-		ArrivalRate:  opt.ArrivalRate,
-		MeanLifetime: opt.MeanLifetime,
-		Duration:     opt.Duration,
-		RerouteEvery: opt.RerouteEvery,
-		// Jitter is applied by the caller before wiring (control
-		// latencies derive from link latencies); never here.
-		LatencyJitter: 0,
-		Candidates:    cand,
-	})
+	so := opt.soakOptions()
+	w, err := soak.NewWorkload(g, seed, so)
 	if err != nil {
 		return runner.Metrics{}, err
 	}
-	h := &churnHarness{
-		sys:       sys,
-		g:         g,
-		w:         w,
-		opt:       opt,
-		live:      make(map[packet.FlowID]*churnFlow),
-		linkFlows: make(map[topo.LinkID]map[packet.FlowID]struct{}),
-	}
-	sys.Ctl.OnComplete = func(u *controlplane.UpdateStatus) {
-		h.onUpdateComplete(u.Flow, u.Version, u.Completed-u.Sent)
-	}
-	h.scheduleNextArrival()
-	h.scheduleNextReroute()
+	h := soak.NewHarness(sys, g, w, so)
+	h.Start()
 	sys.Eng.RunUntil(opt.Duration + opt.Drain)
 
-	m := runner.Metrics{Samples: h.samples}
+	c := h.Counters()
+	samples := h.Samples()
+	m := runner.Metrics{Samples: samples}
 	m.Values = map[string]float64{
-		"arrivals":          float64(h.arrivals),
-		"departures":        float64(h.departures),
-		"retired":           float64(h.retired),
-		"peak_live":         float64(h.peakLive),
-		"end_live":          float64(len(h.live)),
+		"arrivals":          float64(c.Arrivals),
+		"departures":        float64(c.Departures),
+		"retired":           float64(c.Retired),
+		"peak_live":         float64(c.PeakLive),
+		"end_live":          float64(h.LiveFlows()),
 		"flow_slots":        float64(sys.Net.NumFlowSlots()),
-		"waves":             float64(h.waves),
-		"updates_triggered": float64(h.triggered),
-		"updates_completed": float64(h.completed),
-		"skipped_busy":      float64(h.skippedBusy),
-		"skipped_same":      float64(h.skippedSame),
-		"trigger_errors":    float64(h.triggerErrs),
+		"waves":             float64(c.Waves),
+		"updates_triggered": float64(c.Triggered),
+		"updates_completed": float64(c.Completed),
+		"skipped_busy":      float64(c.SkippedBusy),
+		"skipped_same":      float64(c.SkippedSame),
+		"trigger_errors":    float64(c.TriggerErrs),
 		"batch_frames":      float64(sys.Ctl.BatchFrames),
 		"batched_uims":      float64(sys.Ctl.BatchedUIMs),
 	}
-	if len(h.samples) > 0 {
-		sorted := append([]time.Duration(nil), h.samples...)
+	if len(samples) > 0 {
+		sorted := append([]time.Duration(nil), samples...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		var sum time.Duration
 		for _, s := range sorted {
@@ -357,7 +153,7 @@ func runChurnTrial(sys *wiring.System, g *topo.Topology, seed int64, opt ChurnOp
 	// per wall-clock second. Like WallClock/Allocs, determinism
 	// comparisons must ignore it.
 	if el := time.Since(start).Seconds(); el > 0 {
-		m.Values["wall_flows_per_sec"] = float64(h.arrivals) / el
+		m.Values["wall_flows_per_sec"] = float64(c.Arrivals) / el
 	}
 	return m, nil
 }

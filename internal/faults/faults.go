@@ -18,6 +18,7 @@ package faults
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"p4update/internal/dataplane"
@@ -116,6 +117,17 @@ type Crash struct {
 	Restore time.Duration
 }
 
+// Burst is a scheduled rate-burst window: while From <= now < Until the
+// injector's effective per-class rates are the kind-wise maximum of the
+// plan's ambient rates and the burst's. Bursts are how a storm schedule
+// (see BuildStorm) turns steady background chaos into recurring episodes
+// — a loss spike, a corruption wave — without touching the ambient plan.
+// Overlapping bursts combine kind-wise, again by maximum.
+type Burst struct {
+	From, Until    time.Duration
+	Data, Up, Down Rates
+}
+
 // Partition is a controller-channel outage window: control frames to
 // and from Node (AnyNode = every switch) are dropped while From <= now
 // < Until.
@@ -140,12 +152,14 @@ type Plan struct {
 	Rules      []Rule
 	Crashes    []Crash
 	Partitions []Partition
+	Bursts     []Burst
 }
 
 // Active reports whether the plan can affect a trial at all.
 func (p *Plan) Active() bool {
 	return p.Data.enabled() || p.Up.enabled() || p.Down.enabled() ||
-		len(p.Rules) > 0 || len(p.Crashes) > 0 || len(p.Partitions) > 0
+		len(p.Rules) > 0 || len(p.Crashes) > 0 || len(p.Partitions) > 0 ||
+		len(p.Bursts) > 0
 }
 
 // Stats counts injector decisions, split by origin.
@@ -194,7 +208,53 @@ type Injector struct {
 	ruleLeft []int
 	ruleHits []int
 
+	// segs is the precomputed burst timeline: effective per-class rates
+	// for each half-open interval between burst boundaries, nil when the
+	// plan has no bursts (so burst-free plans stay byte-identical to the
+	// pre-burst injector). segIdx is the monotonic cursor — virtual time
+	// never runs backward, so Inspect advances it in amortized O(1).
+	segs   []rateSeg
+	segIdx int
+
+	// parts is the plan's partition list sorted by From (a private copy;
+	// plans are shared across a grid's trials and must not be mutated),
+	// with partIdx skipping the expired prefix.
+	parts   []Partition
+	partIdx int
+
 	Stats Stats
+}
+
+// rateSeg is one interval of the burst timeline: from this instant until
+// the next segment's start, rates[class] is in effect.
+type rateSeg struct {
+	from  time.Duration
+	rates [3]Rates
+}
+
+// maxRates merges b into a kind-wise: each probability and delay bound
+// takes the larger of the two, so overlapping bursts and ambient chaos
+// compose monotonically (a burst can only add faults, never mask them).
+func maxRates(a, b Rates) Rates {
+	if b.Drop > a.Drop {
+		a.Drop = b.Drop
+	}
+	if b.Duplicate > a.Duplicate {
+		a.Duplicate = b.Duplicate
+	}
+	if b.Corrupt > a.Corrupt {
+		a.Corrupt = b.Corrupt
+	}
+	if b.Reorder > a.Reorder {
+		a.Reorder = b.Reorder
+	}
+	if b.ReorderBy > a.ReorderBy {
+		a.ReorderBy = b.ReorderBy
+	}
+	if b.Jitter > a.Jitter {
+		a.Jitter = b.Jitter
+	}
+	return a
 }
 
 // splitmix64 is the stream-splitting mixer (Steele et al.): it turns
@@ -225,6 +285,13 @@ func Attach(net *dataplane.Network, plan Plan) *Injector {
 		} else {
 			inj.ruleLeft[i] = r.Count
 		}
+	}
+	inj.buildSegments()
+	if len(plan.Partitions) > 0 {
+		inj.parts = append([]Partition(nil), plan.Partitions...)
+		sort.SliceStable(inj.parts, func(i, j int) bool {
+			return inj.parts[i].From < inj.parts[j].From
+		})
 	}
 	net.Faults = inj
 	for _, cr := range plan.Crashes {
@@ -265,6 +332,53 @@ func (inj *Injector) classRates(class dataplane.FaultClass) *Rates {
 	}
 }
 
+// buildSegments flattens the plan's bursts into the segment timeline:
+// boundaries are every burst From/Until (plus zero), and each segment's
+// effective rates are the ambient rates merged kind-wise with every
+// burst covering the segment. Quadratic in the burst count, paid once
+// at attach.
+func (inj *Injector) buildSegments() {
+	if len(inj.plan.Bursts) == 0 {
+		return
+	}
+	bounds := []time.Duration{0}
+	for _, b := range inj.plan.Bursts {
+		if b.Until <= b.From {
+			continue
+		}
+		bounds = append(bounds, b.From, b.Until)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	for _, at := range bounds {
+		if n := len(inj.segs); n > 0 && inj.segs[n-1].from == at {
+			continue
+		}
+		seg := rateSeg{from: at, rates: [3]Rates{inj.plan.Data, inj.plan.Up, inj.plan.Down}}
+		for _, b := range inj.plan.Bursts {
+			if b.From <= at && at < b.Until {
+				seg.rates[dataplane.FaultData] = maxRates(seg.rates[dataplane.FaultData], b.Data)
+				seg.rates[dataplane.FaultControlUp] = maxRates(seg.rates[dataplane.FaultControlUp], b.Up)
+				seg.rates[dataplane.FaultControlDown] = maxRates(seg.rates[dataplane.FaultControlDown], b.Down)
+			}
+		}
+		inj.segs = append(inj.segs, seg)
+	}
+}
+
+// effectiveRates returns the rates in force for class at the current
+// virtual instant: the ambient plan rates when no bursts exist, else the
+// precomputed segment under the monotonic cursor.
+func (inj *Injector) effectiveRates(class dataplane.FaultClass) *Rates {
+	if inj.segs == nil {
+		return inj.classRates(class)
+	}
+	now := inj.net.Eng.Now()
+	for inj.segIdx+1 < len(inj.segs) && inj.segs[inj.segIdx+1].from <= now {
+		inj.segIdx++
+	}
+	return &inj.segs[inj.segIdx].rates[class]
+}
+
 // matchRule reports whether rule i applies to the frame.
 func (inj *Injector) matchRule(i int, class dataplane.FaultClass, from, to topo.NodeID, raw []byte) bool {
 	r := &inj.plan.Rules[i]
@@ -287,18 +401,53 @@ func (inj *Injector) matchRule(i int, class dataplane.FaultClass, from, to topo.
 }
 
 // inPartition reports whether a control frame touching node is inside a
-// partition window at the current virtual time.
+// partition window at the current virtual time. Windows are scanned in
+// From order; the cursor permanently skips fully expired prefix windows
+// (time is monotonic), so long storm schedules cost amortized O(active).
 func (inj *Injector) inPartition(node topo.NodeID) bool {
 	now := inj.net.Eng.Now()
-	for _, p := range inj.plan.Partitions {
-		if p.Node != AnyNode && p.Node != node {
+	for inj.partIdx < len(inj.parts) && inj.parts[inj.partIdx].Until <= now {
+		inj.partIdx++
+	}
+	for i := inj.partIdx; i < len(inj.parts); i++ {
+		p := inj.parts[i]
+		if p.From > now {
+			break
+		}
+		if p.Until <= now {
 			continue
 		}
-		if now >= p.From && now < p.Until {
+		if p.Node == AnyNode || p.Node == node {
 			return true
 		}
 	}
 	return false
+}
+
+// ActivePartitionEnd reports whether any partition window (for any node)
+// covers the current virtual instant and, if so, the latest Until among
+// the covering windows — the earliest moment the control channel is
+// guaranteed clear of every currently active window. Harnesses use it to
+// defer controller-driven work (e.g. reroute trigger waves) past an
+// outage instead of burning retrigger budget into a black hole.
+func (inj *Injector) ActivePartitionEnd() (time.Duration, bool) {
+	now := inj.net.Eng.Now()
+	var end time.Duration
+	active := false
+	for i := inj.partIdx; i < len(inj.parts); i++ {
+		p := inj.parts[i]
+		if p.From > now {
+			break
+		}
+		if p.Until <= now {
+			continue
+		}
+		active = true
+		if p.Until > end {
+			end = p.Until
+		}
+	}
+	return end, active
 }
 
 // corruptDetectably damages raw in place so that the receiver's decode
@@ -360,7 +509,7 @@ func (inj *Injector) Inspect(class dataplane.FaultClass, from, to topo.NodeID, r
 		}
 	}
 
-	rates := inj.classRates(class)
+	rates := inj.effectiveRates(class)
 	streams := &inj.rng[class]
 	if rates.Drop > 0 && streams[kindDrop].Float64() < rates.Drop {
 		inj.Stats.Dropped++

@@ -1,0 +1,216 @@
+// Storm scheduling: compiling an operator-facing storm profile into a
+// concrete fault Plan for one soak trial. A storm is ambient chaos
+// (steady loss/reorder/corruption on every message class) plus a seeded
+// schedule of recurring episodes — loss/reorder bursts, corruption
+// bursts, switch crash/restore cycles, and controller partition windows.
+// Episode streams are split per class through splitmix64, so tuning one
+// episode class never perturbs another's schedule, and the same
+// (seed, horizon, profile) triple always compiles to the same Plan —
+// every system in a soak cell faces the identical storm.
+
+package faults
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"p4update/internal/topo"
+)
+
+// EpisodeClass classifies one storm episode for SLO attribution.
+type EpisodeClass uint8
+
+// Episode classes.
+const (
+	EpisodeLossBurst EpisodeClass = iota
+	EpisodeCorruptBurst
+	EpisodeCrash
+	EpisodePartition
+	NumEpisodeClasses
+)
+
+var episodeClassNames = [NumEpisodeClasses]string{
+	"loss-burst", "corrupt-burst", "crash", "partition",
+}
+
+func (c EpisodeClass) String() string {
+	if int(c) < len(episodeClassNames) {
+		return episodeClassNames[c]
+	}
+	return "unknown"
+}
+
+// Episode is one scheduled fault episode of a compiled storm. Start and
+// End bound the injected disturbance; recovery time is measured from
+// Start to the first clean audit sweep at or after End.
+type Episode struct {
+	Class EpisodeClass
+	Start time.Duration
+	End   time.Duration
+	// Node is the crashed switch (EpisodeCrash) or AnyNode for
+	// whole-controller partition windows; unused for rate bursts.
+	Node topo.NodeID
+}
+
+// StormProfile parameterizes the recurring-episode generator. Each
+// episode class fires with exponentially distributed gaps of the given
+// mean ("Every") between one episode's end and the next one's start, and
+// a length jittered uniformly within ±25% of the configured duration. A
+// zero Every disables the class.
+type StormProfile struct {
+	Name string
+
+	// Ambient chaos applied to all three message classes for the whole
+	// run.
+	Loss, Reorder, Corrupt float64
+	ReorderBy              time.Duration
+
+	// Loss/reorder bursts: windows where loss and reorder spike to the
+	// burst rates (kind-wise max with ambient).
+	BurstEvery, BurstLen    time.Duration
+	BurstLoss, BurstReorder float64
+
+	// Corruption bursts.
+	CorruptEvery, CorruptLen time.Duration
+	CorruptRate              float64
+
+	// Switch crash/restore cycles: a uniformly chosen switch fail-stops
+	// for CrashOutage, losing soft state but keeping committed rules.
+	CrashEvery, CrashOutage time.Duration
+
+	// Controller partition windows: all control-channel frames (both
+	// directions, every switch) are dropped for PartitionLen.
+	PartitionEvery, PartitionLen time.Duration
+}
+
+// StormProfiles returns the built-in operator profiles, mildest first.
+//
+//   - calm: light ambient loss with occasional single-switch crashes —
+//     the "normal datacenter day" baseline.
+//   - squall: the acceptance regime — 10% ambient loss+reorder with
+//     recurring loss bursts, crash/restore cycles, and controller
+//     partitions.
+//   - hurricane: sustained heavy loss, corruption, long outages; even
+//     P4Update is expected to burn real retrigger budget here.
+func StormProfiles() []StormProfile {
+	return []StormProfile{
+		{
+			Name: "calm",
+			Loss: 0.02, Reorder: 0.02, ReorderBy: 2 * time.Millisecond,
+			CrashEvery: 8 * time.Second, CrashOutage: 200 * time.Millisecond,
+		},
+		{
+			Name: "squall",
+			Loss: 0.10, Reorder: 0.10, ReorderBy: 2 * time.Millisecond,
+			BurstEvery: 1500 * time.Millisecond, BurstLen: 250 * time.Millisecond,
+			BurstLoss: 0.30, BurstReorder: 0.25,
+			CrashEvery: 1200 * time.Millisecond, CrashOutage: 300 * time.Millisecond,
+			PartitionEvery: 2 * time.Second, PartitionLen: 350 * time.Millisecond,
+		},
+		{
+			Name: "hurricane",
+			Loss: 0.20, Reorder: 0.15, Corrupt: 0.02, ReorderBy: 3 * time.Millisecond,
+			BurstEvery: time.Second, BurstLen: 300 * time.Millisecond,
+			BurstLoss: 0.45, BurstReorder: 0.35,
+			CorruptEvery: 2500 * time.Millisecond, CorruptLen: 300 * time.Millisecond,
+			CorruptRate: 0.10,
+			CrashEvery:  800 * time.Millisecond, CrashOutage: 500 * time.Millisecond,
+			PartitionEvery: 1500 * time.Millisecond, PartitionLen: 500 * time.Millisecond,
+		},
+	}
+}
+
+// LookupStorm resolves a built-in profile by name.
+func LookupStorm(name string) (StormProfile, bool) {
+	for _, p := range StormProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return StormProfile{}, false
+}
+
+// StormNames lists the built-in profile names in severity order.
+func StormNames() []string {
+	ps := StormProfiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// stormStream derives the independent per-class episode stream: storm
+// schedules must not shift when the injector's frame-level draws do, so
+// they never share streams with Inspect.
+func stormStream(seed int64, class EpisodeClass) *rand.Rand {
+	s := splitmix64(splitmix64(uint64(seed)^0xb0b0) + uint64(class) + 1)
+	return rand.New(rand.NewSource(int64(s)))
+}
+
+// episodeTimes generates one class's schedule over [0, horizon): gaps
+// are exponential with mean every, lengths uniform in [0.75, 1.25]×dur,
+// and every episode ends strictly before the horizon so the trailing
+// drain window always observes recovery.
+func episodeTimes(rng *rand.Rand, every, dur, horizon time.Duration) [][2]time.Duration {
+	if every <= 0 || dur <= 0 {
+		return nil
+	}
+	var out [][2]time.Duration
+	at := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() * float64(every))
+		length := time.Duration((0.75 + 0.5*rng.Float64()) * float64(dur))
+		start := at + gap
+		end := start + length
+		if end >= horizon {
+			return out
+		}
+		out = append(out, [2]time.Duration{start, end})
+		at = end
+	}
+}
+
+// BuildStorm compiles profile into a fault plan covering [0, horizon)
+// plus the episode timeline for SLO attribution. The returned plan's
+// Seed is left zero so wiring derives the injector's frame-level streams
+// from the trial seed as usual; seed here controls only the episode
+// schedule. Episodes are returned sorted by start time.
+func BuildStorm(g *topo.Topology, seed int64, horizon time.Duration, p StormProfile) (*Plan, []Episode) {
+	ambient := Rates{Drop: p.Loss, Reorder: p.Reorder, Corrupt: p.Corrupt, ReorderBy: p.ReorderBy}
+	if ambient.Reorder > 0 && ambient.ReorderBy == 0 {
+		ambient.ReorderBy = 2 * time.Millisecond
+	}
+	plan := &Plan{Data: ambient, Up: ambient, Down: ambient}
+	var eps []Episode
+
+	burstBy := ambient.ReorderBy
+	if burstBy == 0 {
+		burstBy = 2 * time.Millisecond
+	}
+	for _, w := range episodeTimes(stormStream(seed, EpisodeLossBurst), p.BurstEvery, p.BurstLen, horizon) {
+		r := Rates{Drop: p.BurstLoss, Reorder: p.BurstReorder, ReorderBy: burstBy}
+		plan.Bursts = append(plan.Bursts, Burst{From: w[0], Until: w[1], Data: r, Up: r, Down: r})
+		eps = append(eps, Episode{Class: EpisodeLossBurst, Start: w[0], End: w[1]})
+	}
+	for _, w := range episodeTimes(stormStream(seed, EpisodeCorruptBurst), p.CorruptEvery, p.CorruptLen, horizon) {
+		r := Rates{Corrupt: p.CorruptRate}
+		plan.Bursts = append(plan.Bursts, Burst{From: w[0], Until: w[1], Data: r, Up: r, Down: r})
+		eps = append(eps, Episode{Class: EpisodeCorruptBurst, Start: w[0], End: w[1]})
+	}
+	crashRng := stormStream(seed, EpisodeCrash)
+	nodes := g.Nodes()
+	for _, w := range episodeTimes(crashRng, p.CrashEvery, p.CrashOutage, horizon) {
+		node := nodes[crashRng.Intn(len(nodes))]
+		plan.Crashes = append(plan.Crashes, Crash{Node: node, At: w[0], Restore: w[1]})
+		eps = append(eps, Episode{Class: EpisodeCrash, Start: w[0], End: w[1], Node: node})
+	}
+	for _, w := range episodeTimes(stormStream(seed, EpisodePartition), p.PartitionEvery, p.PartitionLen, horizon) {
+		plan.Partitions = append(plan.Partitions, Partition{Node: AnyNode, From: w[0], Until: w[1]})
+		eps = append(eps, Episode{Class: EpisodePartition, Start: w[0], End: w[1], Node: AnyNode})
+	}
+
+	sort.SliceStable(eps, func(i, j int) bool { return eps[i].Start < eps[j].Start })
+	return plan, eps
+}

@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"runtime/metrics"
@@ -70,6 +71,12 @@ type Metrics struct {
 	// dependency rounds — so the report schema stays stable as systems
 	// are added.
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// Report carries a structured per-trial operator report (e.g. the
+	// soak scenario's SLO report) as pre-marshaled JSON, riding into the
+	// JSON trial export verbatim; nil for trials without one. Trial
+	// bodies marshal it themselves so it derives only from virtual-time
+	// state and stays byte-identical across worker counts.
+	Report json.RawMessage `json:"report,omitempty"`
 	// Trace summarizes the trial's flight-recorder content (event counts
 	// by kind/class and by node); nil when tracing was off. It sits next
 	// to the alloc counters in the JSON trial report.

@@ -1,0 +1,121 @@
+package p4update_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"p4update/internal/experiments"
+	"p4update/internal/soak"
+	"p4update/internal/topo"
+)
+
+// headlineSoakOpts is the BENCH_soak configuration: the fabric-operator
+// scenario on B4 at 600 steady-state flows for 30 virtual seconds per
+// cell, swept across all three storm profiles for all three systems.
+func headlineSoakOpts() experiments.SoakOpts {
+	so := experiments.DefaultSoakOpts()
+	so.Churn.ArrivalRate = 300
+	so.Churn.MeanLifetime = 2 * time.Second
+	so.Churn.Duration = 30 * time.Second
+	so.Churn.Drain = 3 * time.Second
+	so.Profiles = []string{"calm", "squall", "hurricane"}
+	return so
+}
+
+// TestWriteSoakBench regenerates BENCH_soak.json: the headline soak grid
+// — every system under every storm profile with per-fault-class recovery
+// times and retrigger budget burn. Gated behind P4UPDATE_SOAK_BENCH=1
+// (minutes of work); `make bench-soak` sets it.
+func TestWriteSoakBench(t *testing.T) {
+	if os.Getenv("P4UPDATE_SOAK_BENCH") == "" {
+		t.Skip("set P4UPDATE_SOAK_BENCH=1 (make bench-soak) to regenerate BENCH_soak.json")
+	}
+	so := headlineSoakOpts()
+	start := time.Now()
+	res, err := experiments.RunSoak(topo.B4, "B4", 1, 1, so, experiments.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	type cell struct {
+		System          string          `json:"system"`
+		Storm           string          `json:"storm"`
+		AvailabilityPct float64         `json:"availability_pct"`
+		Triggered       uint64          `json:"updates_triggered"`
+		Completed       uint64          `json:"updates_completed"`
+		Confirming      uint64          `json:"confirming"`
+		CrashOrphaned   uint64          `json:"crash_orphaned"`
+		Stalled         uint64          `json:"stalled"`
+		P50Ms           float64         `json:"update_p50_ms"`
+		P99Ms           float64         `json:"update_p99_ms"`
+		P999Ms          float64         `json:"update_p999_ms"`
+		Retriggers      uint64          `json:"retriggers"`
+		ProbeRetries    uint64          `json:"probe_retries"`
+		BudgetBurnPct   float64         `json:"budget_burn_pct"`
+		Violations      uint64          `json:"violations_total"`
+		Classes         []soak.ClassSLO `json:"fault_classes"`
+		VirtualSeconds  float64         `json:"virtual_seconds"`
+		Events          uint64          `json:"events"`
+	}
+	cells := make([]cell, 0, len(res.Trials))
+	for i, tr := range res.Trials {
+		if tr.Failed {
+			t.Fatalf("%s failed: %s", tr.Label, tr.Err)
+		}
+		rep := res.Reports[i]
+		if rep == nil {
+			t.Fatalf("%s: no operator report", tr.Label)
+		}
+		if rep.System == "p4update" && (rep.AvailabilityPct < 99 || rep.Stalled > 0 || rep.Violations.Total > 0) {
+			t.Fatalf("%s: p4update below the soak SLO: avail=%.3f%% stalled=%d violations=%d",
+				tr.Label, rep.AvailabilityPct, rep.Stalled, rep.Violations.Total)
+		}
+		cells = append(cells, cell{
+			System:          rep.System,
+			Storm:           rep.Profile,
+			AvailabilityPct: rep.AvailabilityPct,
+			Triggered:       rep.UpdatesTriggered,
+			Completed:       rep.UpdatesCompleted,
+			Confirming:      rep.Confirming,
+			CrashOrphaned:   rep.CrashOrphaned,
+			Stalled:         rep.Stalled,
+			P50Ms:           rep.Latency.P50Ms,
+			P99Ms:           rep.Latency.P99Ms,
+			P999Ms:          rep.Latency.P999Ms,
+			Retriggers:      rep.Retriggers,
+			ProbeRetries:    rep.ProbeRetries,
+			BudgetBurnPct:   rep.BudgetBurnPct,
+			Violations:      rep.Violations.Total,
+			Classes:         rep.Classes,
+			VirtualSeconds:  tr.VirtualTime.Seconds(),
+			Events:          tr.Events,
+		})
+	}
+	report := struct {
+		Name        string    `json:"name"`
+		Description string    `json:"description"`
+		Host        benchHost `json:"host"`
+		Cells       []cell    `json:"cells"`
+		WallClock   string    `json:"wall_clock"`
+	}{
+		Name: "fault-storm-soak",
+		Description: "TestWriteSoakBench: the fabric-operator soak grid on B4 — " +
+			"streaming churn (300 flows/s, ~600 live) sustained for 30 virtual " +
+			"seconds per cell while a seeded storm scheduler fires recurring " +
+			"loss/reorder/corrupt bursts, switch crash/restore cycles, and " +
+			"controller partition windows (profiles calm/squall/hurricane), with " +
+			"the invariant auditor sweeping continuously. Each cell reports the " +
+			"operator SLOs: audited availability, completion quantiles, crash-" +
+			"orphan accounting, per-fault-class recovery time, and §11 retrigger " +
+			"budget burn. Regenerate with make bench-soak.",
+		Host:      currentBenchHost(),
+		Cells:     cells,
+		WallClock: wall.Round(time.Millisecond).String(),
+	}
+	if err := writeBenchJSON("BENCH_soak.json", report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_soak.json: %d cells, wall=%v", len(cells), wall)
+}
