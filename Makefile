@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke bench-sharded bench-churn bench-soak sharded-smoke churn-smoke soak-smoke fuzz-smoke faults-smoke fig7-six check clean
+.PHONY: all build vet lint test race bench bench-smoke bench-sharded bench-churn bench-soak sharded-smoke churn-smoke soak-smoke fuzz-smoke faults-smoke fig7-six daemons deploy-smoke check clean
 
 all: check
 
@@ -35,7 +35,7 @@ test:
 # the end-to-end sequential-vs-sharded equality tests, whose region
 # workers genuinely race without the window/barrier discipline.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/... ./internal/trace/... ./internal/wiring/... ./internal/localverify/... ./internal/ppcu/... ./internal/optoracle/... ./internal/dataplane/... ./internal/controlplane/... ./internal/traffic/... ./internal/packet/... ./internal/soak/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/topo/... ./internal/plancache/... ./internal/faults/... ./internal/audit/... ./internal/trace/... ./internal/wiring/... ./internal/localverify/... ./internal/ppcu/... ./internal/optoracle/... ./internal/dataplane/... ./internal/controlplane/... ./internal/traffic/... ./internal/packet/... ./internal/soak/... ./internal/transport/... ./internal/replaydiff/... ./internal/deploy/...
 	$(GO) test -race -run 'Sharded|Churn|Soak' ./internal/experiments/
 
 # Hot-path microbenchmarks (engine schedule/step) plus the end-to-end
@@ -101,13 +101,25 @@ fuzz-smoke:
 faults-smoke:
 	$(GO) run ./cmd/p4update -exp faults -runs 2 -loss 0,0.1 -reorder 0.1 -audit-every 1
 
+# Build the real-process deployment daemons into bin/.
+daemons:
+	$(GO) build -o bin/controllerd ./cmd/controllerd
+	$(GO) build -o bin/switchd ./cmd/switchd
+
+# Real-process integration smoke: forked controllerd + 5× switchd over
+# localhost UDP run the fig2 update, the controller is killed and
+# restarted mid-update, and every process's flight recording is
+# replay-diffed against the simulated oracle (internal/replaydiff).
+deploy-smoke: daemons
+	$(GO) run ./cmd/p4update -exp deploy -deploy-bin bin
+
 # Six-system optimality-gap smoke: every registered system on B4 with
 # the commit-round tracker attached, scored against the offline oracle's
 # round bound (fixed seeds; bound violations print in the table).
 fig7-six:
 	$(GO) run ./cmd/p4update -exp fig7six -runs 3 -seed 1 -workers 4
 
-check: lint build test race sharded-smoke churn-smoke soak-smoke
+check: lint build test race sharded-smoke churn-smoke soak-smoke deploy-smoke
 
 clean:
 	$(GO) clean ./...

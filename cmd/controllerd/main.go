@@ -1,0 +1,82 @@
+// Command controllerd runs the P4Update controller — the unmodified
+// internal/controlplane planner and tracker — as a real process
+// speaking the internal/transport UDP framing. It persists a
+// write-ahead record of the in-flight update; a restarted incarnation
+// re-syncs from disk plus the live switches' state reports and resends
+// only what is still unacknowledged. On SIGTERM it dumps its flight
+// recording for the replay-diff oracle check.
+//
+// Usage:
+//
+//	controllerd -base-port 18800 -state controller.json -trace ctl.trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"p4update/internal/deploy"
+)
+
+func main() {
+	var (
+		basePort = flag.Int("base-port", 18800, "fabric port base (controller = base, switch i = base+1+i)")
+		state    = flag.String("state", "", "write-ahead state file (empty disables persistence)")
+		tracef   = flag.String("trace", "", "flight-recorder JSONL dump written on exit")
+	)
+	flag.Parse()
+
+	scn := deploy.Fig2Scenario()
+	g, err := scn.Topology()
+	if err != nil {
+		fail(err)
+	}
+	conn, err := deploy.ListenLocal(*basePort)
+	if err != nil {
+		fail(err)
+	}
+	d, err := deploy.NewControllerDaemon(deploy.ControllerConfig{
+		Scn:       scn,
+		Conn:      conn,
+		Peers:     deploy.PeerAddrs(*basePort, g.NumNodes()),
+		StateFile: *state,
+	})
+	if err != nil {
+		fail(err)
+	}
+	d.Start()
+	fmt.Printf("controllerd: %s %d on %s\n", deploy.MarkerUp, d.Epoch(), conn.LocalAddr())
+
+	go func() {
+		<-d.Pushed()
+		fmt.Println(deploy.MarkerPushed)
+	}()
+	go func() {
+		<-d.Completed()
+		fmt.Println(deploy.MarkerCompleted)
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+	d.Stop()
+	if *tracef != "" {
+		fh, err := os.Create(*tracef)
+		if err != nil {
+			fail(err)
+		}
+		if err := d.WriteTrace(fh); err != nil {
+			fail(err)
+		}
+		fh.Close()
+	}
+	fmt.Println("controllerd: stopped")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "controllerd:", err)
+	os.Exit(1)
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"p4update"
+	"p4update/internal/deploy"
 	"p4update/internal/experiments"
 	"p4update/internal/faults"
 	"p4update/internal/topo"
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig7six|fig8|scale|churn|faults|soak|all")
+		exp          = flag.String("exp", "all", "experiment: fig2|fig4|fig7|fig7six|fig8|scale|churn|faults|soak|deploy|all")
 		runs         = flag.Int("runs", 30, "runs per series (the paper uses 30; churn defaults to 1 unless set)")
 		systemsSel   = flag.String("systems", "all", "comma-separated registered update systems to evaluate (grid experiments; \"all\" = every registered system)")
 		preps        = flag.Int("updates", 1000, "updates per Fig. 8 run (the paper uses 1000)")
@@ -63,6 +64,8 @@ func main() {
 		tracePath    = flag.String("trace", "", "record a protocol flight-recorder log of the first trial to this file")
 		traceFmt     = flag.String("trace-format", "jsonl", "trace export format: jsonl|chrome (chrome://tracing / Perfetto)")
 		traceCap     = flag.Int("trace-cap", 0, "flight-recorder ring capacity in events (0 = default 16384)")
+		deployBin    = flag.String("deploy-bin", "bin", "deploy: directory holding the controllerd and switchd binaries")
+		deployPort   = flag.Int("deploy-port", 18800, "deploy: fabric UDP port base on 127.0.0.1")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -191,6 +194,13 @@ func main() {
 		// Each soak run is a full system × storm grid; default to one
 		// run unless -runs was given explicitly.
 		trials = append(trials, runSoak(*topoSel, storms, *soakRate, *soakDur, *auditEvery, explicitRuns(*runs, 1), *seed, opt)...)
+	case "deploy":
+		// Real-process smoke: forked controllerd + switchd over localhost
+		// UDP, controller killed and restarted mid-update, recorded run
+		// replay-diffed against the simulated oracle.
+		if err := deploy.RunSmoke(deploy.SmokeOptions{BinDir: *deployBin, BasePort: *deployPort, Out: os.Stdout}); err != nil {
+			fail(err)
+		}
 	case "all":
 		traceRec = runFig2(*seed, topt, *shards)
 		runFig4(*runs, *seed)

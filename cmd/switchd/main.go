@@ -1,0 +1,78 @@
+// Command switchd runs one P4Update switch — the unmodified
+// internal/core verification logic under internal/dataplane — as a real
+// process speaking the internal/transport UDP framing. It bootstraps
+// from its persisted last-known-good rules, keeps forwarding through
+// controller outages, and dumps its flight recording on SIGTERM for the
+// replay-diff oracle check.
+//
+// Usage:
+//
+//	switchd -node 2 -base-port 18800 -state sw2.json -trace sw2.trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"p4update/internal/deploy"
+	"p4update/internal/topo"
+)
+
+func main() {
+	var (
+		node     = flag.Int("node", -1, "switch node ID this process owns")
+		basePort = flag.Int("base-port", 18800, "fabric port base (controller = base, switch i = base+1+i)")
+		state    = flag.String("state", "", "last-known-good state file (empty disables persistence)")
+		tracef   = flag.String("trace", "", "flight-recorder JSONL dump written on exit")
+	)
+	flag.Parse()
+
+	scn := deploy.Fig2Scenario()
+	g, err := scn.Topology()
+	if err != nil {
+		fail(err)
+	}
+	if *node < 0 || *node >= g.NumNodes() {
+		fail(fmt.Errorf("-node %d out of range (fabric has %d switches)", *node, g.NumNodes()))
+	}
+	conn, err := deploy.ListenLocal(*basePort + 1 + *node)
+	if err != nil {
+		fail(err)
+	}
+	d, err := deploy.NewSwitch(deploy.SwitchConfig{
+		Node:      topo.NodeID(*node),
+		Scn:       scn,
+		Conn:      conn,
+		Peers:     deploy.PeerAddrs(*basePort, g.NumNodes()),
+		StateFile: *state,
+	})
+	if err != nil {
+		fail(err)
+	}
+	d.Start()
+	fmt.Printf("switchd: node %d %s %d on %s\n", *node, deploy.MarkerUp, d.Epoch(), conn.LocalAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+	d.Stop()
+	if *tracef != "" {
+		fh, err := os.Create(*tracef)
+		if err != nil {
+			fail(err)
+		}
+		if err := d.WriteTrace(fh); err != nil {
+			fail(err)
+		}
+		fh.Close()
+	}
+	fmt.Printf("switchd: node %d stopped\n", *node)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "switchd:", err)
+	os.Exit(1)
+}

@@ -108,6 +108,12 @@ type Controller struct {
 	OnAlarm func(u packet.UFM)
 	// OnComplete, when set, observes probe-confirmed update completions.
 	OnComplete func(u *UpdateStatus)
+	// InjectProbeHook, when set, is consulted before the controller
+	// injects a §9.1 confirmation probe at the ingress switch. Return
+	// true to take over the injection — deployment mode routes the
+	// probe request over the wire to the ingress switch's process
+	// instead of touching its local (remote-owned) switch replica.
+	InjectProbeHook func(u *UpdateStatus) bool
 	// MaxRetriggers bounds §11 failure recovery: how many times a stalled
 	// update's indications are re-sent (0 disables recovery).
 	MaxRetriggers int
@@ -433,6 +439,9 @@ func (c *Controller) armUpdateWatchdog(u *UpdateStatus) {
 // update's ingress.
 func (c *Controller) injectProbe(u *UpdateStatus) {
 	ingress := u.NewPath[0]
+	if c.InjectProbeHook != nil && c.InjectProbeHook(u) {
+		return
+	}
 	c.Net.Switch(ingress).InjectData(&packet.Data{
 		Flow: u.Flow, TTL: 64, Probe: true, ProbeVersion: u.Version,
 	})

@@ -84,6 +84,15 @@ type Network struct {
 	// behaves byte-identically to earlier revisions.
 	Faults FaultInjector
 
+	// Proc, when set, splits the fabric across OS processes
+	// (deployment mode): frames addressed to nodes this process does
+	// not own are serialized into fresh buffers and handed to the
+	// transport instead of the in-memory delivery queue. Sends are
+	// trace-recorded before the intercept, so a process's flight
+	// recorder captures its half of the conversation exactly as the
+	// simulator would.
+	Proc Transport
+
 	// DropControl, when set, may discard a controller<->switch frame.
 	DropControl func(node topo.NodeID, toController bool, raw []byte) bool
 	// ExtraControlDelay, when set, adds latency to a controller<->switch
@@ -501,6 +510,26 @@ func (n *Network) SetInstallDelay(f func() time.Duration) {
 	}
 }
 
+// Transport routes frames that leave this OS process in deployment
+// mode (cmd/controllerd, cmd/switchd). The Network consults it on
+// every send path; frames between two locally-owned parties stay on
+// the in-memory queue, everything else crosses the wire. Forward*
+// receive freshly-allocated buffers (never pooled) because a reliable
+// transport retains them for retransmission.
+type Transport interface {
+	// LocalNode reports whether this process owns switch n.
+	LocalNode(n topo.NodeID) bool
+	// LocalController reports whether this process owns the controller.
+	LocalController() bool
+	// ForwardPort carries a switch-to-switch frame that will arrive at
+	// to on inPort.
+	ForwardPort(from, to topo.NodeID, inPort topo.PortID, raw []byte)
+	// ForwardUp carries a switch-to-controller frame.
+	ForwardUp(from topo.NodeID, raw []byte)
+	// ForwardDown carries a controller-to-switch frame.
+	ForwardDown(to topo.NodeID, raw []byte)
+}
+
 // SendPort serializes m and transmits it out the given port of from,
 // delivering it to the neighbor after the link latency.
 func (n *Network) SendPort(from topo.NodeID, port topo.PortID, m packet.Message) {
@@ -517,6 +546,10 @@ func (n *Network) SendPort(from topo.NodeID, port topo.PortID, m packet.Message)
 	}
 	if tr := n.Eng.Trace; tr != nil {
 		n.recordSend(tr, from, to, m)
+	}
+	if n.Proc != nil && !n.Proc.LocalNode(to) {
+		n.Proc.ForwardPort(from, to, link.PortAt(to), packet.Marshal(m))
+		return
 	}
 	raw := m.SerializeTo(n.pool.GetBuf())
 	if n.Drop != nil && n.Drop(from, to, raw) {
@@ -567,6 +600,16 @@ const NodeController topo.NodeID = -1
 // SendToController serializes m and delivers it to the controller after
 // the node's control-channel latency.
 func (n *Network) SendToController(from topo.NodeID, m packet.Message) {
+	if n.Proc != nil && !n.Proc.LocalController() {
+		if n.switches[from].down {
+			return
+		}
+		if tr := n.Eng.Trace; tr != nil {
+			n.recordSend(tr, from, NodeController, m)
+		}
+		n.Proc.ForwardUp(from, packet.Marshal(m))
+		return
+	}
 	if n.ControllerRx == nil {
 		return
 	}
@@ -617,6 +660,10 @@ func (n *Network) SendToController(from topo.NodeID, m packet.Message) {
 func (n *Network) SendToSwitch(node topo.NodeID, m packet.Message, extraDelay time.Duration) {
 	if tr := n.Eng.Trace; tr != nil {
 		n.recordSend(tr, NodeController, node, m)
+	}
+	if n.Proc != nil && !n.Proc.LocalNode(node) {
+		n.Proc.ForwardDown(node, packet.Marshal(m))
+		return
 	}
 	raw := m.SerializeTo(n.pool.GetBuf())
 	if n.DropControl != nil && n.DropControl(node, false, raw) {

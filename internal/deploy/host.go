@@ -1,0 +1,101 @@
+package deploy
+
+import (
+	"sync"
+	"time"
+
+	"p4update/internal/sim"
+)
+
+// Host drives a wiring.System's virtual-clock engine in real time,
+// mapping wall-clock elapsed-since-start 1:1 onto virtual time. A pump
+// goroutine keeps the engine caught up with the wall clock (install
+// delays, watchdogs and probe timers fire on schedule); transport
+// handlers enter the engine through Do, which serializes them against
+// the pump. Everything the wiring.System owns — switches, controller,
+// recorder — must only be touched inside Do or before Start.
+type Host struct {
+	mu    sync.Mutex
+	eng   *sim.Engine
+	start time.Time
+	wake  chan struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewHost wraps an engine; the wall→virtual epoch is fixed here, so
+// construct the Host right after wiring.New.
+func NewHost(eng *sim.Engine) *Host {
+	return &Host{
+		eng:   eng,
+		start: time.Now(),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+}
+
+// Now is the current virtual time (wall time since construction).
+func (h *Host) Now() time.Duration { return time.Since(h.start) }
+
+// Do runs fn with the engine caught up to now and exclusive access to
+// the system, then pokes the pump so timers fn scheduled are honored.
+func (h *Host) Do(fn func()) {
+	h.mu.Lock()
+	h.eng.RunUntil(h.Now())
+	fn()
+	h.mu.Unlock()
+	select {
+	case h.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Start launches the pump.
+func (h *Host) Start() {
+	h.wg.Add(1)
+	go h.pump()
+}
+
+// Stop halts the pump; pending virtual events are left unexecuted.
+func (h *Host) Stop() {
+	select {
+	case <-h.done:
+	default:
+		close(h.done)
+	}
+	h.wg.Wait()
+}
+
+func (h *Host) pump() {
+	defer h.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		h.mu.Lock()
+		h.eng.RunUntil(h.Now())
+		next, ok := h.eng.NextAt()
+		h.mu.Unlock()
+
+		// Sleep until the next virtual event is due, or until a Do
+		// call schedules new work, whichever comes first.
+		wait := time.Hour
+		if ok {
+			if wait = next - h.Now(); wait <= 0 {
+				wait = 50 * time.Microsecond
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-h.done:
+			return
+		case <-h.wake:
+		case <-timer.C:
+		}
+	}
+}

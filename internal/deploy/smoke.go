@@ -1,0 +1,276 @@
+package deploy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"p4update/internal/replaydiff"
+	"p4update/internal/trace"
+)
+
+// Stdout markers the smoke harness keys on. The daemons print them;
+// scripts and the harness watch for them.
+const (
+	MarkerUp        = "up epoch"
+	MarkerPushed    = "controllerd: update pushed"
+	MarkerCompleted = "controllerd: update completed"
+)
+
+// SmokeOptions configures the forked-binary deployment smoke run.
+type SmokeOptions struct {
+	// BinDir holds the controllerd and switchd binaries.
+	BinDir string
+	// BasePort is the conventional port base (controller = BasePort,
+	// switch i = BasePort+1+i).
+	BasePort int
+	// WorkDir holds state and trace files; empty uses a temp dir.
+	WorkDir string
+	// Out receives progress and the forwarded daemon output.
+	Out io.Writer
+}
+
+// proc is one forked daemon with a line watcher on its output.
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+	out  io.Writer
+
+	mu      sync.Mutex
+	waiters map[string]chan struct{}
+}
+
+func startProc(out io.Writer, name, bin string, args ...string) (*proc, error) {
+	p := &proc{name: name, cmd: exec.Command(bin, args...), out: out, waiters: make(map[string]chan struct{})}
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	p.cmd.Stderr = p.cmd.Stdout
+	if err := p.cmd.Start(); err != nil {
+		return nil, err
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintf(p.out, "  [%s] %s\n", p.name, line)
+			p.mu.Lock()
+			for sub, ch := range p.waiters {
+				if strings.Contains(line, sub) {
+					close(ch)
+					delete(p.waiters, sub)
+				}
+			}
+			p.mu.Unlock()
+		}
+	}()
+	return p, nil
+}
+
+// expect returns a channel closed when a future output line contains
+// sub. Register before the line can appear.
+func (p *proc) expect(sub string) <-chan struct{} {
+	ch := make(chan struct{})
+	p.mu.Lock()
+	p.waiters[sub] = ch
+	p.mu.Unlock()
+	return ch
+}
+
+// terminate SIGTERMs the daemon (it dumps its trace and exits) and
+// waits for it.
+func (p *proc) terminate() error {
+	if p.cmd.Process == nil {
+		return nil
+	}
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		_ = p.cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("%s: did not exit on SIGTERM", p.name)
+	}
+}
+
+func (p *proc) kill() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+	}
+}
+
+func waitMarker(ch <-chan struct{}, d time.Duration, what string) error {
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(d):
+		return fmt.Errorf("timed out waiting for %s", what)
+	}
+}
+
+// RunSmoke is the multi-process integration smoke: fork one switchd
+// per fig2 node plus controllerd on localhost UDP, run the scenario
+// update, SIGKILL the controller mid-update, let the switches finish
+// on their own, restart the controller, require probe-confirmed
+// completion — then replay-diff every process's flight recording
+// against the simulated oracle.
+func RunSmoke(o SmokeOptions) error {
+	if o.Out == nil {
+		o.Out = os.Stdout
+	}
+	if o.BasePort == 0 {
+		o.BasePort = 18800
+	}
+	if o.WorkDir == "" {
+		dir, err := os.MkdirTemp("", "p4update-deploy-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		o.WorkDir = dir
+	}
+	scn := Fig2Scenario()
+	g, err := scn.Topology()
+	if err != nil {
+		return err
+	}
+	n := g.NumNodes()
+	ctlBin := filepath.Join(o.BinDir, "controllerd")
+	swBin := filepath.Join(o.BinDir, "switchd")
+	for _, bin := range []string{ctlBin, swBin} {
+		if _, err := os.Stat(bin); err != nil {
+			return fmt.Errorf("deploy smoke: missing daemon binary (run `make daemons`): %w", err)
+		}
+	}
+	tracePath := func(name string) string { return filepath.Join(o.WorkDir, name+".trace.jsonl") }
+
+	var procs []*proc
+	defer func() {
+		for _, p := range procs {
+			p.kill()
+		}
+	}()
+
+	fmt.Fprintf(o.Out, "deploy smoke: starting %d switchd + controllerd on 127.0.0.1:%d+\n", n, o.BasePort)
+	var switches []*proc
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("sw%d", i)
+		p, err := startProc(o.Out, name, swBin,
+			"-node", fmt.Sprint(i),
+			"-base-port", fmt.Sprint(o.BasePort),
+			"-state", filepath.Join(o.WorkDir, name+".json"),
+			"-trace", tracePath(name))
+		if err != nil {
+			return err
+		}
+		procs = append(procs, p)
+		switches = append(switches, p)
+	}
+
+	startCtl := func(epoch string) (*proc, error) {
+		p, err := startProc(o.Out, "ctl-"+epoch, ctlBin,
+			"-base-port", fmt.Sprint(o.BasePort),
+			"-state", filepath.Join(o.WorkDir, "controller.json"),
+			"-trace", tracePath("ctl-"+epoch))
+		if err == nil {
+			procs = append(procs, p)
+		}
+		return p, err
+	}
+
+	ctl1, err := startCtl("1")
+	if err != nil {
+		return err
+	}
+	pushed := ctl1.expect(MarkerPushed)
+	if err := waitMarker(pushed, 30*time.Second, "update push"); err != nil {
+		return err
+	}
+	fmt.Fprintln(o.Out, "deploy smoke: update pushed — killing controller mid-update")
+	if err := ctl1.terminate(); err != nil {
+		return err
+	}
+
+	// Outage: long enough for the whole install chain to commit with no
+	// controller (the daemon default install delay is 120ms per rule).
+	time.Sleep(1500 * time.Millisecond)
+
+	fmt.Fprintln(o.Out, "deploy smoke: restarting controller")
+	ctl2, err := startCtl("2")
+	if err != nil {
+		return err
+	}
+	completed := ctl2.expect(MarkerCompleted)
+	if err := waitMarker(completed, 30*time.Second, "update completion"); err != nil {
+		return err
+	}
+	// Grace for the stale-path CLN to land before tearing down.
+	time.Sleep(500 * time.Millisecond)
+	if err := ctl2.terminate(); err != nil {
+		return err
+	}
+	for _, p := range switches {
+		if err := p.terminate(); err != nil {
+			return err
+		}
+	}
+
+	// Differential check: every process's own events vs the oracle.
+	golden, err := GoldenEvents(scn)
+	if err != nil {
+		return err
+	}
+	want := replaydiff.Canonicalize(golden)
+	if want.Len() == 0 {
+		return fmt.Errorf("deploy smoke: oracle recorded no decisions")
+	}
+	load := func(name string, node int32) (*replaydiff.Log, error) {
+		fh, err := os.Open(tracePath(name))
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		evs, err := trace.ParseJSONL(fh)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return replaydiff.Canonicalize(replaydiff.OwnedBy(evs, node)), nil
+	}
+	logs := make([]*replaydiff.Log, 0, n+2)
+	for _, name := range []string{"ctl-1", "ctl-2"} {
+		l, err := load(name, trace.NodeController)
+		if err != nil {
+			return err
+		}
+		logs = append(logs, l)
+	}
+	for i := 0; i < n; i++ {
+		l, err := load(fmt.Sprintf("sw%d", i), int32(i))
+		if err != nil {
+			return err
+		}
+		logs = append(logs, l)
+	}
+	got := replaydiff.Merge(logs...)
+	divs := replaydiff.Diff(got, want)
+	fmt.Fprintf(o.Out, "deploy smoke: replay diff over %d decisions: %s\n", want.Len(), replaydiff.Report(divs))
+	if len(divs) != 0 {
+		return fmt.Errorf("deploy smoke: deployment diverges from the simulated oracle")
+	}
+	if got.Len() != want.Len() {
+		return fmt.Errorf("deploy smoke: merged %d decisions, oracle has %d", got.Len(), want.Len())
+	}
+	fmt.Fprintln(o.Out, "deploy smoke: PASS — controller killed and restarted mid-update, switches stayed autonomous, decision logs identical")
+	return nil
+}

@@ -1,0 +1,276 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// TypeFrame is the transport envelope carried by the real-process
+// deployment mode (cmd/controllerd, cmd/switchd). A Frame wraps one of
+// the simulator's wire messages — or a small transport-control payload
+// — with the sequencing metadata a lossy datagram transport needs:
+// per-peer sequence number, sender epoch (bumped across restarts) and
+// the sending node's identity.
+const TypeFrame MsgType = 20
+
+// FrameVerb discriminates what a Frame's payload carries.
+type FrameVerb uint8
+
+// Frame verbs. Zero is reserved as invalid.
+const (
+	// VerbMsg wraps one encoded packet.Message (UIM/UNM/UFM/CLN/...)
+	// for sequenced, retransmitted delivery.
+	VerbMsg FrameVerb = 1 + iota
+	// VerbAck carries a cumulative acknowledgement (uint64 sequence)
+	// for the reverse direction. Acks are themselves unsequenced.
+	VerbAck
+	// VerbHello announces a (re)started peer and its new epoch. A
+	// switch answers a controller hello with VerbState.
+	VerbHello
+	// VerbState reports a switch's committed per-flow versions to the
+	// controller (restart re-sync).
+	VerbState
+	// VerbSnapshot pushes one flow's full last-known-good plan entry
+	// (path + version) from controller to switch.
+	VerbSnapshot
+	// VerbProbe asks the ingress switch to inject the §9.1
+	// confirmation probe for a flow/version.
+	VerbProbe
+)
+
+// String implements fmt.Stringer.
+func (v FrameVerb) String() string {
+	switch v {
+	case VerbMsg:
+		return "MSG"
+	case VerbAck:
+		return "ACK"
+	case VerbHello:
+		return "HELLO"
+	case VerbState:
+		return "STATE"
+	case VerbSnapshot:
+		return "SNAPSHOT"
+	case VerbProbe:
+		return "PROBE"
+	default:
+		return fmt.Sprintf("FrameVerb(%d)", uint8(v))
+	}
+}
+
+// FrameHeaderSize is the fixed envelope prefix:
+// [0] type, [1] verb, [2:10] seq, [10:14] epoch, [14:18] src,
+// [18:20] inPort, [20:22] payload length.
+const FrameHeaderSize = 22
+
+// MaxFramePayload bounds a frame's payload so one frame always fits a
+// single UDP datagram comfortably under the conventional 1500-byte MTU.
+const MaxFramePayload = 1024
+
+// Frame is the transport envelope (see TypeFrame). A frame that did
+// not arrive on a data-plane port (controller traffic) carries
+// InPort = NoPort.
+type Frame struct {
+	Verb   FrameVerb
+	Src    int32  // sending node ID; -1 is the controller
+	Epoch  uint32 // sender incarnation, bumped on restart
+	Seq    uint64 // per-peer sequence number; 0 for unsequenced verbs
+	InPort uint16 // receiving data-plane port for VerbMsg, else NoPort
+	// Payload is verb-specific: an encoded Message for VerbMsg, a
+	// helper-encoded body for the control verbs, empty for VerbHello.
+	Payload []byte
+}
+
+// Type implements Message.
+func (m *Frame) Type() MsgType { return TypeFrame }
+
+// SerializeTo implements Message.
+func (m *Frame) SerializeTo(b []byte) []byte {
+	if len(m.Payload) > MaxFramePayload {
+		panic(fmt.Sprintf("packet: Frame payload %d bytes exceeds the %d-byte limit",
+			len(m.Payload), MaxFramePayload))
+	}
+	var hdr [FrameHeaderSize]byte
+	hdr[0] = byte(TypeFrame)
+	hdr[1] = byte(m.Verb)
+	binary.BigEndian.PutUint64(hdr[2:10], m.Seq)
+	binary.BigEndian.PutUint32(hdr[10:14], m.Epoch)
+	binary.BigEndian.PutUint32(hdr[14:18], uint32(m.Src))
+	binary.BigEndian.PutUint16(hdr[18:20], m.InPort)
+	binary.BigEndian.PutUint16(hdr[20:22], uint16(len(m.Payload)))
+	b = append(b, hdr[:]...)
+	return append(b, m.Payload...)
+}
+
+// DecodeFromBytes implements Message. The payload is copied out of b so
+// a decoded Frame never aliases a pooled receive buffer.
+func (m *Frame) DecodeFromBytes(b []byte) error {
+	if len(b) < FrameHeaderSize {
+		return fmt.Errorf("packet: Frame is %d bytes, want >= %d", len(b), FrameHeaderSize)
+	}
+	if MsgType(b[0]) != TypeFrame {
+		return fmt.Errorf("packet: type byte %d, want %v", b[0], TypeFrame)
+	}
+	verb := FrameVerb(b[1])
+	if verb < VerbMsg || verb > VerbProbe {
+		return fmt.Errorf("packet: unknown frame verb %d", b[1])
+	}
+	n := int(binary.BigEndian.Uint16(b[20:22]))
+	if n > MaxFramePayload {
+		return fmt.Errorf("packet: Frame payload %d bytes exceeds the %d-byte limit", n, MaxFramePayload)
+	}
+	if len(b) != FrameHeaderSize+n {
+		return fmt.Errorf("packet: Frame is %d bytes, want %d for a %d-byte payload",
+			len(b), FrameHeaderSize+n, n)
+	}
+	m.Verb = verb
+	m.Seq = binary.BigEndian.Uint64(b[2:10])
+	m.Epoch = binary.BigEndian.Uint32(b[10:14])
+	m.Src = int32(binary.BigEndian.Uint32(b[14:18]))
+	m.InPort = binary.BigEndian.Uint16(b[18:20])
+	m.Payload = append(m.Payload[:0], b[FrameHeaderSize:]...)
+	if n == 0 {
+		m.Payload = nil
+	}
+	return nil
+}
+
+// --- Verb payload helpers -------------------------------------------------
+//
+// The control verbs carry tiny fixed-layout bodies; these helpers keep
+// the encode/decode pairs next to each other and strictly validated.
+
+// AppendAck encodes a VerbAck payload: the highest contiguously
+// received sequence number.
+func AppendAck(b []byte, cum uint64) []byte {
+	var w [8]byte
+	binary.BigEndian.PutUint64(w[:], cum)
+	return append(b, w[:]...)
+}
+
+// ParseAck decodes a VerbAck payload.
+func ParseAck(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("packet: ACK payload is %d bytes, want 8", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// StateEntry is one committed (flow, version) pair in a VerbState body.
+type StateEntry struct {
+	Flow    FlowID
+	Version uint32
+}
+
+const stateEntrySize = 8
+
+// AppendState encodes a VerbState payload: uint16 count + entries.
+func AppendState(b []byte, entries []StateEntry) []byte {
+	if len(entries) > math.MaxUint16 {
+		panic(fmt.Sprintf("packet: %d state entries exceed the frame limit", len(entries)))
+	}
+	var w [2]byte
+	binary.BigEndian.PutUint16(w[:], uint16(len(entries)))
+	b = append(b, w[:]...)
+	for _, e := range entries {
+		var eb [stateEntrySize]byte
+		binary.BigEndian.PutUint32(eb[0:4], uint32(e.Flow))
+		binary.BigEndian.PutUint32(eb[4:8], e.Version)
+		b = append(b, eb[:]...)
+	}
+	return b
+}
+
+// ParseState decodes a VerbState payload.
+func ParseState(b []byte) ([]StateEntry, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("packet: STATE payload is %d bytes, want >= 2", len(b))
+	}
+	n := int(binary.BigEndian.Uint16(b[0:2]))
+	if len(b) != 2+n*stateEntrySize {
+		return nil, fmt.Errorf("packet: STATE payload is %d bytes, want %d for %d entries",
+			len(b), 2+n*stateEntrySize, n)
+	}
+	entries := make([]StateEntry, n)
+	for i := range entries {
+		off := 2 + i*stateEntrySize
+		entries[i].Flow = FlowID(binary.BigEndian.Uint32(b[off : off+4]))
+		entries[i].Version = binary.BigEndian.Uint32(b[off+4 : off+8])
+	}
+	return entries, nil
+}
+
+// SnapshotFlow is a VerbSnapshot body: one flow's last-known-good plan
+// entry, enough for a switch to rebuild its forwarding rule from
+// scratch (restart bootstrap) or adopt a version it missed.
+type SnapshotFlow struct {
+	Flow    FlowID
+	Src     uint16
+	Dst     uint16
+	Version uint32
+	SizeK   uint32
+	Path    []uint16 // node IDs, ingress first
+}
+
+const snapshotHeader = 18
+
+// AppendSnapshot encodes a VerbSnapshot payload.
+func AppendSnapshot(b []byte, s SnapshotFlow) []byte {
+	if len(s.Path) > math.MaxUint16 {
+		panic(fmt.Sprintf("packet: snapshot path of %d hops exceeds the frame limit", len(s.Path)))
+	}
+	var hdr [snapshotHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(s.Flow))
+	binary.BigEndian.PutUint16(hdr[4:6], s.Src)
+	binary.BigEndian.PutUint16(hdr[6:8], s.Dst)
+	binary.BigEndian.PutUint32(hdr[8:12], s.Version)
+	binary.BigEndian.PutUint32(hdr[12:16], s.SizeK)
+	binary.BigEndian.PutUint16(hdr[16:18], uint16(len(s.Path)))
+	b = append(b, hdr[:]...)
+	for _, n := range s.Path {
+		var w [2]byte
+		binary.BigEndian.PutUint16(w[:], n)
+		b = append(b, w[:]...)
+	}
+	return b
+}
+
+// ParseSnapshot decodes a VerbSnapshot payload.
+func ParseSnapshot(b []byte) (SnapshotFlow, error) {
+	var s SnapshotFlow
+	if len(b) < snapshotHeader {
+		return s, fmt.Errorf("packet: SNAPSHOT payload is %d bytes, want >= %d", len(b), snapshotHeader)
+	}
+	n := int(binary.BigEndian.Uint16(b[16:18]))
+	if len(b) != snapshotHeader+2*n {
+		return s, fmt.Errorf("packet: SNAPSHOT payload is %d bytes, want %d for %d hops",
+			len(b), snapshotHeader+2*n, n)
+	}
+	s.Flow = FlowID(binary.BigEndian.Uint32(b[0:4]))
+	s.Src = binary.BigEndian.Uint16(b[4:6])
+	s.Dst = binary.BigEndian.Uint16(b[6:8])
+	s.Version = binary.BigEndian.Uint32(b[8:12])
+	s.SizeK = binary.BigEndian.Uint32(b[12:16])
+	s.Path = make([]uint16, n)
+	for i := range s.Path {
+		s.Path[i] = binary.BigEndian.Uint16(b[snapshotHeader+2*i : snapshotHeader+2*i+2])
+	}
+	return s, nil
+}
+
+// AppendProbe encodes a VerbProbe payload: flow + version to confirm.
+func AppendProbe(b []byte, flow FlowID, version uint32) []byte {
+	var w [8]byte
+	binary.BigEndian.PutUint32(w[0:4], uint32(flow))
+	binary.BigEndian.PutUint32(w[4:8], version)
+	return append(b, w[:]...)
+}
+
+// ParseProbe decodes a VerbProbe payload.
+func ParseProbe(b []byte) (FlowID, uint32, error) {
+	if len(b) != 8 {
+		return 0, 0, fmt.Errorf("packet: PROBE payload is %d bytes, want 8", len(b))
+	}
+	return FlowID(binary.BigEndian.Uint32(b[0:4])), binary.BigEndian.Uint32(b[4:8]), nil
+}

@@ -1,0 +1,136 @@
+package packet
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFrameRoundTrip pins the canonical round-trip property for framed
+// messages: encode → decode → encode is the identity for every verb,
+// and the decoded inner payload of a VerbMsg frame is the original
+// message byte-for-byte.
+func TestFrameRoundTrip(t *testing.T) {
+	inner := Marshal(&UIM{Flow: 7, Version: 2, NewDistance: 3, OldDistance: 5,
+		EgressPort: 1, ChildPort: NoPort, FlowSizeK: 1000,
+		UpdateType: UpdateSingle, Role: RoleIngress})
+	frames := []*Frame{
+		{Verb: VerbMsg, Src: 4, Epoch: 3, Seq: 17, InPort: 2, Payload: inner},
+		{Verb: VerbAck, Src: -1, Epoch: 1, InPort: NoPort, Payload: AppendAck(nil, 16)},
+		{Verb: VerbHello, Src: -1, Epoch: 2, InPort: NoPort},
+		{Verb: VerbState, Src: 0, Epoch: 1, Seq: 1, InPort: NoPort,
+			Payload: AppendState(nil, []StateEntry{{Flow: 7, Version: 2}})},
+		{Verb: VerbSnapshot, Src: -1, Epoch: 2, Seq: 2, InPort: NoPort,
+			Payload: AppendSnapshot(nil, SnapshotFlow{Flow: 7, Src: 0, Dst: 4, Version: 2, SizeK: 500, Path: []uint16{0, 1, 2, 4}})},
+		{Verb: VerbProbe, Src: -1, Epoch: 2, Seq: 3, InPort: NoPort, Payload: AppendProbe(nil, 7, 2)},
+	}
+	for _, f := range frames {
+		raw := Marshal(f)
+		got := &Frame{}
+		if err := got.DecodeFromBytes(raw); err != nil {
+			t.Fatalf("%v: decode: %v", f.Verb, err)
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Errorf("%v: decode(encode(f)) = %+v, want %+v", f.Verb, got, f)
+		}
+		if !bytes.Equal(Marshal(got), raw) {
+			t.Errorf("%v: re-encode is not byte-identical", f.Verb)
+		}
+		m, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("%v: generic Decode: %v", f.Verb, err)
+		}
+		if m.Type() != TypeFrame {
+			t.Errorf("%v: Decode type = %v, want %v", f.Verb, m.Type(), TypeFrame)
+		}
+	}
+	// A VerbMsg frame's payload decodes back to the inner message.
+	f := &Frame{}
+	if err := f.DecodeFromBytes(Marshal(frames[0])); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := Decode(f.Payload); err != nil {
+		t.Fatalf("inner payload does not decode: %v", err)
+	} else if m.Type() != TypeUIM {
+		t.Errorf("inner payload type = %v, want %v", m.Type(), TypeUIM)
+	}
+}
+
+// TestFrameValidation exercises the decoder's reject paths: short
+// buffers, bad verbs, length mismatches and oversized payloads.
+func TestFrameValidation(t *testing.T) {
+	good := Marshal(&Frame{Verb: VerbHello, Src: 1, Epoch: 1, InPort: NoPort})
+
+	short := good[:FrameHeaderSize-1]
+	if err := (&Frame{}).DecodeFromBytes(short); err == nil {
+		t.Error("short frame accepted")
+	}
+
+	badVerb := bytes.Clone(good)
+	badVerb[1] = 0
+	if err := (&Frame{}).DecodeFromBytes(badVerb); err == nil {
+		t.Error("verb 0 accepted")
+	}
+	badVerb[1] = byte(VerbProbe) + 1
+	if err := (&Frame{}).DecodeFromBytes(badVerb); err == nil {
+		t.Error("out-of-range verb accepted")
+	}
+
+	trailing := append(bytes.Clone(good), 0xaa)
+	if err := (&Frame{}).DecodeFromBytes(trailing); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+
+	// Claimed payload length beyond MaxFramePayload is rejected even if
+	// the buffer is consistent with the claim.
+	big := &Frame{Verb: VerbMsg, Src: 1, Epoch: 1, Seq: 1, InPort: NoPort,
+		Payload: make([]byte, MaxFramePayload)}
+	raw := Marshal(big)
+	raw = append(raw, 0xbb) // grow buffer
+	bePut16(raw[20:22], MaxFramePayload+1)
+	if err := (&Frame{}).DecodeFromBytes(raw); err == nil ||
+		!strings.Contains(err.Error(), "limit") {
+		t.Errorf("oversized payload length: err = %v, want limit error", err)
+	}
+}
+
+func bePut16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+
+// TestFramePayloadHelpers covers the verb-body helpers' error paths.
+func TestFramePayloadHelpers(t *testing.T) {
+	if _, err := ParseAck([]byte{1, 2, 3}); err == nil {
+		t.Error("short ACK accepted")
+	}
+	if _, err := ParseState([]byte{0}); err == nil {
+		t.Error("short STATE accepted")
+	}
+	if _, err := ParseState(AppendState(nil, []StateEntry{{Flow: 1, Version: 1}})[:5]); err == nil {
+		t.Error("truncated STATE accepted")
+	}
+	if _, err := ParseSnapshot([]byte{1, 2}); err == nil {
+		t.Error("short SNAPSHOT accepted")
+	}
+	snap := AppendSnapshot(nil, SnapshotFlow{Flow: 1, Version: 1, Path: []uint16{0, 1}})
+	if _, err := ParseSnapshot(snap[:len(snap)-1]); err == nil {
+		t.Error("truncated SNAPSHOT accepted")
+	}
+	if _, _, err := ParseProbe([]byte{1}); err == nil {
+		t.Error("short PROBE accepted")
+	}
+	// Happy paths round-trip.
+	if cum, err := ParseAck(AppendAck(nil, 77)); err != nil || cum != 77 {
+		t.Errorf("ACK round-trip = (%d, %v), want (77, nil)", cum, err)
+	}
+	entries := []StateEntry{{Flow: 9, Version: 4}, {Flow: 10, Version: 5}}
+	if got, err := ParseState(AppendState(nil, entries)); err != nil || !reflect.DeepEqual(got, entries) {
+		t.Errorf("STATE round-trip = (%v, %v), want (%v, nil)", got, err, entries)
+	}
+	s := SnapshotFlow{Flow: 9, Src: 0, Dst: 4, Version: 4, SizeK: 100, Path: []uint16{0, 3, 4}}
+	if got, err := ParseSnapshot(AppendSnapshot(nil, s)); err != nil || !reflect.DeepEqual(got, s) {
+		t.Errorf("SNAPSHOT round-trip = (%v, %v), want (%v, nil)", got, err, s)
+	}
+	if fl, v, err := ParseProbe(AppendProbe(nil, 9, 4)); err != nil || fl != 9 || v != 4 {
+		t.Errorf("PROBE round-trip = (%v, %d, %v), want (9, 4, nil)", fl, v, err)
+	}
+}

@@ -22,6 +22,18 @@ func fuzzSeeds() [][]byte {
 			Flags: EZIngress | EZInitNow, Priority: 1, DepFlow: 8},
 		&EZN{Flow: 7, Version: 2},
 		&CLN{Flow: 7, Version: 2},
+		// Transport envelopes (deployment mode): one frame per verb,
+		// including a sequenced VerbMsg wrapping an inner wire message.
+		&Frame{Verb: VerbMsg, Src: 2, Epoch: 1, Seq: 9, InPort: 1,
+			Payload: Marshal(&UNM{Flow: 7, Layer: LayerIntra, Vn: 2, Dn: 3, Vo: 1, Do: 4})},
+		&Frame{Verb: VerbAck, Src: -1, Epoch: 1, InPort: NoPort, Payload: AppendAck(nil, 9)},
+		&Frame{Verb: VerbHello, Src: -1, Epoch: 2, InPort: NoPort},
+		&Frame{Verb: VerbState, Src: 3, Epoch: 1, Seq: 1, InPort: NoPort,
+			Payload: AppendState(nil, []StateEntry{{Flow: 7, Version: 2}, {Flow: 99, Version: 1}})},
+		&Frame{Verb: VerbSnapshot, Src: -1, Epoch: 2, Seq: 4, InPort: NoPort,
+			Payload: AppendSnapshot(nil, SnapshotFlow{Flow: 7, Src: 0, Dst: 4, Version: 2, SizeK: 1000, Path: []uint16{0, 1, 2, 4}})},
+		&Frame{Verb: VerbProbe, Src: -1, Epoch: 2, Seq: 5, InPort: NoPort,
+			Payload: AppendProbe(nil, 7, 2)},
 	}
 	seeds := make([][]byte, 0, len(msgs))
 	for _, m := range msgs {

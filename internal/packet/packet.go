@@ -134,6 +134,8 @@ func Decode(b []byte) (Message, error) {
 		m = &CLN{}
 	case TypeUIMBatch:
 		m = &UIMBatch{}
+	case TypeFrame:
+		m = &Frame{}
 	default:
 		return nil, fmt.Errorf("packet: unknown message type %d", b[0])
 	}

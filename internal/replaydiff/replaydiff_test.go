@@ -1,0 +1,156 @@
+package replaydiff
+
+import (
+	"testing"
+
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+	"p4update/internal/trace"
+	"p4update/internal/wiring"
+)
+
+// fig2Events runs the canonical Fig-2 single-layer update in the
+// simulator and returns the recorded events — the golden source the
+// deployment harness also diffs against.
+func fig2Events(t *testing.T) []trace.Event {
+	t.Helper()
+	g, _, _, _ := topo.Fig2Scenario()
+	s := wiring.New(g, wiring.Config{Seed: 1, System: "p4update", Trace: &trace.Options{}})
+	f, err := s.Ctl.RegisterFlow(0, 4, []topo.NodeID{0, 1, 2, 3, 4}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceSL := packet.UpdateSingle
+	if _, err := s.Ctl.TriggerUpdate(f, []topo.NodeID{0, 1, 2, 4}, &forceSL); err != nil {
+		t.Fatal(err)
+	}
+	s.Eng.Run()
+	evs := s.Trace.Events()
+	if len(evs) == 0 {
+		t.Fatal("trial recorded no events")
+	}
+	return evs
+}
+
+// TestDiffIdentical asserts a run diffed against itself is clean.
+func TestDiffIdentical(t *testing.T) {
+	evs := fig2Events(t)
+	want := Canonicalize(evs)
+	if want.Len() == 0 {
+		t.Fatal("golden log has no decisions")
+	}
+	if divs := Diff(Canonicalize(evs), want); len(divs) != 0 {
+		t.Fatalf("self-diff not clean:\n%s", Report(divs))
+	}
+}
+
+// TestDiffDetectsCorruptedVerdict corrupts exactly one verdict code in
+// the recorded trace and asserts the diff reports exactly that
+// divergence and nothing else.
+func TestDiffDetectsCorruptedVerdict(t *testing.T) {
+	evs := fig2Events(t)
+	want := Canonicalize(evs)
+
+	corrupted := append([]trace.Event(nil), evs...)
+	idx := -1
+	for i, ev := range corrupted {
+		if ev.Kind == trace.KindVerdict && !transient(trace.Code(ev.Class)) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no canonical verdict in trace")
+	}
+	orig := trace.Code(corrupted[idx].Class)
+	swapped := trace.CodeRejectOutdated
+	if orig == swapped {
+		swapped = trace.CodeApplySL
+	}
+	corrupted[idx].Class = uint8(swapped)
+
+	divs := Diff(Canonicalize(corrupted), want)
+	if len(divs) != 1 {
+		t.Fatalf("got %d divergences, want exactly 1:\n%s", len(divs), Report(divs))
+	}
+	d := divs[0]
+	if d.Key.Node != corrupted[idx].Node || d.Key.Flow != corrupted[idx].Flow {
+		t.Errorf("divergence at %+v, want node %d flow %d", d.Key, corrupted[idx].Node, corrupted[idx].Flow)
+	}
+	if d.Index != 0 {
+		t.Errorf("divergence index = %d, want 0 (first decision of that key)", d.Index)
+	}
+}
+
+// TestNoFalsePositiveOnReorderedSameInstant permutes same-instant
+// events of *different* flows at one node — exactly the nondeterminism
+// a real transport introduces — and asserts the diff stays clean,
+// while reordering decisions *within* one flow is still caught.
+func TestNoFalsePositiveOnReorderedSameInstant(t *testing.T) {
+	mk := func(node int32, flow uint32, code trace.Code, ver uint32) trace.Event {
+		return trace.Event{Node: node, Kind: trace.KindVerdict,
+			Class: uint8(code), Flow: flow, Ver: ver}
+	}
+	// Node 2 decides about flows 7 and 9 in the same virtual instant.
+	a := []trace.Event{
+		mk(2, 7, trace.CodeApplySL, 2),
+		mk(2, 9, trace.CodeApplyEgress, 3),
+		mk(2, 7, trace.CodeApplyEgress, 3),
+	}
+	b := []trace.Event{ // cross-flow interleaving swapped
+		mk(2, 9, trace.CodeApplyEgress, 3),
+		mk(2, 7, trace.CodeApplySL, 2),
+		mk(2, 7, trace.CodeApplyEgress, 3),
+	}
+	if divs := Diff(Canonicalize(b), Canonicalize(a)); len(divs) != 0 {
+		t.Fatalf("cross-flow reorder flagged:\n%s", Report(divs))
+	}
+	// Same-flow reorder is a real divergence, not timing noise.
+	c := []trace.Event{
+		mk(2, 9, trace.CodeApplyEgress, 3),
+		mk(2, 7, trace.CodeApplyEgress, 3),
+		mk(2, 7, trace.CodeApplySL, 2),
+	}
+	if divs := Diff(Canonicalize(c), Canonicalize(a)); len(divs) == 0 {
+		t.Fatal("same-flow reorder not flagged")
+	}
+}
+
+// TestTransientVerdictsIgnored asserts arrival-order-dependent codes
+// (wait-uim, duplicate) never reach the canonical log: a run that
+// parked a notification and a run that didn't are decision-equivalent.
+func TestTransientVerdictsIgnored(t *testing.T) {
+	evs := fig2Events(t)
+	want := Canonicalize(evs)
+	noisy := append([]trace.Event(nil), evs...)
+	noisy = append(noisy, trace.Event{Node: 2, Kind: trace.KindVerdict,
+		Class: uint8(trace.CodeWaitUIM), Flow: 1, Ver: 2})
+	noisy = append(noisy, trace.Event{Node: 2, Kind: trace.KindVerdict,
+		Class: uint8(trace.CodeDuplicate), Flow: 1, Ver: 2})
+	if divs := Diff(Canonicalize(noisy), want); len(divs) != 0 {
+		t.Fatalf("transient verdicts flagged:\n%s", Report(divs))
+	}
+}
+
+// TestMergeOwnedBy splits a trace per node (as per-process recordings
+// would be), merges the parts, and asserts the merged log equals the
+// single-process canonicalization.
+func TestMergeOwnedBy(t *testing.T) {
+	evs := fig2Events(t)
+	want := Canonicalize(evs)
+	nodes := map[int32]bool{}
+	for _, ev := range evs {
+		nodes[ev.Node] = true
+	}
+	parts := make([]*Log, 0, len(nodes))
+	for n := range nodes {
+		parts = append(parts, Canonicalize(OwnedBy(evs, n)))
+	}
+	merged := Merge(parts...)
+	if divs := Diff(merged, want); len(divs) != 0 {
+		t.Fatalf("merged per-node logs diverge:\n%s", Report(divs))
+	}
+	if merged.Len() != want.Len() {
+		t.Fatalf("merged %d decisions, want %d", merged.Len(), want.Len())
+	}
+}

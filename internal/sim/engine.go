@@ -331,6 +331,17 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 	return e.now
 }
 
+// NextAt reports the timestamp of the next live queued event, if any.
+// It lets a real-time host (cmd/controllerd, cmd/switchd) sleep exactly
+// until the next virtual deadline instead of polling. Not supported on
+// a sharded root engine.
+func (e *Engine) NextAt() (time.Duration, bool) {
+	if !e.peekLive() {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
 // Pending reports the number of live queued events (cancelled timers
 // excluded). It is O(1): the count is maintained incrementally by
 // Schedule, Step, and Timer.Stop. On a sharded root engine it sums the

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// jsonEvent mirrors WriteJSONL's field set; optional fields are
+// pointers so absent and zero stay distinguishable.
+type jsonEvent struct {
+	Seq   uint64  `json:"seq"`
+	AtNS  int64   `json:"at_ns"`
+	Node  int32   `json:"node"`
+	Kind  string  `json:"kind"`
+	Class *string `json:"class"`
+	Peer  *int32  `json:"peer"`
+	Flow  uint32  `json:"flow"`
+	Ver   uint32  `json:"ver"`
+	A     *uint32 `json:"a"`
+	B     *uint32 `json:"b"`
+}
+
+// parseTables holds the reverse of the String()/label mappings the
+// exporter uses. Built once, by asking the forward maps themselves, so
+// the two directions cannot drift.
+type parseTables struct {
+	kinds  map[string]Kind
+	codes  map[string]uint8 // verdict classes
+	msgs   map[string]uint8 // send/recv classes
+	alarms map[string]uint8 // alarm classes
+}
+
+var (
+	tables     parseTables
+	tablesOnce sync.Once
+)
+
+func buildParseTables() {
+	tables.kinds = make(map[string]Kind)
+	for k := Kind(1); k < numKinds; k++ {
+		tables.kinds[k.String()] = k
+	}
+	tables.codes = make(map[string]uint8)
+	for c := Code(1); c < numCodes; c++ {
+		tables.codes[c.String()] = uint8(c)
+	}
+	tables.msgs = make(map[string]uint8)
+	tables.alarms = make(map[string]uint8)
+	for t := 0; t < 256; t++ {
+		tables.msgs[MsgName(uint8(t))] = uint8(t)
+		tables.alarms[alarmName(uint8(t))] = uint8(t)
+	}
+}
+
+// ParseJSONL reads a WriteJSONL stream back into events — the
+// deployment mode's path from a process's dumped flight recording to
+// the replay-diff comparator. Round-trip with WriteJSONL is exact:
+// parse(write(events)) == events for every exported field.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	tablesOnce.Do(buildParseTables)
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		kind, ok := tables.kinds[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", line, je.Kind)
+		}
+		ev := Event{
+			Seq:  je.Seq,
+			At:   time.Duration(je.AtNS),
+			Node: je.Node,
+			Kind: kind,
+			Flow: je.Flow,
+			Ver:  je.Ver,
+		}
+		switch kind {
+		case KindSend, KindRecv:
+			if je.Class == nil || je.Peer == nil {
+				return nil, fmt.Errorf("trace: line %d: %s event missing class/peer", line, je.Kind)
+			}
+			cls, ok := tables.msgs[*je.Class]
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown message class %q", line, *je.Class)
+			}
+			ev.Class = cls
+			ev.A = uint32(*je.Peer)
+		case KindVerdict, KindAlarm:
+			if je.Class == nil {
+				return nil, fmt.Errorf("trace: line %d: %s event missing class", line, je.Kind)
+			}
+			tbl := tables.codes
+			if kind == KindAlarm {
+				tbl = tables.alarms
+			}
+			cls, ok := tbl[*je.Class]
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown %s class %q", line, je.Kind, *je.Class)
+			}
+			ev.Class = cls
+			if je.A != nil {
+				ev.A = *je.A
+			}
+			if je.B != nil {
+				ev.B = *je.B
+			}
+		default:
+			if je.A != nil {
+				ev.A = *je.A
+			}
+			if je.B != nil {
+				ev.B = *je.B
+			}
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestParseJSONLRoundTrip pins parse(write(events)) == events across
+// every kind the exporter distinguishes.
+func TestParseJSONLRoundTrip(t *testing.T) {
+	r := New(Options{Cap: 64})
+	var now time.Duration
+	r.Clock = func() time.Duration { return now }
+
+	now = 1 * time.Millisecond
+	r.Send(3, 3 /* UIM */, 4, 7, 2)
+	r.Recv(4, 3, 3, 7, 2)
+	now = 2 * time.Millisecond
+	r.Verdict(4, CodeApplySL, 7, 2, 9, 8)
+	r.Commit(4, 7, 2, 1, 0)
+	r.Crash(4, 1)
+	r.Restore(4, 2)
+	r.Watchdog(NodeController, 7, 2, 1)
+	r.Alarm(4, 1 /* distance */, 7, 2)
+	r.Round(7, 2, 3)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Events()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParseJSONLRejects covers the parser's error paths.
+func TestParseJSONLRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      "{not json}\n",
+		"unknown kind":  `{"seq":1,"at_ns":0,"node":0,"kind":"nope","flow":0,"ver":0,"a":0,"b":0}` + "\n",
+		"missing class": `{"seq":1,"at_ns":0,"node":0,"kind":"verdict","flow":0,"ver":0,"a":0,"b":0}` + "\n",
+		"bad class":     `{"seq":1,"at_ns":0,"node":0,"kind":"verdict","class":"zzz","flow":0,"ver":0,"a":0,"b":0}` + "\n",
+		"missing peer":  `{"seq":1,"at_ns":0,"node":0,"kind":"send","class":"UIM","flow":0,"ver":0}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseJSONL(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

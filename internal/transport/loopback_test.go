@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"p4update/internal/faults"
+	"p4update/internal/packet"
+	"p4update/internal/topo"
+)
+
+// pair wires two endpoints (controller -1 and switch 3) through a
+// loopback fabric carrying the given faults.Plan rules, and records
+// every frame each side delivers.
+type pair struct {
+	fab      *Fabric
+	ctl, sw  *Endpoint
+	ctlSeen  []*packet.Frame
+	swSeen   []*packet.Frame
+	ctlEpoch uint32
+}
+
+func newPair(t *testing.T, plan *faults.Plan, rto time.Duration) *pair {
+	t.Helper()
+	p := &pair{fab: NewFabric(), ctlEpoch: 1}
+	if plan != nil {
+		p.fab.Use(plan.Rules)
+	}
+	p.ctl = NewEndpoint(Config{
+		Self: ControllerPeer, Epoch: p.ctlEpoch, RTO: rto,
+		Lower:   p.fab.Attach(ControllerPeer),
+		Handler: func(peer int32, f *packet.Frame) { p.ctlSeen = append(p.ctlSeen, f) },
+	})
+	p.sw = NewEndpoint(Config{
+		Self: 3, Epoch: 1, RTO: rto,
+		Lower:   p.fab.Attach(3),
+		Handler: func(peer int32, f *packet.Frame) { p.swSeen = append(p.swSeen, f) },
+	})
+	p.fab.Register(ControllerPeer, p.ctl)
+	p.fab.Register(3, p.sw)
+	return p
+}
+
+func msgFrame(inner packet.Message) *packet.Frame {
+	return &packet.Frame{Verb: packet.VerbMsg, InPort: packet.NoPort,
+		Payload: packet.Marshal(inner)}
+}
+
+func seqsOf(frames []*packet.Frame) []uint64 {
+	s := make([]uint64, len(frames))
+	for i, f := range frames {
+		s[i] = f.Seq
+	}
+	return s
+}
+
+// TestRetransmitAfterDrop drops the first controller→switch UIM frame
+// with a faults.Plan rule and asserts the retransmit timer repairs the
+// loss without the application noticing anything but delay.
+func TestRetransmitAfterDrop(t *testing.T) {
+	plan := &faults.Plan{Rules: []faults.Rule{
+		faults.DropMatching(faults.AnyNode, 3, packet.TypeUIM, 1),
+	}}
+	p := newPair(t, plan, 50*time.Millisecond)
+
+	uim := &packet.UIM{Flow: 7, Version: 2, EgressPort: 1, ChildPort: packet.NoPort}
+	if err := p.ctl.Send(3, msgFrame(uim), p.fab.Now()); err != nil {
+		t.Fatal(err)
+	}
+	p.fab.Flush()
+	if len(p.swSeen) != 0 {
+		t.Fatalf("frame delivered despite drop rule: %d frames", len(p.swSeen))
+	}
+	if p.fab.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", p.fab.Dropped)
+	}
+
+	// One RTO later the frame is resent and delivered, and the ack
+	// clears the sender's in-flight queue.
+	p.fab.Advance(60 * time.Millisecond)
+	if len(p.swSeen) != 1 {
+		t.Fatalf("delivered %d frames after RTO, want 1", len(p.swSeen))
+	}
+	if got := p.ctl.Stats().Retransmits; got != 1 {
+		t.Errorf("Retransmits = %d, want 1", got)
+	}
+	if got := p.ctl.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after ack, want 0", got)
+	}
+	inner, err := packet.Decode(p.swSeen[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.(*packet.UIM).Flow != 7 {
+		t.Errorf("inner flow = %d, want 7", inner.(*packet.UIM).Flow)
+	}
+}
+
+// TestDuplicateSuppression duplicates frames in the fabric and asserts
+// each is delivered exactly once.
+func TestDuplicateSuppression(t *testing.T) {
+	plan := &faults.Plan{Rules: []faults.Rule{
+		faults.DuplicateMatching(faults.AnyNode, faults.AnyNode, packet.TypeUNM, 3),
+	}}
+	p := newPair(t, plan, 50*time.Millisecond)
+
+	for i := 0; i < 3; i++ {
+		unm := &packet.UNM{Flow: packet.FlowID(100 + i), Vn: 2, Dn: 1, Vo: 1, Do: 2}
+		if err := p.ctl.Send(3, msgFrame(unm), p.fab.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.fab.Flush()
+	if p.fab.Duplicated != 3 {
+		t.Fatalf("Duplicated = %d, want 3", p.fab.Duplicated)
+	}
+	if len(p.swSeen) != 3 {
+		t.Fatalf("delivered %d frames, want 3 (duplicates suppressed)", len(p.swSeen))
+	}
+	if got := p.sw.Stats().Duplicates; got != 3 {
+		t.Errorf("receiver Duplicates = %d, want 3", got)
+	}
+	for i, f := range p.swSeen {
+		if f.Seq != uint64(i+1) {
+			t.Errorf("delivery %d has seq %d, want %d", i, f.Seq, i+1)
+		}
+	}
+}
+
+// TestOutOfOrderDelivery drops the first of three frames, letting 2 and
+// 3 arrive ahead of the retransmitted 1, and asserts the handler still
+// sees sequence order 1, 2, 3.
+func TestOutOfOrderDelivery(t *testing.T) {
+	plan := &faults.Plan{Rules: []faults.Rule{
+		faults.DropMatching(topo.NodeID(ControllerPeer), 3, packet.TypeUIM, 1),
+	}}
+	p := newPair(t, plan, 50*time.Millisecond)
+
+	for i := 0; i < 3; i++ {
+		uim := &packet.UIM{Flow: packet.FlowID(200 + i), Version: 2, EgressPort: 1, ChildPort: packet.NoPort}
+		if err := p.ctl.Send(3, msgFrame(uim), p.fab.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.fab.Flush()
+	// Frames 2 and 3 arrived and are buffered behind the gap.
+	if len(p.swSeen) != 0 {
+		t.Fatalf("delivered %d frames with seq 1 missing, want 0", len(p.swSeen))
+	}
+	if got := p.sw.Stats().Reordered; got != 2 {
+		t.Errorf("Reordered = %d, want 2", got)
+	}
+
+	p.fab.Advance(60 * time.Millisecond) // retransmit seq 1
+	if got, want := seqsOf(p.swSeen), []uint64{1, 2, 3}; len(got) != 3 ||
+		got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("delivery order = %v, want %v", got, want)
+	}
+}
+
+// TestCorruptionRecovered truncates a frame in flight (the injector's
+// detectable-corruption model); the decode failure counts as loss and
+// retransmission recovers it.
+func TestCorruptionRecovered(t *testing.T) {
+	plan := &faults.Plan{Rules: []faults.Rule{
+		faults.CorruptMatching(faults.AnyNode, faults.AnyNode, packet.TypeUFM, 1),
+	}}
+	p := newPair(t, plan, 50*time.Millisecond)
+
+	ufm := &packet.UFM{Flow: 7, Version: 2, Status: packet.StatusUpdated, Node: 3}
+	if err := p.sw.Send(ControllerPeer, msgFrame(ufm), p.fab.Now()); err != nil {
+		t.Fatal(err)
+	}
+	p.fab.Flush()
+	if len(p.ctlSeen) != 0 {
+		t.Fatal("corrupted frame was delivered")
+	}
+	if got := p.ctl.Stats().DecodeErr; got != 1 {
+		t.Errorf("DecodeErr = %d, want 1", got)
+	}
+	p.fab.Advance(60 * time.Millisecond)
+	if len(p.ctlSeen) != 1 {
+		t.Fatalf("delivered %d frames after retransmit, want 1", len(p.ctlSeen))
+	}
+}
+
+// TestOversizedFrameRejected asserts Send refuses payloads beyond
+// MaxFramePayload instead of emitting an unparseable datagram.
+func TestOversizedFrameRejected(t *testing.T) {
+	p := newPair(t, nil, 50*time.Millisecond)
+	f := &packet.Frame{Verb: packet.VerbMsg, InPort: packet.NoPort,
+		Payload: make([]byte, packet.MaxFramePayload+1)}
+	if err := p.ctl.Send(3, f, p.fab.Now()); err == nil {
+		t.Fatal("oversized send accepted")
+	}
+	if got := p.ctl.Stats().Oversized; got != 1 {
+		t.Errorf("Oversized = %d, want 1", got)
+	}
+	p.fab.Flush()
+	if len(p.swSeen) != 0 {
+		t.Errorf("delivered %d frames, want 0", len(p.swSeen))
+	}
+}
+
+// TestEpochRestartResync bumps the controller's epoch mid-conversation
+// (a restart) and asserts the switch resets its per-peer state: the new
+// incarnation's seq 1 is delivered, and pre-restart buffered frames are
+// discarded rather than replayed into the new conversation.
+func TestEpochRestartResync(t *testing.T) {
+	plan := &faults.Plan{Rules: []faults.Rule{
+		faults.DropMatching(faults.AnyNode, 3, packet.TypeUIM, 1),
+	}}
+	p := newPair(t, plan, time.Hour) // no retransmits: the gap persists
+	// Seq 1 dropped, seq 2 buffered behind the gap.
+	for i := 0; i < 2; i++ {
+		uim := &packet.UIM{Flow: packet.FlowID(i), Version: 2, EgressPort: 1, ChildPort: packet.NoPort}
+		if err := p.ctl.Send(3, msgFrame(uim), p.fab.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.fab.Flush()
+	if len(p.swSeen) != 0 {
+		t.Fatal("delivery despite gap")
+	}
+
+	// Controller restarts with epoch 2: fresh endpoint, seqs from 1.
+	ctl2 := NewEndpoint(Config{
+		Self: ControllerPeer, Epoch: 2, RTO: time.Hour,
+		Lower:   p.fab.Attach(ControllerPeer),
+		Handler: func(peer int32, f *packet.Frame) {},
+	})
+	p.fab.Register(ControllerPeer, ctl2)
+	uim := &packet.UIM{Flow: 99, Version: 3, EgressPort: 1, ChildPort: packet.NoPort}
+	if err := ctl2.Send(3, msgFrame(uim), p.fab.Now()); err != nil {
+		t.Fatal(err)
+	}
+	p.fab.Flush()
+	if len(p.swSeen) != 1 {
+		t.Fatalf("delivered %d frames after restart, want 1", len(p.swSeen))
+	}
+	if p.swSeen[0].Epoch != 2 || p.swSeen[0].Seq != 1 {
+		t.Errorf("delivered frame epoch/seq = %d/%d, want 2/1", p.swSeen[0].Epoch, p.swSeen[0].Seq)
+	}
+	inner, err := packet.Decode(p.swSeen[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.(*packet.UIM).Flow != 99 {
+		t.Errorf("post-restart flow = %d, want 99 (stale frame replayed?)", inner.(*packet.UIM).Flow)
+	}
+}
+
+// TestGiveUpBounded asserts a frame that can never be delivered is
+// abandoned after MaxTries rather than retried forever.
+func TestGiveUpBounded(t *testing.T) {
+	plan := &faults.Plan{Rules: []faults.Rule{
+		faults.DropMatching(faults.AnyNode, faults.AnyNode, packet.TypeInvalid, -1),
+	}}
+	p := newPair(t, plan, 10*time.Millisecond)
+	if err := p.ctl.Send(3, msgFrame(&packet.CLN{Flow: 1, Version: 1}), p.fab.Now()); err != nil {
+		t.Fatal(err)
+	}
+	p.fab.Flush()
+	for i := 0; i < 40; i++ {
+		p.fab.Advance(20 * time.Millisecond)
+	}
+	st := p.ctl.Stats()
+	if st.GaveUp != 1 {
+		t.Errorf("GaveUp = %d, want 1", st.GaveUp)
+	}
+	if p.ctl.InFlight() != 0 {
+		t.Errorf("InFlight = %d, want 0 after give-up", p.ctl.InFlight())
+	}
+	if st.Retransmits >= 40 {
+		t.Errorf("Retransmits = %d, want bounded below the tick count", st.Retransmits)
+	}
+}

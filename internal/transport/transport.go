@@ -1,0 +1,311 @@
+// Package transport moves the simulator's byte-level wire messages
+// between real processes. An Endpoint wraps a datagram lower half
+// (UDP in production, an in-memory loopback fabric in tests) with the
+// minimal reliability the control conversation needs: per-peer
+// sequence numbers, cumulative acks, bounded retransmit, duplicate
+// suppression and in-order delivery. Epochs distinguish process
+// incarnations so a restarted peer's state is never confused with its
+// predecessor's.
+//
+// The envelope is packet.Frame — itself a packet.Message — so framed
+// traffic stays inside the repo's single wire-format vocabulary and
+// fuzz corpus.
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"p4update/internal/packet"
+)
+
+// ControllerPeer is the conventional peer ID of the controller process
+// (matching dataplane.NodeController's -1).
+const ControllerPeer int32 = -1
+
+// Datagram is the unreliable lower half an Endpoint writes to.
+// Implementations: *UDP (real sockets) and the loopback Fabric's ports.
+type Datagram interface {
+	WriteTo(peer int32, b []byte) error
+}
+
+// Handler receives in-order, de-duplicated frames. It is invoked
+// without the endpoint's lock held, so it may call Send re-entrantly.
+type Handler func(peer int32, f *packet.Frame)
+
+// Stats counts an endpoint's reliability events.
+type Stats struct {
+	Sent        uint64 // sequenced frames first-sent
+	Delivered   uint64 // frames handed to the handler
+	Duplicates  uint64 // sequenced frames suppressed as already-seen
+	Retransmits uint64 // RTO-triggered resends
+	GaveUp      uint64 // frames abandoned after MaxTries
+	Reordered   uint64 // frames buffered ahead of a gap
+	DecodeErr   uint64 // datagrams that failed Frame decode
+	Oversized   uint64 // sends rejected for exceeding MaxFramePayload
+}
+
+// Config parameterizes an Endpoint.
+type Config struct {
+	// Self is this process's node ID (ControllerPeer for controllerd).
+	Self int32
+	// Epoch is this process incarnation, strictly greater than any
+	// earlier incarnation's (persisted and bumped across restarts).
+	Epoch uint32
+	// RTO is the retransmit timeout. Default 100ms.
+	RTO time.Duration
+	// MaxTries bounds retransmissions per frame; after MaxTries sends
+	// the frame is abandoned (the snapshot/re-sync path repairs the
+	// gap). Default 20.
+	MaxTries int
+	// Window bounds the per-peer out-of-order buffer. Default 256.
+	Window int
+	// Lower is the datagram lower half.
+	Lower Datagram
+	// Handler receives delivered frames.
+	Handler Handler
+}
+
+// Endpoint is one process's reliable framing layer over Lower.
+type Endpoint struct {
+	cfg Config
+
+	mu    sync.Mutex
+	peers map[int32]*peerState
+	stats Stats
+}
+
+type txFrame struct {
+	raw      []byte
+	lastSent time.Duration
+	tries    int
+}
+
+type peerState struct {
+	// Transmit side.
+	nextSeq uint64
+	unacked map[uint64]*txFrame
+	// Receive side.
+	epochKnown bool
+	rxEpoch    uint32
+	rxNext     uint64 // next in-order sequence expected
+	pending    map[uint64]*packet.Frame
+}
+
+// NewEndpoint builds an endpoint; Config zero-values get defaults.
+func NewEndpoint(cfg Config) *Endpoint {
+	if cfg.RTO <= 0 {
+		cfg.RTO = 100 * time.Millisecond
+	}
+	if cfg.MaxTries <= 0 {
+		cfg.MaxTries = 20
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	return &Endpoint{cfg: cfg, peers: make(map[int32]*peerState)}
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// InFlight reports the number of sequenced frames awaiting ack.
+func (e *Endpoint) InFlight() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, p := range e.peers {
+		n += len(p.unacked)
+	}
+	return n
+}
+
+func (e *Endpoint) peer(id int32) *peerState {
+	p := e.peers[id]
+	if p == nil {
+		p = &peerState{unacked: make(map[uint64]*txFrame), rxNext: 1,
+			pending: make(map[uint64]*packet.Frame)}
+		e.peers[id] = p
+	}
+	return p
+}
+
+// sequenced reports whether a verb gets a sequence number and
+// retransmission. Acks must not be acked; hellos are periodic
+// announcements whose loss the next hello repairs.
+func sequenced(v packet.FrameVerb) bool {
+	return v != packet.VerbAck && v != packet.VerbHello
+}
+
+// Send stamps f with this endpoint's identity/epoch (and, for
+// sequenced verbs, the next per-peer sequence number), transmits it,
+// and retains sequenced frames for retransmission until acked. now is
+// the caller's monotonic clock, the same one later passed to Tick.
+func (e *Endpoint) Send(peer int32, f *packet.Frame, now time.Duration) error {
+	if len(f.Payload) > packet.MaxFramePayload {
+		e.mu.Lock()
+		e.stats.Oversized++
+		e.mu.Unlock()
+		return fmt.Errorf("transport: payload %d bytes exceeds the %d-byte frame limit",
+			len(f.Payload), packet.MaxFramePayload)
+	}
+	f.Src = e.cfg.Self
+	f.Epoch = e.cfg.Epoch
+	e.mu.Lock()
+	p := e.peer(peer)
+	if sequenced(f.Verb) {
+		p.nextSeq++
+		f.Seq = p.nextSeq
+	} else {
+		f.Seq = 0
+	}
+	raw := packet.Marshal(f)
+	if sequenced(f.Verb) {
+		p.unacked[f.Seq] = &txFrame{raw: raw, lastSent: now, tries: 1}
+		e.stats.Sent++
+	}
+	e.mu.Unlock()
+	return e.cfg.Lower.WriteTo(peer, raw)
+}
+
+// Tick retransmits every unacked frame whose RTO has elapsed and
+// abandons frames past MaxTries. Call it periodically (the UDP wrapper
+// does; the loopback fabric's Advance does).
+func (e *Endpoint) Tick(now time.Duration) {
+	type resend struct {
+		peer int32
+		seq  uint64
+		raw  []byte
+	}
+	var out []resend
+	e.mu.Lock()
+	for id, p := range e.peers {
+		var dead []uint64
+		for seq, tx := range p.unacked {
+			if now-tx.lastSent < e.cfg.RTO {
+				continue
+			}
+			if tx.tries >= e.cfg.MaxTries {
+				dead = append(dead, seq)
+				e.stats.GaveUp++
+				continue
+			}
+			tx.tries++
+			tx.lastSent = now
+			e.stats.Retransmits++
+			out = append(out, resend{peer: id, seq: seq, raw: tx.raw})
+		}
+		for _, seq := range dead {
+			delete(p.unacked, seq)
+		}
+	}
+	e.mu.Unlock()
+	// Deterministic resend order for the loopback fabric: map iteration
+	// above randomizes it, so order by (peer, seq) here.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].peer != out[j].peer {
+			return out[i].peer < out[j].peer
+		}
+		return out[i].seq < out[j].seq
+	})
+	for _, r := range out {
+		_ = e.cfg.Lower.WriteTo(r.peer, r.raw)
+	}
+}
+
+// OnDatagram processes one received datagram: decodes the frame,
+// reconciles epochs, acks/dedups/reorders sequenced traffic, and hands
+// deliverable frames to the handler in sequence order. The handler and
+// ack writes run without the endpoint lock held.
+func (e *Endpoint) OnDatagram(b []byte, now time.Duration) {
+	f := &packet.Frame{}
+	if err := f.DecodeFromBytes(b); err != nil {
+		e.mu.Lock()
+		e.stats.DecodeErr++
+		e.mu.Unlock()
+		return
+	}
+	peer := f.Src
+	var deliver []*packet.Frame
+	var ackCum uint64
+	sendAck := false
+
+	e.mu.Lock()
+	p := e.peer(peer)
+	if !p.epochKnown || f.Epoch > p.rxEpoch {
+		if p.epochKnown && f.Epoch > p.rxEpoch {
+			// The peer restarted: its new incarnation numbers sequences
+			// from 1 again, and our in-flight frames were addressed to
+			// the dead process.
+			p.rxNext = 1
+			p.pending = make(map[uint64]*packet.Frame)
+			p.unacked = make(map[uint64]*txFrame)
+			p.nextSeq = 0
+		}
+		p.epochKnown = true
+		p.rxEpoch = f.Epoch
+	} else if f.Epoch < p.rxEpoch {
+		// Stale incarnation; drop silently.
+		e.mu.Unlock()
+		return
+	}
+
+	switch {
+	case f.Verb == packet.VerbAck:
+		if cum, err := packet.ParseAck(f.Payload); err == nil {
+			for seq := range p.unacked {
+				if seq <= cum {
+					delete(p.unacked, seq)
+				}
+			}
+		}
+	case !sequenced(f.Verb):
+		deliver = append(deliver, f)
+	default:
+		switch {
+		case f.Seq < p.rxNext:
+			// Duplicate: the ack was lost; re-ack so the sender stops.
+			e.stats.Duplicates++
+			sendAck, ackCum = true, p.rxNext-1
+		case f.Seq == p.rxNext:
+			deliver = append(deliver, f)
+			p.rxNext++
+			for {
+				nxt, ok := p.pending[p.rxNext]
+				if !ok {
+					break
+				}
+				delete(p.pending, p.rxNext)
+				deliver = append(deliver, nxt)
+				p.rxNext++
+			}
+			sendAck, ackCum = true, p.rxNext-1
+		default: // gap: buffer ahead, re-ack the current cumulative
+			if _, dup := p.pending[f.Seq]; !dup && len(p.pending) < e.cfg.Window {
+				p.pending[f.Seq] = f
+				e.stats.Reordered++
+			} else if dup {
+				e.stats.Duplicates++
+			}
+			sendAck, ackCum = true, p.rxNext-1
+		}
+	}
+	e.stats.Delivered += uint64(len(deliver))
+	e.mu.Unlock()
+
+	if sendAck {
+		ack := &packet.Frame{Verb: packet.VerbAck, Src: e.cfg.Self,
+			Epoch: e.cfg.Epoch, InPort: packet.NoPort,
+			Payload: packet.AppendAck(nil, ackCum)}
+		_ = e.cfg.Lower.WriteTo(peer, packet.Marshal(ack))
+	}
+	for _, d := range deliver {
+		e.cfg.Handler(peer, d)
+	}
+}

@@ -183,6 +183,14 @@ type Config struct {
 	// recorder's ring buffer. Nil leaves tracing off — the hot path then
 	// pays only a nil check per site.
 	Trace *trace.Options
+
+	// Transport, when set, splits the fabric across OS processes
+	// (deployment mode, cmd/controllerd + cmd/switchd): frames
+	// addressed to parties this process does not own leave through it
+	// instead of the in-memory delivery queue. Mutually exclusive with
+	// sharding — a deployment process hosts a small slice of the
+	// fabric and runs its engine in real time.
+	Transport dataplane.Transport
 }
 
 // System is a fully wired system under one update system: engine, data
@@ -246,6 +254,7 @@ func New(g *topo.Topology, cfg Config) *System {
 		eng.Trace = rec
 	}
 	net := dataplane.NewNetwork(eng, g)
+	net.Proc = cfg.Transport
 
 	var node topo.NodeID
 	switch {
@@ -351,7 +360,8 @@ func trySharding(s *System) {
 	cfg := &s.Cfg
 	if cfg.Shards <= 1 ||
 		cfg.InstallDelay != nil || cfg.NodeDelayMean > 0 ||
-		cfg.Faults != nil || cfg.AuditEvery > 0 || cfg.Congestion {
+		cfg.Faults != nil || cfg.AuditEvery > 0 || cfg.Congestion ||
+		cfg.Transport != nil {
 		return
 	}
 	if s.Eng.Scheduled() > 0 {
